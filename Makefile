@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench reproduce reproduce-fast examples fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper experiment at full scale (deterministic, seed 1).
+reproduce:
+	$(GO) run ./cmd/reproduce -scale 1 -seed 1
+
+reproduce-fast:
+	$(GO) run ./cmd/reproduce -scale 0.25 -seed 1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/daogovernance
+	$(GO) run ./examples/socialnetwork
+	$(GO) run ./examples/localprotocol
+	$(GO) run ./examples/equilibrium
+	$(GO) run ./examples/learningcurve
+	$(GO) run ./examples/distributedelection
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,215 @@
+// Package liquid holds the repository-level benchmark harness: one
+// benchmark per reproduced table/figure (the F/L/T/X/A experiment ids of
+// DESIGN.md), plus micro-benchmarks for the hot primitives underneath them.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package liquid
+
+import (
+	"testing"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/experiment"
+	"liquid/internal/graph"
+	"liquid/internal/localsim"
+	"liquid/internal/mechanism"
+	"liquid/internal/prob"
+	"liquid/internal/recycle"
+	"liquid/internal/rng"
+)
+
+// benchExperiment runs one full experiment per iteration at reduced scale.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := experiment.Run(id, experiment.Config{Seed: uint64(i) + 1, Scale: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// One benchmark per figure/lemma/theorem/extension/ablation artifact.
+
+func BenchmarkF1Star(b *testing.B)                 { benchExperiment(b, "F1") }
+func BenchmarkF2Example(b *testing.B)              { benchExperiment(b, "F2") }
+func BenchmarkL1PrefixDeviation(b *testing.B)      { benchExperiment(b, "L1") }
+func BenchmarkL2RecycleConcentration(b *testing.B) { benchExperiment(b, "L2") }
+func BenchmarkL3AntiConcentration(b *testing.B)    { benchExperiment(b, "L3") }
+func BenchmarkL4CLT(b *testing.B)                  { benchExperiment(b, "L4") }
+func BenchmarkL5MaxWeight(b *testing.B)            { benchExperiment(b, "L5") }
+func BenchmarkL7Expectation(b *testing.B)          { benchExperiment(b, "L7") }
+func BenchmarkV1Variance(b *testing.B)             { benchExperiment(b, "V1") }
+func BenchmarkT2Complete(b *testing.B)             { benchExperiment(b, "T2") }
+func BenchmarkT3DRegular(b *testing.B)             { benchExperiment(b, "T3") }
+func BenchmarkT4BoundedDegree(b *testing.B)        { benchExperiment(b, "T4") }
+func BenchmarkT5MinDegree(b *testing.B)            { benchExperiment(b, "T5") }
+func BenchmarkX1Abstention(b *testing.B)           { benchExperiment(b, "X1") }
+func BenchmarkX2WeightedMajority(b *testing.B)     { benchExperiment(b, "X2") }
+func BenchmarkX3RealWorldGraphs(b *testing.B)      { benchExperiment(b, "X3") }
+func BenchmarkX4ProbabilisticComps(b *testing.B)   { benchExperiment(b, "X4") }
+func BenchmarkX5SparseTopologies(b *testing.B)     { benchExperiment(b, "X5") }
+func BenchmarkX6PowerConcentration(b *testing.B)   { benchExperiment(b, "X6") }
+func BenchmarkX7TrackRecords(b *testing.B)         { benchExperiment(b, "X7") }
+func BenchmarkX8Equilibria(b *testing.B)           { benchExperiment(b, "X8") }
+func BenchmarkX9Adaptive(b *testing.B)             { benchExperiment(b, "X9") }
+func BenchmarkX10Homophily(b *testing.B)           { benchExperiment(b, "X10") }
+func BenchmarkX11ReputationFarming(b *testing.B)   { benchExperiment(b, "X11") }
+func BenchmarkX12GossipSpectral(b *testing.B)      { benchExperiment(b, "X12") }
+func BenchmarkA1ThresholdSweep(b *testing.B)       { benchExperiment(b, "A1") }
+func BenchmarkA2AlphaSweep(b *testing.B)           { benchExperiment(b, "A2") }
+func BenchmarkA3EngineComparison(b *testing.B)     { benchExperiment(b, "A3") }
+func BenchmarkA4Crossover(b *testing.B)            { benchExperiment(b, "A4") }
+func BenchmarkA5TieRules(b *testing.B)             { benchExperiment(b, "A5") }
+func BenchmarkA6PairedDuels(b *testing.B)          { benchExperiment(b, "A6") }
+
+// --- micro-benchmarks for the primitives the experiments lean on ---
+
+func benchInstance(b *testing.B, n int) *core.Instance {
+	b.Helper()
+	s := rng.New(99)
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.3 + 0.4*s.Float64()
+	}
+	in, err := core.NewInstance(graph.NewComplete(n), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+func BenchmarkPoissonBinomialPMF(b *testing.B) {
+	in := benchInstance(b, 2000)
+	ps := in.Competencies()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb, err := prob.NewPoissonBinomial(ps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pb.ProbMajority() < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkWeightedMajorityDP(b *testing.B) {
+	voters := make([]prob.WeightedVoter, 200)
+	s := rng.New(7)
+	for i := range voters {
+		voters[i] = prob.WeightedVoter{Weight: 1 + s.IntN(20), P: s.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wm, err := prob.NewWeightedMajority(voters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if wm.ProbCorrectDecision() < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkMechanismApplyComplete(b *testing.B) {
+	in := benchInstance(b, 10000)
+	mech := mechanism.ApprovalThreshold{Alpha: 0.05}
+	s := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mech.Apply(in, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDelegationResolve(b *testing.B) {
+	in := benchInstance(b, 10000)
+	d, err := (mechanism.ApprovalThreshold{Alpha: 0.05}).Apply(in, rng.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Resolve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateMechanismSmall(b *testing.B) {
+	in := benchInstance(b, 500)
+	mech := mechanism.ApprovalThreshold{Alpha: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := election.EvaluateMechanism(in, mech, election.Options{
+			Replications: 8, Seed: uint64(i) + 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecycleRealize(b *testing.B) {
+	in := benchInstance(b, 5000)
+	g, err := recycle.FromCompleteDelegation(in, 0.05, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := rng.New(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.RealizeSum(s) < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkRandomRegular(b *testing.B) {
+	s := rng.New(11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.RandomRegular(2000, 8, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBarabasiAlbert(b *testing.B) {
+	s := rng.New(13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.BarabasiAlbert(2000, 4, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalProtocol(b *testing.B) {
+	s := rng.New(15)
+	top, err := graph.RandomRegular(1000, 12, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, 1000)
+	for i := range p {
+		p[i] = 0.3 + 0.4*s.Float64()
+	}
+	in, err := core.NewInstance(top, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := localsim.RunThresholdDelegation(in, 0.05, nil, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// DAO governance example: token holders in a decentralized autonomous
+// organization vote on a binary proposal. Their "who knows whom" graph is a
+// scale-free (Barabási–Albert) network, as observed in on-chain delegation
+// studies the paper cites. We compare:
+//
+//   - direct voting,
+//
+//   - naive greedy delegation (everyone follows the most expert neighbour,
+//     the behaviour that concentrates power on hubs),
+//
+//   - the paper's randomized threshold mechanism, and
+//
+//   - the same mechanism with a Lemma-5 weight cap.
+//
+//     go run ./examples/daogovernance
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/report"
+	"liquid/internal/rng"
+)
+
+func main() {
+	const (
+		members = 2000
+		alpha   = 0.05
+		seed    = 7
+	)
+	root := rng.New(seed)
+
+	// Scale-free member graph: most members know a few others, a handful of
+	// well-connected influencers know hundreds.
+	top, err := graph.BarabasiAlbert(members, 4, root.DeriveString("graph"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Competency: most members are barely informed about the proposal
+	// (just below a coin flip), a few are well informed.
+	p := make([]float64, members)
+	comp := root.DeriveString("competency")
+	for i := range p {
+		if comp.Bernoulli(0.1) {
+			p[i] = 0.60 + 0.25*comp.Float64() // informed minority
+		} else {
+			p[i] = 0.35 + 0.13*comp.Float64() // uninformed majority
+		}
+	}
+	in, err := core.NewInstance(top, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mechanisms := []mechanism.Mechanism{
+		mechanism.Direct{},
+		mechanism.GreedyBest{Alpha: alpha},
+		mechanism.ApprovalThreshold{Alpha: alpha},
+		mechanism.WeightCapped{
+			Inner:     mechanism.ApprovalThreshold{Alpha: alpha},
+			MaxWeight: 25,
+		},
+	}
+
+	tab := report.NewTable(
+		fmt.Sprintf("DAO proposal vote: %d members, BA graph, 10%% informed", members),
+		"mechanism", "P(correct)", "gain", "delegators", "sinks", "max weight")
+	for _, m := range mechanisms {
+		res, err := election.EvaluateMechanism(in, m, election.Options{
+			Replications: 32,
+			Seed:         seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.AddRow(m.Name(), report.F(res.PM), report.F(res.Gain),
+			report.F2(res.MeanDelegators), report.F2(res.MeanSinks), report.Itoa(res.MaxMaxWeight))
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("Takeaway: randomized delegation spreads votes over many informed")
+	fmt.Println("sinks; greedy 'follow the influencer' funnels weight into hubs,")
+	fmt.Println("which is exactly the concentration the paper's Lemma 5 warns about.")
+	fmt.Println("The weight cap enforces the lemma's condition mechanically.")
+}

@@ -1,0 +1,71 @@
+// Distributed election example: the entire pipeline runs as message-passing
+// protocols with no central coordinator — delegation decisions are local,
+// sink weights are computed by an ack-tolerant convergecast, the sinks cast
+// their votes, and push-sum gossip spreads the tally until every node can
+// announce the result on its own.
+//
+//	go run ./examples/distributedelection
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/localsim"
+	"liquid/internal/prob"
+	"liquid/internal/report"
+	"liquid/internal/rng"
+)
+
+func main() {
+	const (
+		n      = 500
+		degree = 12
+		alpha  = 0.04
+		seed   = 99
+		gossip = 200
+	)
+	root := rng.New(seed)
+	top, err := graph.RandomRegular(n, degree, root.DeriveString("graph"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := make([]float64, n)
+	comp := root.DeriveString("comp")
+	for i := range p {
+		p[i] = 0.35 + 0.4*comp.Float64()
+	}
+	in, err := core.NewInstance(top, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := localsim.RunDistributedElection(in, alpha, localsim.ThresholdRule(nil), seed, gossip)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var est prob.Summary
+	for _, e := range res.Estimates {
+		est.Add(e)
+	}
+
+	tab := report.NewTable(
+		fmt.Sprintf("fully distributed election on a %d-regular graph (n=%d)", degree, n),
+		"quantity", "value")
+	tab.AddRow("gossip rounds", report.Itoa(res.GossipRounds))
+	tab.AddRow("true outcome correct", fmt.Sprintf("%v", res.CorrectWon))
+	tab.AddRow("nodes agreeing with outcome", fmt.Sprintf("%d / %d", res.Agreeing, n))
+	tab.AddRow("estimate mean ± sd", report.F(est.Mean())+" ± "+report.F(est.StdDev()))
+	tab.AddRow("estimate min / max", report.F(est.Min())+" / "+report.F(est.Max()))
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Every node ends up with (nearly) the same estimate of the")
+	fmt.Println("correct-vote share - push-sum mass conservation at work - so")
+	fmt.Println("the election result needs no central tally at all.")
+}

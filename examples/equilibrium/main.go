@@ -1,0 +1,75 @@
+// Equilibrium example: instead of prescribing a delegation mechanism, let
+// rational voters best-respond — each voter repeatedly picks the action
+// (vote directly or delegate to an approved neighbour) that maximizes the
+// group's probability of deciding correctly. The common-interest game is an
+// exact potential game, so the dynamics converge to a pure Nash
+// equilibrium, which is then compared with the paper's randomized
+// Algorithm 1 on the same instance.
+//
+//	go run ./examples/equilibrium
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"liquid/internal/core"
+	"liquid/internal/dynamics"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/report"
+	"liquid/internal/rng"
+)
+
+func main() {
+	const (
+		n     = 80
+		alpha = 0.05
+		seed  = 31
+	)
+	s := rng.New(seed)
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.30 + 0.19*s.Float64()
+	}
+	in, err := core.NewInstance(graph.NewComplete(n), p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tr, err := dynamics.BestResponse(in, dynamics.Options{Alpha: alpha})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tr.Delegation.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg1, err := election.EvaluateMechanism(in, mechanism.ApprovalThreshold{Alpha: alpha}, election.Options{
+		Replications: 64,
+		Seed:         seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tab := report.NewTable(
+		fmt.Sprintf("best-response delegation on K_%d (alpha=%g)", n, alpha),
+		"quantity", "value")
+	tab.AddRow("converged to Nash equilibrium", fmt.Sprintf("%v", tr.Converged))
+	tab.AddRow("sweeps / accepted moves", fmt.Sprintf("%d / %d", tr.Sweeps, tr.Moves))
+	tab.AddRow("P (all direct)", report.F(tr.InitialProb))
+	tab.AddRow("P (equilibrium)", report.F(tr.FinalProb))
+	tab.AddRow("equilibrium gain", report.F(tr.FinalProb-tr.InitialProb))
+	tab.AddRow("Algorithm 1 P^M (randomized)", report.F(alg1.PM))
+	tab.AddRow("equilibrium sinks / max weight", fmt.Sprintf("%d / %d", len(res.Sinks), res.MaxWeight))
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Rational voters discover delegation on their own: the potential")
+	fmt.Println("(group accuracy) only increases, so the equilibrium can never do")
+	fmt.Println("worse than direct voting - a game-theoretic do-no-harm.")
+}

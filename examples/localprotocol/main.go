@@ -1,0 +1,99 @@
+// LOCAL-model protocol example: runs the delegation mechanism as a real
+// distributed protocol - every voter is a node that only sees pseudonymous
+// neighbour ids and approval bits, delegation decisions are made locally,
+// and sink weights are computed by a convergecast of weight messages.
+// The distributed outcome is then cross-checked against the centralized
+// resolution.
+//
+//	go run ./examples/localprotocol
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/localsim"
+	"liquid/internal/report"
+	"liquid/internal/rng"
+)
+
+func main() {
+	const (
+		n     = 800
+		alpha = 0.04
+		seed  = 23
+	)
+	root := rng.New(seed)
+
+	top, err := graph.RandomRegular(n, 16, root.DeriveString("graph"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := make([]float64, n)
+	comp := root.DeriveString("competency")
+	for i := range p {
+		p[i] = 0.3 + 0.25*comp.Float64()
+	}
+	in, err := core.NewInstance(top, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := localsim.RunThresholdDelegation(in, alpha, nil, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	central, err := res.Delegation.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify the distributed weights against the centralized resolution.
+	mismatches := 0
+	for v := 0; v < n; v++ {
+		want := 0
+		if central.SinkOf[v] == v {
+			want = central.Weight[v]
+		}
+		if res.Weights[v] != want {
+			mismatches++
+		}
+	}
+
+	pm, err := election.ResolutionProbabilityExact(in, central)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pd, err := election.DirectProbabilityExact(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tab := report.NewTable(
+		fmt.Sprintf("distributed threshold delegation on a random 16-regular graph (n=%d)", n),
+		"quantity", "value")
+	tab.AddRow("synchronous rounds", report.Itoa(res.Rounds))
+	tab.AddRow("messages delivered", report.Itoa(res.Messages))
+	tab.AddRow("delegators", report.Itoa(res.Delegation.NumDelegators()))
+	tab.AddRow("sinks", report.Itoa(len(central.Sinks)))
+	tab.AddRow("longest delegation chain", report.Itoa(central.LongestChain))
+	tab.AddRow("max sink weight", report.Itoa(central.MaxWeight))
+	tab.AddRow("weight mismatches vs centralized", report.Itoa(mismatches))
+	tab.AddRow("P^D (direct)", report.F(pd))
+	tab.AddRow("P^M (delegated)", report.F(pm))
+	tab.AddRow("gain", report.F(pm-pd))
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("The protocol needs longest-chain+1 rounds and one message per")
+	fmt.Println("delegation hop - the locality the paper's mechanisms promise.")
+	if mismatches != 0 {
+		os.Exit(1)
+	}
+}

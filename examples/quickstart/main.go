@@ -1,0 +1,65 @@
+// Quickstart: build a voting instance, run a local delegation mechanism,
+// and compare it with direct voting.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/rng"
+)
+
+func main() {
+	const (
+		n     = 1001
+		alpha = 0.05 // delegate only to voters at least alpha more competent
+		seed  = 42
+	)
+
+	// 1. A complete voting graph: everyone can delegate to anyone.
+	top := graph.NewComplete(n)
+
+	// 2. Competencies: uniform in [0.30, 0.49] - individually weak voters,
+	//    collectively below the majority threshold. The interesting regime.
+	s := rng.New(seed)
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.30 + 0.19*s.Float64()
+	}
+	in, err := core.NewInstance(top, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The paper's Algorithm 1: delegate to a uniformly random approved
+	//    neighbour whenever the approval set is big enough.
+	mech := mechanism.ApprovalThreshold{Alpha: alpha}
+
+	// 4. Evaluate: P^M is averaged over mechanism randomness, each
+	//    realization scored by the exact weighted-majority DP.
+	res, err := election.EvaluateMechanism(in, mech, election.Options{
+		Replications: 64,
+		Seed:         seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("voters:                 %d\n", res.N)
+	fmt.Printf("mean competency:        %.4f\n", in.MeanCompetency())
+	fmt.Printf("P(correct), direct:     %.4f\n", res.PD)
+	fmt.Printf("P(correct), delegated:  %.4f\n", res.PM)
+	fmt.Printf("gain:                   %+.4f  (95%% CI %.4f..%.4f)\n", res.Gain, res.GainLo, res.GainHi)
+	fmt.Printf("mean delegators:        %.1f of %d\n", res.MeanDelegators, res.N)
+	fmt.Printf("mean sinks:             %.1f (max weight %d)\n", res.MeanSinks, res.MaxMaxWeight)
+	fmt.Println()
+	fmt.Println("Liquid democracy wins here because delegation concentrates the")
+	fmt.Println("decision on the most competent voters while the spread across")
+	fmt.Println("many sinks preserves enough variance to avoid dictatorship.")
+}

@@ -1,0 +1,214 @@
+package liquid
+
+import (
+	"math"
+	"testing"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/localsim"
+	"liquid/internal/mechanism"
+	"liquid/internal/power"
+	"liquid/internal/recycle"
+	"liquid/internal/rng"
+)
+
+// TestEndToEndPipeline exercises the whole stack on one instance: graph
+// generation, mechanism, distributed execution (with faulty links),
+// centralized resolution, exact and Monte-Carlo election scoring, power
+// metrics, and the recycle-sampling correspondence.
+func TestEndToEndPipeline(t *testing.T) {
+	const (
+		n     = 120
+		alpha = 0.04
+		seed  = 2024
+	)
+	root := rng.New(seed)
+
+	// 1. A small-world voting graph and bounded competencies.
+	top, err := graph.WattsStrogatz(n, 8, 0.15, root.DeriveString("graph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, n)
+	comp := root.DeriveString("comp")
+	for i := range p {
+		p[i] = 0.30 + 0.19*comp.Float64()
+	}
+	in, err := core.NewInstance(top, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (core.PropertySet{
+		core.BoundedCompetency{Beta: 0.25},
+		core.PlausibleChangeability{A: 0.3},
+	}).Check(in); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. The mechanism runs distributedly over a lossy network...
+	dist, err := localsim.RunReliableDelegation(in, alpha, localsim.ThresholdRule(nil), seed, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.Delegation.ValidateLocal(in, alpha); err != nil {
+		t.Fatal(err)
+	}
+	// ...and its weights agree with the centralized resolution.
+	res, err := dist.Delegation.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		want := 0
+		if res.SinkOf[v] == v {
+			want = res.Weight[v]
+		}
+		if dist.Weights[v] != want {
+			t.Fatalf("distributed weight mismatch at %d", v)
+		}
+	}
+
+	// 3. Exact and Monte-Carlo scoring agree.
+	exact, err := election.ResolutionProbabilityExact(in, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := election.ResolutionProbabilityMC(in, res, 60000, root.DeriveString("mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-mc) > 0.02 {
+		t.Fatalf("exact %v vs MC %v", exact, mc)
+	}
+
+	// 4. Delegation gains over direct voting in this regime.
+	pd, err := election.DirectProbabilityExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact <= pd {
+		t.Fatalf("expected gain: P^M %v vs P^D %v", exact, pd)
+	}
+
+	// 5. Power metrics are consistent with the resolution.
+	sinkWeights := make([]int, 0, len(res.Sinks))
+	for _, sk := range res.Sinks {
+		sinkWeights = append(sinkWeights, res.Weight[sk])
+	}
+	w := power.FromInts(sinkWeights)
+	if got := int(w.Total()); got != n {
+		t.Fatalf("power total %d, want %d", got, n)
+	}
+	nak, err := w.Nakamoto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nak < 1 || nak > len(res.Sinks) {
+		t.Fatalf("Nakamoto %d outside [1, %d]", nak, len(res.Sinks))
+	}
+
+	// 6. The recycle-sampling correspondence holds on the complete-graph
+	// version of the same competency vector: realized sums respect the
+	// Lemma 2 bound in the vast majority of draws.
+	kin, err := core.NewInstance(graph.NewComplete(n), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := recycle.FromCompleteDelegation(kin, alpha, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := rg.Lemma2Bound(1.0)
+	viol := 0
+	const draws = 200
+	rs := root.DeriveString("recycle")
+	for i := 0; i < draws; i++ {
+		if float64(rg.RealizeSum(rs)) < bound {
+			viol++
+		}
+	}
+	if viol > draws/10 {
+		t.Fatalf("Lemma 2 bound violated in %d/%d draws", viol, draws)
+	}
+}
+
+// TestAdversarialMechanismsAreContained verifies the typed-error contract
+// end to end: broken mechanisms cannot silently corrupt results.
+func TestAdversarialMechanismsAreContained(t *testing.T) {
+	in, err := core.NewInstance(graph.NewComplete(8), []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := election.EvaluateMechanism(in, mechanism.CycleForcing{}, election.Options{
+		Replications: 2, Seed: 1,
+	}); err == nil {
+		t.Fatal("cycle-forcing mechanism not rejected")
+	}
+	d, err := mechanism.NonLocal{}.Apply(in, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On K_n NonLocal is technically local; on a star it is not.
+	star, err := graph.Star(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starIn, err := core.NewInstance(star, []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = mechanism.NonLocal{}.Apply(starIn, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ValidateLocal(starIn, 0.01); err == nil {
+		t.Fatal("non-local delegation passed validation on a star")
+	}
+}
+
+// TestLargeScaleSmoke exercises the implicit-K_n fast paths at a scale the
+// theory cares about: 100k voters, mechanism application, resolution, and
+// Monte-Carlo scoring. Guarded by -short.
+func TestLargeScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 100000
+	root := rng.New(555)
+	p := make([]float64, n)
+	comp := root.DeriveString("comp")
+	for i := range p {
+		p[i] = 0.30 + 0.19*comp.Float64()
+	}
+	in, err := core.NewInstance(graph.NewComplete(n), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := (mechanism.ApprovalThreshold{Alpha: 0.05}).Apply(in, root.DeriveString("mech"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delegators < n/2 {
+		t.Fatalf("expected heavy delegation, got %d", res.Delegators)
+	}
+	total := 0
+	for _, sk := range res.Sinks {
+		total += res.Weight[sk]
+	}
+	if total != n {
+		t.Fatalf("weights sum to %d, want %d", total, n)
+	}
+	pm, err := election.ResolutionProbabilityMC(in, res, 400, root.DeriveString("mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm < 0 || pm > 1 {
+		t.Fatalf("P^M = %v", pm)
+	}
+}

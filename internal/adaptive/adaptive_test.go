@@ -1,0 +1,127 @@
+package adaptive
+
+import (
+	"errors"
+	"testing"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+func testInstance(t *testing.T, n int, lo, hi float64, seed uint64) *core.Instance {
+	t.Helper()
+	s := rng.New(seed)
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = lo + (hi-lo)*s.Float64()
+	}
+	in, err := core.NewInstance(graph.NewComplete(n), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestRunValidation(t *testing.T) {
+	in := testInstance(t, 5, 0.3, 0.6, 1)
+	if _, err := Run(in, Options{Issues: 0, Alpha: 0.1}); !errors.Is(err, ErrInvalidSequence) {
+		t.Error("issues=0 accepted")
+	}
+	if _, err := Run(in, Options{Issues: 3, Alpha: -1}); !errors.Is(err, ErrInvalidSequence) {
+		t.Error("negative alpha accepted")
+	}
+	empty, err := core.NewInstance(graph.NewComplete(0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(empty, Options{Issues: 3, Alpha: 0.1}); !errors.Is(err, ErrInvalidSequence) {
+		t.Error("empty instance accepted")
+	}
+}
+
+func TestWarmupIsDirect(t *testing.T) {
+	in := testInstance(t, 51, 0.3, 0.49, 2)
+	seq, err := Run(in, Options{Issues: 3, Alpha: 0.05, Warmup: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Steps) != 3 {
+		t.Fatalf("steps %d", len(seq.Steps))
+	}
+	for i := 0; i < 2; i++ {
+		if seq.Steps[i].Delegators != 0 {
+			t.Fatalf("warmup issue %d delegated", i)
+		}
+		if seq.Steps[i].ProbCorrect != seq.DirectProb {
+			t.Fatalf("warmup prob %v != direct %v", seq.Steps[i].ProbCorrect, seq.DirectProb)
+		}
+	}
+}
+
+func TestLearningImprovesAccuracy(t *testing.T) {
+	// SPG regime: after enough issues the community should decide far
+	// better than direct voting, and better than in its early days.
+	in := testInstance(t, 151, 0.30, 0.49, 4)
+	seq, err := Run(in, Options{Issues: 120, Alpha: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := seq.MeanProb(1, 11)
+	late := seq.MeanProb(110, 120)
+	if late <= early {
+		t.Fatalf("no learning: early %v late %v", early, late)
+	}
+	if late <= seq.DirectProb {
+		t.Fatalf("late accuracy %v should beat direct %v", late, seq.DirectProb)
+	}
+}
+
+func TestMisdelegationFallsOverTime(t *testing.T) {
+	in := testInstance(t, 101, 0.30, 0.49, 6)
+	seq, err := Run(in, Options{Issues: 200, Alpha: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var early, late float64
+	for _, st := range seq.Steps[1:21] {
+		early += st.Misdelegation
+	}
+	for _, st := range seq.Steps[180:200] {
+		late += st.Misdelegation
+	}
+	if late >= early {
+		t.Fatalf("misdelegation did not fall: early %v late %v", early/20, late/20)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	in := testInstance(t, 41, 0.3, 0.6, 8)
+	a, err := Run(in, Options{Issues: 10, Alpha: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(in, Options{Issues: 10, Alpha: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
+			t.Fatalf("step %d differs: %+v vs %+v", i, a.Steps[i], b.Steps[i])
+		}
+	}
+}
+
+func TestMeanProbBounds(t *testing.T) {
+	in := testInstance(t, 31, 0.3, 0.6, 10)
+	seq, err := Run(in, Options{Issues: 5, Alpha: 0.05, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.MeanProb(-5, 100) == 0 {
+		t.Fatal("clamped range should still average")
+	}
+	if seq.MeanProb(4, 2) != 0 {
+		t.Fatal("empty range should be 0")
+	}
+}

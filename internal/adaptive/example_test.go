@@ -1,0 +1,35 @@
+package adaptive_test
+
+import (
+	"fmt"
+
+	"liquid/internal/adaptive"
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+// Example runs a short adaptive sequence: the community's accuracy rises
+// as track records accumulate.
+func Example() {
+	s := rng.New(5)
+	p := make([]float64, 151)
+	for i := range p {
+		p[i] = 0.30 + 0.19*s.Float64()
+	}
+	in, err := core.NewInstance(graph.NewComplete(len(p)), p)
+	if err != nil {
+		panic(err)
+	}
+	seq, err := adaptive.Run(in, adaptive.Options{Issues: 60, Alpha: 0.05, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	early := seq.MeanProb(1, 11)
+	late := seq.MeanProb(50, 60)
+	fmt.Println("learns over time:", late > early)
+	fmt.Println("ends above direct voting:", late > seq.DirectProb)
+	// Output:
+	// learns over time: true
+	// ends above direct voting: true
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+)
+
+// CyclePolicy selects how Resolve treats delegation cycles, which can arise
+// in deployed systems that do not enforce the paper's alpha > 0 margin
+// (e.g. mutual delegation pacts in LiquidFeedback-style platforms).
+type CyclePolicy int
+
+const (
+	// CycleError rejects cyclic graphs (the default Resolve behaviour,
+	// matching the paper's acyclicity guarantee).
+	CycleError CyclePolicy = iota + 1
+	// CycleAbstain discards the votes of all voters whose chain ends in a
+	// cycle (LiquidFeedback semantics: a delegation loop casts no ballot).
+	CycleAbstain
+	// CycleDirect makes every voter inside a cycle vote directly, keeping
+	// chains that lead into the cycle attached to those voters.
+	CycleDirect
+)
+
+// ResolveWithPolicy resolves the delegation graph under the given cycle
+// policy (unit initial weights). With CycleError it is identical to
+// Resolve.
+func (d *DelegationGraph) ResolveWithPolicy(policy CyclePolicy) (*Resolution, error) {
+	switch policy {
+	case 0, CycleError:
+		return d.Resolve()
+	case CycleAbstain, CycleDirect:
+	default:
+		return nil, fmt.Errorf("%w: unknown cycle policy %d", ErrInvalidDelegation, policy)
+	}
+
+	cycleMember := d.cycleMembers()
+	any := false
+	for _, c := range cycleMember {
+		if c {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return d.Resolve()
+	}
+
+	// Build a sanitized copy in which cycle members vote directly, then
+	// resolve it; this is already the CycleDirect answer.
+	fixed := &DelegationGraph{
+		Delegate: append([]int(nil), d.Delegate...),
+	}
+	if d.Abstained != nil {
+		fixed.Abstained = append([]bool(nil), d.Abstained...)
+	}
+	for v, inCycle := range cycleMember {
+		if !inCycle {
+			continue
+		}
+		fixed.Delegate[v] = NoDelegate
+		if fixed.Abstained != nil {
+			fixed.Abstained[v] = false
+		}
+	}
+	res, err := fixed.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	if policy == CycleAbstain {
+		// LiquidFeedback semantics: every vote whose chain drains into a
+		// cycle is discarded — the cycle members' own votes and everything
+		// delegated into them.
+		for v := range res.SinkOf {
+			sk := res.SinkOf[v]
+			if sk == NoDelegate || !cycleMember[sk] {
+				continue
+			}
+			res.SinkOf[v] = NoDelegate
+			res.TotalWeight--
+			if v != sk {
+				// v delegated into the cycle; it still counts as a
+				// delegator either way, nothing else to adjust.
+				continue
+			}
+		}
+		res.Sinks = res.Sinks[:0]
+		res.MaxWeight = 0
+		for v := range res.Weight {
+			if cycleMember[v] {
+				res.Weight[v] = 0
+				continue
+			}
+			if res.SinkOf[v] == v {
+				res.Sinks = append(res.Sinks, v)
+				if res.Weight[v] > res.MaxWeight {
+					res.MaxWeight = res.Weight[v]
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// cycleMembers returns, for each voter, whether it lies ON a delegation
+// cycle (not merely upstream of one). Since out-degree is at most 1, every
+// cycle is reachable by walking forward; a vertex is a cycle member iff
+// walking from it returns to it.
+func (d *DelegationGraph) cycleMembers() []bool {
+	n := len(d.Delegate)
+	member := make([]bool, n)
+	state := make([]int8, n) // 0 unknown, 1 on current walk, 2 done
+	walk := make([]int, 0, 64)
+	for start := 0; start < n; start++ {
+		if state[start] != 0 {
+			continue
+		}
+		walk = walk[:0]
+		v := start
+		for v != NoDelegate && state[v] == 0 {
+			state[v] = 1
+			walk = append(walk, v)
+			v = d.Delegate[v]
+		}
+		if v != NoDelegate && state[v] == 1 {
+			// Found a new cycle: everything on the walk from v onward is a
+			// member.
+			inCycle := false
+			for _, u := range walk {
+				if u == v {
+					inCycle = true
+				}
+				if inCycle {
+					member[u] = true
+				}
+			}
+		}
+		for _, u := range walk {
+			state[u] = 2
+		}
+	}
+	return member
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"liquid/internal/rng"
+)
+
+// cyclicGraph builds: 0 -> 1 -> 2 -> 0 (a 3-cycle), 3 -> 0 (drains into
+// the cycle), 4 -> 5 (normal chain), 6 direct.
+func cyclicGraph(t *testing.T) *DelegationGraph {
+	t.Helper()
+	d := NewDelegationGraph(7)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 0}, {4, 5}} {
+		if err := d.SetDelegate(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestCycleMembersDetection(t *testing.T) {
+	d := cyclicGraph(t)
+	member := d.cycleMembers()
+	want := []bool{true, true, true, false, false, false, false}
+	for v := range want {
+		if member[v] != want[v] {
+			t.Fatalf("cycleMembers = %v, want %v", member, want)
+		}
+	}
+}
+
+func TestResolveWithPolicyError(t *testing.T) {
+	d := cyclicGraph(t)
+	if _, err := d.ResolveWithPolicy(CycleError); !errors.Is(err, ErrCyclicDelegation) {
+		t.Fatalf("err = %v", err)
+	}
+	// Zero value behaves like CycleError.
+	if _, err := d.ResolveWithPolicy(0); !errors.Is(err, ErrCyclicDelegation) {
+		t.Fatalf("zero policy err = %v", err)
+	}
+	if _, err := d.ResolveWithPolicy(CyclePolicy(99)); !errors.Is(err, ErrInvalidDelegation) {
+		t.Fatalf("unknown policy err = %v", err)
+	}
+}
+
+func TestResolveWithPolicyDirect(t *testing.T) {
+	d := cyclicGraph(t)
+	res, err := d.ResolveWithPolicy(CycleDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle members 0,1,2 vote directly; 3's vote reaches 0.
+	if res.Weight[0] != 2 || res.Weight[1] != 1 || res.Weight[2] != 1 {
+		t.Fatalf("weights %v", res.Weight[:3])
+	}
+	if res.TotalWeight != 7 {
+		t.Fatalf("total %d, want 7 (no votes lost)", res.TotalWeight)
+	}
+	if res.Weight[5] != 2 || res.Weight[6] != 1 {
+		t.Fatalf("normal chain weights wrong: %v", res.Weight)
+	}
+}
+
+func TestResolveWithPolicyAbstain(t *testing.T) {
+	d := cyclicGraph(t)
+	res, err := d.ResolveWithPolicy(CycleAbstain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Votes of 0,1,2 (cycle) and 3 (drains into it) are discarded.
+	if res.TotalWeight != 3 {
+		t.Fatalf("total %d, want 3", res.TotalWeight)
+	}
+	for _, v := range []int{0, 1, 2, 3} {
+		if res.SinkOf[v] != NoDelegate {
+			t.Fatalf("voter %d should have lost its vote", v)
+		}
+	}
+	if res.Weight[0] != 0 {
+		t.Fatalf("cycle member retained weight %d", res.Weight[0])
+	}
+	// The healthy part is untouched.
+	if res.Weight[5] != 2 || res.Weight[6] != 1 {
+		t.Fatalf("weights %v", res.Weight)
+	}
+	// Sinks: only 5 and 6.
+	if len(res.Sinks) != 2 || res.Sinks[0] != 5 || res.Sinks[1] != 6 {
+		t.Fatalf("sinks %v", res.Sinks)
+	}
+	if res.MaxWeight != 2 {
+		t.Fatalf("max weight %d", res.MaxWeight)
+	}
+}
+
+func TestResolveWithPolicyAcyclicPassthrough(t *testing.T) {
+	d := NewDelegationGraph(4)
+	if err := d.SetDelegate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []CyclePolicy{CycleError, CycleAbstain, CycleDirect} {
+		res, err := d.ResolveWithPolicy(policy)
+		if err != nil {
+			t.Fatalf("policy %d: %v", policy, err)
+		}
+		if res.TotalWeight != 4 || res.Weight[1] != 2 {
+			t.Fatalf("policy %d: resolution %+v", policy, res)
+		}
+	}
+}
+
+func TestResolveWithPolicySelfContainedTwoCycle(t *testing.T) {
+	d := NewDelegationGraph(2)
+	if err := d.SetDelegate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetDelegate(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.ResolveWithPolicy(CycleAbstain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWeight != 0 || len(res.Sinks) != 0 {
+		t.Fatalf("everyone in the cycle: %+v", res)
+	}
+	res, err = d.ResolveWithPolicy(CycleDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWeight != 2 || len(res.Sinks) != 2 {
+		t.Fatalf("direct policy: %+v", res)
+	}
+}
+
+func TestQuickCyclePolicyInvariants(t *testing.T) {
+	// For arbitrary functional graphs (any Delegate assignment without
+	// self-loops): CycleDirect preserves total weight n; CycleAbstain's
+	// total equals n minus the voters draining into cycles; both agree with
+	// plain Resolve on acyclic graphs.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		s := rng.New(seed)
+		d := NewDelegationGraph(n)
+		for i := 0; i < n; i++ {
+			if s.Bernoulli(0.7) {
+				j := s.IntN(n - 1)
+				if j >= i {
+					j++
+				}
+				if err := d.SetDelegate(i, j); err != nil {
+					return false
+				}
+			}
+		}
+		direct, err := d.ResolveWithPolicy(CycleDirect)
+		if err != nil {
+			return false
+		}
+		if direct.TotalWeight != n {
+			return false
+		}
+		abstain, err := d.ResolveWithPolicy(CycleAbstain)
+		if err != nil {
+			return false
+		}
+		if abstain.TotalWeight > n {
+			return false
+		}
+		// Every vote in the abstain resolution must map to a real sink.
+		for v := 0; v < n; v++ {
+			if sk := abstain.SinkOf[v]; sk != NoDelegate && abstain.SinkOf[sk] != sk {
+				return false
+			}
+		}
+		// Weights are consistent with SinkOf counts.
+		counts := make([]int, n)
+		for v := 0; v < n; v++ {
+			if sk := abstain.SinkOf[v]; sk != NoDelegate {
+				counts[sk]++
+			}
+		}
+		for v := 0; v < n; v++ {
+			if counts[v] != abstain.Weight[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

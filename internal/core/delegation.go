@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+)
+
+// NoDelegate marks a voter that votes directly in a DelegationGraph.
+const NoDelegate = -1
+
+// DelegationGraph is one realized output of a delegation mechanism: each
+// voter either delegates to exactly one other voter or votes directly.
+// Voters may additionally abstain (Section 6 extension); the model only
+// permits abstention for voters that could delegate, and an abstaining
+// voter contributes no weight anywhere.
+type DelegationGraph struct {
+	// Delegate[i] is the voter i delegates to, or NoDelegate.
+	Delegate []int
+	// Abstained[i] reports whether voter i abstained. Nil means nobody
+	// abstained.
+	Abstained []bool
+}
+
+// NewDelegationGraph returns a delegation graph on n voters in which every
+// voter votes directly.
+func NewDelegationGraph(n int) *DelegationGraph {
+	d := &DelegationGraph{Delegate: make([]int, n)}
+	for i := range d.Delegate {
+		d.Delegate[i] = NoDelegate
+	}
+	return d
+}
+
+// N returns the number of voters.
+func (d *DelegationGraph) N() int { return len(d.Delegate) }
+
+// SetDelegate records that voter i delegates to voter j. It returns an
+// error if either index is out of range or i == j (self-delegation is
+// represented as NoDelegate).
+func (d *DelegationGraph) SetDelegate(i, j int) error {
+	n := len(d.Delegate)
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return fmt.Errorf("%w: edge (%d,%d) out of range [0,%d)", ErrInvalidDelegation, i, j, n)
+	}
+	if i == j {
+		return fmt.Errorf("%w: self-delegation at voter %d", ErrInvalidDelegation, i)
+	}
+	d.Delegate[i] = j
+	return nil
+}
+
+// SetAbstained marks voter i as abstaining. Abstention is only valid for
+// voters that delegate (checked at Resolve time).
+func (d *DelegationGraph) SetAbstained(i int) {
+	if d.Abstained == nil {
+		d.Abstained = make([]bool, len(d.Delegate))
+	}
+	d.Abstained[i] = true
+}
+
+// NumDelegators counts voters with a delegation edge (including abstainers,
+// who by definition could have delegated).
+func (d *DelegationGraph) NumDelegators() int {
+	count := 0
+	for i, j := range d.Delegate {
+		if j != NoDelegate {
+			count++
+		} else if d.abstained(i) {
+			count++
+		}
+	}
+	return count
+}
+
+func (d *DelegationGraph) abstained(i int) bool {
+	return d.Abstained != nil && d.Abstained[i]
+}
+
+// Resolution is the outcome of following every delegation chain to its
+// sink.
+type Resolution struct {
+	// SinkOf[i] is the sink voter whose vote represents voter i, or
+	// NoDelegate if voter i abstained.
+	SinkOf []int
+	// Sinks lists the distinct sinks in ascending order.
+	Sinks []int
+	// Weight[s] is the number of votes sink s casts (including its own);
+	// zero for non-sinks.
+	Weight []int
+	// MaxWeight is the largest sink weight (the Lemma 5 quantity).
+	MaxWeight int
+	// TotalWeight is the number of non-abstaining voters.
+	TotalWeight int
+	// LongestChain is the maximum number of delegation hops from any voter
+	// to its sink (0 when everybody votes directly).
+	LongestChain int
+	// Delegators is the number of voters that delegated or abstained.
+	Delegators int
+}
+
+// Resolve follows all delegation chains, verifying acyclicity. Mechanisms
+// that delegate only into approval sets with alpha > 0 always produce
+// acyclic graphs (the paper's observation in Section 2.2); Resolve rejects
+// anything else with ErrCyclicDelegation.
+func (d *DelegationGraph) Resolve() (*Resolution, error) {
+	return d.ResolveWithWeights(nil)
+}
+
+// ResolveWithWeights resolves the delegation graph with non-uniform initial
+// voting power (e.g. token balances in DAO governance): voter i contributes
+// initial[i] votes to its sink. A nil slice means one vote per voter
+// (the paper's model). Initial weights must be non-negative.
+func (d *DelegationGraph) ResolveWithWeights(initial []int) (*Resolution, error) {
+	n := len(d.Delegate)
+	if initial != nil {
+		if len(initial) != n {
+			return nil, fmt.Errorf("%w: %d initial weights for %d voters", ErrInvalidDelegation, len(initial), n)
+		}
+		for i, w := range initial {
+			if w < 0 {
+				return nil, fmt.Errorf("%w: negative initial weight %d for voter %d", ErrInvalidDelegation, w, i)
+			}
+		}
+	}
+	res := &Resolution{
+		SinkOf: make([]int, n),
+		Weight: make([]int, n),
+	}
+	// depth[i]: number of hops from i to its sink; -1 unknown, -2 on stack.
+	const (
+		unknown = -1
+		onStack = -2
+	)
+	depth := make([]int, n)
+	sink := make([]int, n)
+	for i := range depth {
+		depth[i] = unknown
+		sink[i] = NoDelegate
+	}
+
+	var stack []int
+	for start := 0; start < n; start++ {
+		if depth[start] != unknown {
+			continue
+		}
+		v := start
+		stack = stack[:0]
+		for depth[v] == unknown {
+			if j := d.Delegate[v]; j == NoDelegate {
+				depth[v] = 0
+				sink[v] = v
+			} else {
+				depth[v] = onStack
+				stack = append(stack, v)
+				v = j
+				if depth[v] == onStack {
+					return nil, fmt.Errorf("%w: cycle through voter %d", ErrCyclicDelegation, v)
+				}
+			}
+		}
+		// depth[v] is now resolved; unwind the stack.
+		for k := len(stack) - 1; k >= 0; k-- {
+			u := stack[k]
+			next := d.Delegate[u]
+			depth[u] = depth[next] + 1
+			sink[u] = sink[next]
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if d.abstained(i) {
+			if d.Delegate[i] == NoDelegate {
+				return nil, fmt.Errorf("%w: voter %d abstained without a delegation option", ErrInvalidDelegation, i)
+			}
+			res.SinkOf[i] = NoDelegate
+			res.Delegators++
+			continue
+		}
+		res.SinkOf[i] = sink[i]
+		wi := 1
+		if initial != nil {
+			wi = initial[i]
+		}
+		res.Weight[sink[i]] += wi
+		res.TotalWeight += wi
+		if d.Delegate[i] != NoDelegate {
+			res.Delegators++
+		}
+		if depth[i] > res.LongestChain {
+			res.LongestChain = depth[i]
+		}
+	}
+	for v := 0; v < n; v++ {
+		if res.SinkOf[v] != v {
+			continue
+		}
+		res.Sinks = append(res.Sinks, v)
+		if res.Weight[v] > res.MaxWeight {
+			res.MaxWeight = res.Weight[v]
+		}
+	}
+	return res, nil
+}
+
+// ValidateLocal checks that every delegation edge of d is local (goes to a
+// neighbor in the instance topology) and approval-consistent at margin
+// alpha. It is used to reject adversarial mechanisms in tests and in the
+// LOCAL simulator.
+func (d *DelegationGraph) ValidateLocal(in *Instance, alpha float64) error {
+	if len(d.Delegate) != in.N() {
+		return fmt.Errorf("%w: delegation graph size %d vs instance %d", ErrInvalidDelegation, len(d.Delegate), in.N())
+	}
+	for i, j := range d.Delegate {
+		if j == NoDelegate {
+			continue
+		}
+		if !in.Topology().HasEdge(i, j) {
+			return fmt.Errorf("%w: voter %d delegated to non-neighbor %d", ErrInvalidDelegation, i, j)
+		}
+		if !in.Approves(i, j, alpha) {
+			return fmt.Errorf("%w: voter %d delegated to unapproved voter %d", ErrInvalidDelegation, i, j)
+		}
+	}
+	return nil
+}

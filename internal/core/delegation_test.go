@@ -1,0 +1,306 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+func TestResolveAllDirect(t *testing.T) {
+	d := NewDelegationGraph(4)
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sinks) != 4 || res.MaxWeight != 1 || res.Delegators != 0 {
+		t.Fatalf("resolution %+v", res)
+	}
+	if res.TotalWeight != 4 || res.LongestChain != 0 {
+		t.Fatalf("resolution %+v", res)
+	}
+	for i, s := range res.SinkOf {
+		if s != i {
+			t.Fatalf("SinkOf[%d] = %d", i, s)
+		}
+	}
+}
+
+func TestResolveChain(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3 (sink), 4 direct.
+	d := NewDelegationGraph(5)
+	for i := 0; i < 3; i++ {
+		if err := d.SetDelegate(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sinks) != 2 {
+		t.Fatalf("sinks %v", res.Sinks)
+	}
+	if res.Weight[3] != 4 || res.Weight[4] != 1 {
+		t.Fatalf("weights %v", res.Weight)
+	}
+	if res.MaxWeight != 4 || res.LongestChain != 3 || res.Delegators != 3 {
+		t.Fatalf("resolution %+v", res)
+	}
+	for i := 0; i <= 3; i++ {
+		if res.SinkOf[i] != 3 {
+			t.Fatalf("SinkOf[%d] = %d", i, res.SinkOf[i])
+		}
+	}
+}
+
+func TestResolveStarDictator(t *testing.T) {
+	// Everyone delegates to voter 0: the Figure 1 outcome.
+	const n = 9
+	d := NewDelegationGraph(n)
+	for i := 1; i < n; i++ {
+		if err := d.SetDelegate(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sinks) != 1 || res.Sinks[0] != 0 || res.MaxWeight != n {
+		t.Fatalf("resolution %+v", res)
+	}
+}
+
+func TestResolveDetectsCycles(t *testing.T) {
+	tests := []struct {
+		name  string
+		edges [][2]int
+	}{
+		{"2-cycle", [][2]int{{0, 1}, {1, 0}}},
+		{"3-cycle", [][2]int{{0, 1}, {1, 2}, {2, 0}}},
+		{"tail into cycle", [][2]int{{3, 0}, {0, 1}, {1, 2}, {2, 0}}},
+	}
+	for _, tt := range tests {
+		d := NewDelegationGraph(4)
+		for _, e := range tt.edges {
+			if err := d.SetDelegate(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := d.Resolve(); !errors.Is(err, ErrCyclicDelegation) {
+			t.Errorf("%s: err = %v, want ErrCyclicDelegation", tt.name, err)
+		}
+	}
+}
+
+func TestSetDelegateValidation(t *testing.T) {
+	d := NewDelegationGraph(3)
+	if err := d.SetDelegate(0, 0); !errors.Is(err, ErrInvalidDelegation) {
+		t.Error("self-delegation accepted")
+	}
+	if err := d.SetDelegate(-1, 2); !errors.Is(err, ErrInvalidDelegation) {
+		t.Error("negative index accepted")
+	}
+	if err := d.SetDelegate(0, 3); !errors.Is(err, ErrInvalidDelegation) {
+		t.Error("out-of-range target accepted")
+	}
+}
+
+func TestAbstention(t *testing.T) {
+	// 0 delegates to 1 but abstains; 1 votes directly.
+	d := NewDelegationGraph(3)
+	if err := d.SetDelegate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d.SetAbstained(0)
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWeight != 2 {
+		t.Fatalf("TotalWeight = %d, want 2", res.TotalWeight)
+	}
+	if res.SinkOf[0] != NoDelegate {
+		t.Fatal("abstainer should have no sink")
+	}
+	if res.Weight[1] != 1 {
+		t.Fatalf("weight of 1 = %d, abstained vote should not count", res.Weight[1])
+	}
+	if res.Delegators != 1 {
+		t.Fatalf("Delegators = %d", res.Delegators)
+	}
+}
+
+func TestAbstentionWithoutDelegationRejected(t *testing.T) {
+	// The paper's Section 6 model: only voters that can delegate may
+	// abstain.
+	d := NewDelegationGraph(2)
+	d.SetAbstained(0)
+	if _, err := d.Resolve(); !errors.Is(err, ErrInvalidDelegation) {
+		t.Fatalf("err = %v, want ErrInvalidDelegation", err)
+	}
+}
+
+func TestNumDelegators(t *testing.T) {
+	d := NewDelegationGraph(4)
+	if err := d.SetDelegate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetDelegate(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	d.SetAbstained(2)
+	if got := d.NumDelegators(); got != 2 {
+		t.Fatalf("NumDelegators = %d", got)
+	}
+}
+
+func TestValidateLocal(t *testing.T) {
+	g, err := graph.Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mustInstance(t, g, []float64{0.9, 0.2, 0.3, 0.4})
+	const alpha = 0.1
+
+	good := NewDelegationGraph(4)
+	if err := good.SetDelegate(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := good.ValidateLocal(in, alpha); err != nil {
+		t.Fatalf("valid delegation rejected: %v", err)
+	}
+
+	nonNeighbor := NewDelegationGraph(4)
+	if err := nonNeighbor.SetDelegate(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := nonNeighbor.ValidateLocal(in, alpha); !errors.Is(err, ErrInvalidDelegation) {
+		t.Fatalf("non-neighbor delegation: err = %v", err)
+	}
+
+	unapproved := NewDelegationGraph(4)
+	if err := unapproved.SetDelegate(0, 1); err != nil { // center to weaker leaf
+		t.Fatal(err)
+	}
+	if err := unapproved.ValidateLocal(in, alpha); !errors.Is(err, ErrInvalidDelegation) {
+		t.Fatalf("unapproved delegation: err = %v", err)
+	}
+
+	wrongSize := NewDelegationGraph(3)
+	if err := wrongSize.ValidateLocal(in, alpha); !errors.Is(err, ErrInvalidDelegation) {
+		t.Fatalf("size mismatch: err = %v", err)
+	}
+}
+
+func TestQuickResolveInvariants(t *testing.T) {
+	// For random "delegate upward" graphs (always acyclic), resolution
+	// weights must sum to n, every sink must map to itself, and the number
+	// of sinks must be n - delegators.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		s := rng.New(seed)
+		d := NewDelegationGraph(n)
+		delegators := 0
+		for i := 0; i < n-1; i++ {
+			if s.Bernoulli(0.6) {
+				// Delegate to any strictly higher index: acyclic.
+				if err := d.SetDelegate(i, i+1+s.IntN(n-i-1)); err != nil {
+					return false
+				}
+				delegators++
+			}
+		}
+		res, err := d.Resolve()
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, w := range res.Weight {
+			total += w
+		}
+		if total != n || res.TotalWeight != n {
+			return false
+		}
+		if res.Delegators != delegators {
+			return false
+		}
+		if len(res.Sinks) != n-delegators {
+			return false
+		}
+		for _, sk := range res.Sinks {
+			if res.SinkOf[sk] != sk || res.Weight[sk] < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveWithWeights(t *testing.T) {
+	// Token-weighted DAO vote: voter 0 holds 10 tokens and delegates to 2;
+	// voter 1 holds 0 tokens.
+	d := NewDelegationGraph(3)
+	if err := d.SetDelegate(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.ResolveWithWeights([]int{10, 0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight[2] != 15 {
+		t.Fatalf("sink 2 weight %d, want 15", res.Weight[2])
+	}
+	if res.Weight[1] != 0 {
+		t.Fatalf("sink 1 weight %d, want 0", res.Weight[1])
+	}
+	if res.TotalWeight != 15 {
+		t.Fatalf("total weight %d, want 15", res.TotalWeight)
+	}
+	if res.MaxWeight != 15 {
+		t.Fatalf("max weight %d", res.MaxWeight)
+	}
+	// Voter 1 is still a sink (it votes), just with zero power.
+	if len(res.Sinks) != 2 {
+		t.Fatalf("sinks %v", res.Sinks)
+	}
+}
+
+func TestResolveWithWeightsValidation(t *testing.T) {
+	d := NewDelegationGraph(2)
+	if _, err := d.ResolveWithWeights([]int{1}); !errors.Is(err, ErrInvalidDelegation) {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := d.ResolveWithWeights([]int{1, -2}); !errors.Is(err, ErrInvalidDelegation) {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestResolveWithNilWeightsMatchesResolve(t *testing.T) {
+	d := NewDelegationGraph(4)
+	if err := d.SetDelegate(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.ResolveWithWeights([]int{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Weight {
+		if a.Weight[v] != b.Weight[v] {
+			t.Fatalf("weights differ at %d", v)
+		}
+	}
+	if a.TotalWeight != b.TotalWeight || a.MaxWeight != b.MaxWeight {
+		t.Fatal("aggregate weights differ")
+	}
+}

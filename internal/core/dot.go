@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders a delegation graph in Graphviz DOT format for
+// visualization: sinks are drawn as double circles labeled with their
+// accumulated weight, delegators as plain circles, and abstainers dashed.
+// Node labels carry the voter id and competency.
+func WriteDOT(w io.Writer, in *Instance, d *DelegationGraph) error {
+	if d.N() != in.N() {
+		return fmt.Errorf("%w: delegation graph size %d vs instance %d", ErrInvalidDelegation, d.N(), in.N())
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph delegation {")
+	fmt.Fprintln(bw, "  rankdir=BT;")
+	fmt.Fprintln(bw, "  node [fontsize=10];")
+	for v := 0; v < in.N(); v++ {
+		attrs := fmt.Sprintf(`label="v%d\np=%.3f"`, v+1, in.Competency(v))
+		switch {
+		case d.Abstained != nil && d.Abstained[v]:
+			attrs += ` shape=circle style=dashed`
+		case res.SinkOf[v] == v:
+			attrs += fmt.Sprintf(` shape=doublecircle xlabel="w=%d"`, res.Weight[v])
+		default:
+			attrs += ` shape=circle`
+		}
+		fmt.Fprintf(bw, "  v%d [%s];\n", v, attrs)
+	}
+	for v, j := range d.Delegate {
+		if j == NoDelegate {
+			continue
+		}
+		style := ""
+		if d.Abstained != nil && d.Abstained[v] {
+			style = " [style=dashed]"
+		}
+		fmt.Fprintf(bw, "  v%d -> v%d%s;\n", v, j, style)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"liquid/internal/graph"
+)
+
+func TestWriteDOT(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(3), []float64{0.9, 0.5, 0.3})
+	d := NewDelegationGraph(3)
+	if err := d.SetDelegate(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetDelegate(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, in, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph delegation {",
+		"doublecircle",
+		`xlabel="w=3"`,
+		"v1 -> v0;",
+		"v2 -> v0;",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTAbstainer(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(2), []float64{0.9, 0.3})
+	d := NewDelegationGraph(2)
+	if err := d.SetDelegate(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.SetAbstained(1)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, in, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "style=dashed") {
+		t.Fatal("abstainer should be dashed")
+	}
+}
+
+func TestWriteDOTSizeMismatch(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(2), []float64{0.5, 0.5})
+	d := NewDelegationGraph(3)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, in, d); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestWriteDOTCyclicRejected(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(2), []float64{0.5, 0.5})
+	d := NewDelegationGraph(2)
+	if err := d.SetDelegate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetDelegate(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, in, d); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"liquid/internal/graph"
+)
+
+// instanceJSON is the on-disk representation of a problem instance.
+type instanceJSON struct {
+	N        int       `json:"n"`
+	Complete bool      `json:"complete,omitempty"`
+	Edges    [][2]int  `json:"edges,omitempty"`
+	P        []float64 `json:"p"`
+}
+
+// WriteInstance serializes the instance as JSON. Complete topologies are
+// stored as a flag instead of n^2 edges.
+func WriteInstance(w io.Writer, in *Instance) error {
+	spec := instanceJSON{
+		N: in.N(),
+		P: in.Competencies(),
+	}
+	if _, ok := in.Topology().(graph.Complete); ok {
+		spec.Complete = true
+	} else {
+		for v := 0; v < in.N(); v++ {
+			for _, u := range in.Topology().Neighbors(v) {
+				if v < u {
+					spec.Edges = append(spec.Edges, [2]int{v, u})
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(spec)
+}
+
+// ReadInstance parses an instance written by WriteInstance.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	var spec instanceJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInstance, err)
+	}
+	if spec.N < 0 {
+		return nil, fmt.Errorf("%w: negative n %d", ErrInvalidInstance, spec.N)
+	}
+	var top graph.Topology
+	if spec.Complete {
+		if len(spec.Edges) > 0 {
+			return nil, fmt.Errorf("%w: complete flag with explicit edges", ErrInvalidInstance)
+		}
+		top = graph.NewComplete(spec.N)
+	} else {
+		g, err := graph.NewGraphFromEdges(spec.N, spec.Edges)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidInstance, err)
+		}
+		top = g
+	}
+	return NewInstance(top, spec.P)
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"liquid/internal/graph"
+)
+
+func TestInstanceRoundTripExplicit(t *testing.T) {
+	g, err := graph.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{0.9, 0.1, 0.2, 0.3, 0.4}
+	in := mustInstance(t, g, p)
+
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 5 {
+		t.Fatalf("N = %d", back.N())
+	}
+	for i, want := range p {
+		if back.Competency(i) != want {
+			t.Fatalf("p[%d] = %v, want %v", i, back.Competency(i), want)
+		}
+	}
+	for v := 1; v < 5; v++ {
+		if !back.Topology().HasEdge(0, v) {
+			t.Fatalf("missing edge (0,%d)", v)
+		}
+	}
+	if back.Topology().HasEdge(1, 2) {
+		t.Fatal("phantom edge")
+	}
+}
+
+func TestInstanceRoundTripComplete(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(4), []float64{0.1, 0.2, 0.3, 0.4})
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Complete topologies serialize compactly (no edge list).
+	if strings.Contains(buf.String(), "edges") {
+		t.Fatalf("complete instance should not store edges: %s", buf.String())
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.Topology().(graph.Complete); !ok {
+		t.Fatal("complete flag lost in round trip")
+	}
+}
+
+func TestReadInstanceErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"garbage", "not json"},
+		{"negative n", `{"n": -1, "p": []}`},
+		{"complete with edges", `{"n": 3, "complete": true, "edges": [[0,1]], "p": [0.5,0.5,0.5]}`},
+		{"bad edge", `{"n": 2, "edges": [[0,5]], "p": [0.5,0.5]}`},
+		{"p length mismatch", `{"n": 3, "complete": true, "p": [0.5]}`},
+		{"p out of range", `{"n": 1, "complete": true, "p": [1.5]}`},
+	}
+	for _, tt := range tests {
+		if _, err := ReadInstance(strings.NewReader(tt.in)); !errors.Is(err, ErrInvalidInstance) {
+			t.Errorf("%s: err = %v", tt.name, err)
+		}
+	}
+}

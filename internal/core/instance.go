@@ -1,0 +1,211 @@
+// Package core implements the paper's voting model (Section 2): problem
+// instances G = (V, E, p), approval sets J(i) with margin alpha, graph
+// restrictions, delegation graphs with sink/weight resolution, and the
+// gain/loss bookkeeping shared by every mechanism and experiment.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+// Model errors. They wrap with %w so callers can match with errors.Is.
+var (
+	// ErrInvalidInstance reports malformed instance construction input.
+	ErrInvalidInstance = errors.New("core: invalid instance")
+	// ErrCyclicDelegation reports a delegation graph containing a cycle,
+	// which only an invalid (non-approval-based) mechanism can produce.
+	ErrCyclicDelegation = errors.New("core: cyclic delegation")
+	// ErrInvalidDelegation reports a structurally invalid delegation edge.
+	ErrInvalidDelegation = errors.New("core: invalid delegation")
+)
+
+// Instance is a problem instance G = (V, E, p): a topology on n voters and a
+// competency vector p where p[i] is voter i's probability of voting for the
+// correct outcome.
+type Instance struct {
+	top graph.Topology
+	p   []float64
+
+	// byCompetency holds voter ids sorted ascending by competency; used for
+	// O(log n) approval queries on complete topologies.
+	byCompetency []int
+	sortedP      []float64
+}
+
+// NewInstance validates the competency vector against the topology and
+// returns the instance. Each p must lie in [0, 1].
+func NewInstance(top graph.Topology, p []float64) (*Instance, error) {
+	if top == nil {
+		return nil, fmt.Errorf("%w: nil topology", ErrInvalidInstance)
+	}
+	if len(p) != top.N() {
+		return nil, fmt.Errorf("%w: %d competencies for %d voters", ErrInvalidInstance, len(p), top.N())
+	}
+	for i, v := range p {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return nil, fmt.Errorf("%w: p[%d] = %v not in [0,1]", ErrInvalidInstance, i, v)
+		}
+	}
+	in := &Instance{
+		top: top,
+		p:   append([]float64(nil), p...),
+	}
+	in.byCompetency = make([]int, len(p))
+	for i := range in.byCompetency {
+		in.byCompetency[i] = i
+	}
+	sort.SliceStable(in.byCompetency, func(a, b int) bool {
+		return in.p[in.byCompetency[a]] < in.p[in.byCompetency[b]]
+	})
+	in.sortedP = make([]float64, len(p))
+	for i, v := range in.byCompetency {
+		in.sortedP[i] = in.p[v]
+	}
+	return in, nil
+}
+
+// N returns the number of voters.
+func (in *Instance) N() int { return len(in.p) }
+
+// Topology returns the underlying voting graph.
+func (in *Instance) Topology() graph.Topology { return in.top }
+
+// Competency returns p[i].
+func (in *Instance) Competency(i int) float64 { return in.p[i] }
+
+// Competencies returns a copy of the competency vector.
+func (in *Instance) Competencies() []float64 {
+	return append([]float64(nil), in.p...)
+}
+
+// MeanCompetency returns (1/n) * sum p_i.
+func (in *Instance) MeanCompetency() float64 {
+	if len(in.p) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range in.p {
+		s += v
+	}
+	return s / float64(len(in.p))
+}
+
+// Approves reports whether voter i approves voter j at margin alpha:
+// p_j >= p_i + alpha, with j a neighbor of i and j != i.
+func (in *Instance) Approves(i, j int, alpha float64) bool {
+	if i == j || !in.top.HasEdge(i, j) {
+		return false
+	}
+	return in.p[j] >= in.p[i]+alpha
+}
+
+// ApprovalSet returns J(i), the neighbors of i that i approves at margin
+// alpha, in ascending vertex order.
+func (in *Instance) ApprovalSet(i int, alpha float64) []int {
+	var out []int
+	threshold := in.p[i] + alpha
+	for _, j := range in.top.Neighbors(i) {
+		if in.p[j] >= threshold {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ApprovalCount returns |J(i)| without materializing the set. On complete
+// topologies it answers in O(log n) using the competency order.
+func (in *Instance) ApprovalCount(i int, alpha float64) int {
+	if _, ok := in.top.(graph.Complete); ok {
+		return in.completeApprovalCount(i, alpha)
+	}
+	threshold := in.p[i] + alpha
+	count := 0
+	for _, j := range in.top.Neighbors(i) {
+		if in.p[j] >= threshold {
+			count++
+		}
+	}
+	return count
+}
+
+func (in *Instance) completeApprovalCount(i int, alpha float64) int {
+	threshold := in.p[i] + alpha
+	lo := sort.SearchFloat64s(in.sortedP, threshold)
+	count := len(in.sortedP) - lo
+	if alpha <= 0 && in.p[i] >= threshold {
+		count-- // exclude self, which the suffix includes when alpha <= 0
+	}
+	return count
+}
+
+// SampleApproved draws a uniformly random member of J(i), reporting ok =
+// false when the approval set is empty. On complete topologies the draw is
+// O(log n); otherwise it scans the neighborhood once (reservoir style, no
+// allocation).
+func (in *Instance) SampleApproved(i int, alpha float64, s *rng.Stream) (delegate int, ok bool) {
+	if _, isComplete := in.top.(graph.Complete); isComplete {
+		return in.completeSampleApproved(i, alpha, s)
+	}
+	threshold := in.p[i] + alpha
+	count := 0
+	pick := -1
+	for _, j := range in.top.Neighbors(i) {
+		if in.p[j] < threshold {
+			continue
+		}
+		count++
+		if s.IntN(count) == 0 {
+			pick = j
+		}
+	}
+	if count == 0 {
+		return -1, false
+	}
+	return pick, true
+}
+
+func (in *Instance) completeSampleApproved(i int, alpha float64, s *rng.Stream) (int, bool) {
+	threshold := in.p[i] + alpha
+	lo := sort.SearchFloat64s(in.sortedP, threshold)
+	n := len(in.sortedP)
+	if lo >= n {
+		return -1, false
+	}
+	selfInSuffix := alpha <= 0 && in.p[i] >= threshold
+	size := n - lo
+	if selfInSuffix {
+		size--
+	}
+	if size <= 0 {
+		return -1, false
+	}
+	for {
+		j := in.byCompetency[lo+s.IntN(n-lo)]
+		if j != i {
+			return j, true
+		}
+	}
+}
+
+// TopByCompetency returns the voter ids of the k most competent voters,
+// most competent first. k is clamped to [0, n].
+func (in *Instance) TopByCompetency(k int) []int {
+	n := len(in.byCompetency)
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, in.byCompetency[n-1-i])
+	}
+	return out
+}

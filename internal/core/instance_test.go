@@ -1,0 +1,295 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+func mustInstance(t *testing.T, top graph.Topology, p []float64) *Instance {
+	t.Helper()
+	in, err := NewInstance(top, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	top := graph.NewComplete(3)
+	tests := []struct {
+		name string
+		top  graph.Topology
+		p    []float64
+	}{
+		{"nil topology", nil, []float64{0.5}},
+		{"length mismatch", top, []float64{0.5}},
+		{"negative p", top, []float64{0.5, -0.1, 0.5}},
+		{"p above one", top, []float64{0.5, 1.1, 0.5}},
+		{"NaN", top, []float64{0.5, math.NaN(), 0.5}},
+	}
+	for _, tt := range tests {
+		if _, err := NewInstance(tt.top, tt.p); !errors.Is(err, ErrInvalidInstance) {
+			t.Errorf("%s: err = %v, want ErrInvalidInstance", tt.name, err)
+		}
+	}
+}
+
+func TestInstanceCopiesCompetencies(t *testing.T) {
+	p := []float64{0.1, 0.9}
+	in := mustInstance(t, graph.NewComplete(2), p)
+	p[0] = 0.8
+	if in.Competency(0) != 0.1 {
+		t.Fatal("instance should copy its competency vector")
+	}
+	got := in.Competencies()
+	got[1] = 0
+	if in.Competency(1) != 0.9 {
+		t.Fatal("Competencies should return a copy")
+	}
+}
+
+func TestApproves(t *testing.T) {
+	g, err := graph.Star(4) // center 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mustInstance(t, g, []float64{0.9, 0.5, 0.85, 0.1})
+	const alpha = 0.1
+	if !in.Approves(1, 0, alpha) {
+		t.Error("leaf 1 should approve center")
+	}
+	if in.Approves(0, 1, alpha) {
+		t.Error("center should not approve weaker leaf")
+	}
+	if in.Approves(0, 2, alpha) {
+		t.Error("0.85 is within alpha of 0.9")
+	}
+	if in.Approves(1, 2, alpha) {
+		t.Error("leaves are not adjacent in a star")
+	}
+	if in.Approves(1, 1, alpha) {
+		t.Error("self-approval")
+	}
+}
+
+func TestApprovalSetAndCount(t *testing.T) {
+	g, err := graph.CompleteExplicit(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	in := mustInstance(t, g, p)
+	tests := []struct {
+		voter int
+		alpha float64
+		want  []int
+	}{
+		{0, 0.1, []int{1, 2, 3, 4}},
+		{0, 0.25, []int{2, 3, 4}},
+		{2, 0.2, []int{3, 4}},
+		{2, 0.21, []int{4}},
+		{4, 0.1, nil},
+	}
+	for _, tt := range tests {
+		got := in.ApprovalSet(tt.voter, tt.alpha)
+		if len(got) != len(tt.want) {
+			t.Fatalf("ApprovalSet(%d, %v) = %v, want %v", tt.voter, tt.alpha, got, tt.want)
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Fatalf("ApprovalSet(%d, %v) = %v, want %v", tt.voter, tt.alpha, got, tt.want)
+			}
+		}
+		if c := in.ApprovalCount(tt.voter, tt.alpha); c != len(tt.want) {
+			t.Fatalf("ApprovalCount(%d, %v) = %d, want %d", tt.voter, tt.alpha, c, len(tt.want))
+		}
+	}
+}
+
+func TestCompleteApprovalFastPathMatchesExplicit(t *testing.T) {
+	s := rng.New(42)
+	const n = 60
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = s.Float64()
+	}
+	// Force some exact ties to exercise boundary handling.
+	p[5] = p[10]
+	p[7] = p[10]
+
+	expTop, err := graph.CompleteExplicit(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := mustInstance(t, expTop, p)
+	imp := mustInstance(t, graph.NewComplete(n), p)
+
+	for _, alpha := range []float64{0, 0.01, 0.1, 0.5, 1} {
+		for v := 0; v < n; v++ {
+			want := exp.ApprovalCount(v, alpha)
+			if got := imp.ApprovalCount(v, alpha); got != want {
+				t.Fatalf("alpha=%v voter=%d: fast count %d, scan count %d", alpha, v, got, want)
+			}
+		}
+	}
+}
+
+func TestSampleApprovedUniform(t *testing.T) {
+	g, err := graph.CompleteExplicit(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mustInstance(t, g, []float64{0.1, 0.6, 0.7, 0.8})
+	s := rng.New(1)
+	counts := make(map[int]int)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		j, ok := in.SampleApproved(0, 0.2, s)
+		if !ok {
+			t.Fatal("approval set should be nonempty")
+		}
+		counts[j]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("expected 3 distinct delegates, got %v", counts)
+	}
+	for j, c := range counts {
+		f := float64(c) / trials
+		if math.Abs(f-1.0/3) > 0.02 {
+			t.Fatalf("delegate %d frequency %v, want ~1/3", j, f)
+		}
+	}
+}
+
+func TestSampleApprovedEmpty(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(3), []float64{0.5, 0.5, 0.5})
+	if _, ok := in.SampleApproved(0, 0.1, rng.New(2)); ok {
+		t.Fatal("no voter is 0.1 better; sample should fail")
+	}
+}
+
+func TestCompleteSampleApprovedMatchesDistribution(t *testing.T) {
+	// The complete-topology fast path must sample uniformly over the same
+	// set as the explicit scan.
+	p := []float64{0.2, 0.5, 0.5, 0.8, 0.9}
+	imp := mustInstance(t, graph.NewComplete(len(p)), p)
+	s := rng.New(3)
+	counts := make(map[int]int)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		j, ok := imp.SampleApproved(1, 0.25, s)
+		if !ok {
+			t.Fatal("expected delegates")
+		}
+		counts[j]++
+	}
+	// Approval set of voter 1 (p=0.5, alpha=0.25): voters 3 (0.8), 4 (0.9).
+	if len(counts) != 2 || counts[3] == 0 || counts[4] == 0 {
+		t.Fatalf("unexpected delegate set %v", counts)
+	}
+	f3 := float64(counts[3]) / trials
+	if math.Abs(f3-0.5) > 0.02 {
+		t.Fatalf("delegate 3 frequency %v, want ~0.5", f3)
+	}
+}
+
+func TestCompleteSampleApprovedAlphaZeroExcludesSelf(t *testing.T) {
+	p := []float64{0.5, 0.5, 0.5}
+	imp := mustInstance(t, graph.NewComplete(3), p)
+	s := rng.New(4)
+	for i := 0; i < 1000; i++ {
+		j, ok := imp.SampleApproved(1, 0, s)
+		if !ok {
+			t.Fatal("alpha=0 with ties should have delegates")
+		}
+		if j == 1 {
+			t.Fatal("sampled self")
+		}
+	}
+}
+
+func TestTopByCompetency(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(5), []float64{0.3, 0.9, 0.1, 0.7, 0.5})
+	got := in.TopByCompetency(3)
+	want := []int{1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopByCompetency(3) = %v, want %v", got, want)
+		}
+	}
+	if len(in.TopByCompetency(-1)) != 0 {
+		t.Fatal("negative k should clamp to 0")
+	}
+	if len(in.TopByCompetency(99)) != 5 {
+		t.Fatal("large k should clamp to n")
+	}
+}
+
+func TestMeanCompetency(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(4), []float64{0.2, 0.4, 0.6, 0.8})
+	if got := in.MeanCompetency(); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("MeanCompetency = %v", got)
+	}
+	empty := mustInstance(t, graph.NewComplete(0), nil)
+	if empty.MeanCompetency() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestQuickApprovalCountMatchesSetSize(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, alphaRaw float64) bool {
+		n := int(nRaw%20) + 2
+		alpha := math.Abs(math.Mod(alphaRaw, 1))
+		if math.IsNaN(alpha) {
+			alpha = 0.1
+		}
+		s := rng.New(seed)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = s.Float64()
+		}
+		g, err := graph.ErdosRenyi(n, 0.4, s)
+		if err != nil {
+			return false
+		}
+		in, err := NewInstance(g, p)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if in.ApprovalCount(v, alpha) != len(in.ApprovalSet(v, alpha)) {
+				return false
+			}
+			// Approval sets shrink as alpha grows.
+			if in.ApprovalCount(v, alpha) < in.ApprovalCount(v, alpha+0.1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedOrderIsStable(t *testing.T) {
+	p := []float64{0.5, 0.5, 0.2}
+	in := mustInstance(t, graph.NewComplete(3), p)
+	top := in.TopByCompetency(3)
+	if !sort.SliceIsSorted(top, func(a, b int) bool {
+		return in.Competency(top[a]) > in.Competency(top[b])
+	}) && !sort.SliceIsSorted(top, func(a, b int) bool {
+		return in.Competency(top[a]) >= in.Competency(top[b])
+	}) {
+		t.Fatalf("TopByCompetency not ordered by competency: %v", top)
+	}
+	if in.Competency(top[0]) < in.Competency(top[1]) || in.Competency(top[1]) < in.Competency(top[2]) {
+		t.Fatalf("TopByCompetency not non-increasing: %v", top)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"liquid/internal/graph"
+)
+
+// Property is a graph restriction from Definition 1: a predicate over
+// problem instances. An instance satisfies a restriction set when every
+// property's Check returns nil.
+type Property interface {
+	// Name is a short identifier for reports ("K_n", "Δ≤k", ...).
+	Name() string
+	// Check returns nil if the instance satisfies the property, or an error
+	// explaining the violation.
+	Check(in *Instance) error
+}
+
+// PropertySet bundles properties; it is itself a Property.
+type PropertySet []Property
+
+// Name implements Property.
+func (ps PropertySet) Name() string {
+	out := "{"
+	for i, p := range ps {
+		if i > 0 {
+			out += ", "
+		}
+		out += p.Name()
+	}
+	return out + "}"
+}
+
+// Check implements Property: all members must hold.
+func (ps PropertySet) Check(in *Instance) error {
+	for _, p := range ps {
+		if err := p.Check(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompleteGraph is the restriction K_n: the topology is a complete graph.
+type CompleteGraph struct{}
+
+// Name implements Property.
+func (CompleteGraph) Name() string { return "K_n" }
+
+// Check implements Property.
+func (CompleteGraph) Check(in *Instance) error {
+	if _, ok := in.Topology().(graph.Complete); ok {
+		return nil
+	}
+	n := in.N()
+	for v := 0; v < n; v++ {
+		if in.Topology().Degree(v) != n-1 {
+			return fmt.Errorf("%w: vertex %d has degree %d, complete graph needs %d",
+				ErrInvalidInstance, v, in.Topology().Degree(v), n-1)
+		}
+	}
+	return nil
+}
+
+// Regular is the restriction Rand(n, d) read structurally: every vertex has
+// degree exactly D.
+type Regular struct {
+	D int
+}
+
+// Name implements Property.
+func (r Regular) Name() string { return fmt.Sprintf("Rand(n,%d)", r.D) }
+
+// Check implements Property.
+func (r Regular) Check(in *Instance) error {
+	if !graph.IsRegular(in.Topology(), r.D) {
+		return fmt.Errorf("%w: graph is not %d-regular", ErrInvalidInstance, r.D)
+	}
+	return nil
+}
+
+// MaxDegree is the restriction Δ <= K.
+type MaxDegree struct {
+	K int
+}
+
+// Name implements Property.
+func (m MaxDegree) Name() string { return fmt.Sprintf("Δ≤%d", m.K) }
+
+// Check implements Property.
+func (m MaxDegree) Check(in *Instance) error {
+	if !graph.MaxDegreeAtMost(in.Topology(), m.K) {
+		return fmt.Errorf("%w: maximum degree exceeds %d", ErrInvalidInstance, m.K)
+	}
+	return nil
+}
+
+// MinDegree is the restriction δ >= K.
+type MinDegree struct {
+	K int
+}
+
+// Name implements Property.
+func (m MinDegree) Name() string { return fmt.Sprintf("δ≥%d", m.K) }
+
+// Check implements Property.
+func (m MinDegree) Check(in *Instance) error {
+	if !graph.MinDegreeAtLeast(in.Topology(), m.K) {
+		return fmt.Errorf("%w: minimum degree below %d", ErrInvalidInstance, m.K)
+	}
+	return nil
+}
+
+// PlausibleChangeability is the restriction PC = a: the mean competency
+// lies in [A, 1/2], i.e. it is close enough to 1/2 from below that enough
+// delegation can change the voting outcome.
+type PlausibleChangeability struct {
+	A float64
+}
+
+// Name implements Property.
+func (pc PlausibleChangeability) Name() string { return fmt.Sprintf("PC=%g", pc.A) }
+
+// Check implements Property.
+func (pc PlausibleChangeability) Check(in *Instance) error {
+	mean := in.MeanCompetency()
+	if mean < pc.A || mean > 0.5 {
+		return fmt.Errorf("%w: mean competency %v outside [%v, 1/2]", ErrInvalidInstance, mean, pc.A)
+	}
+	return nil
+}
+
+// BoundedCompetency is the restriction p in (Beta, 1-Beta): no voter is
+// (almost) completely incompetent or competent.
+type BoundedCompetency struct {
+	Beta float64
+}
+
+// Name implements Property.
+func (b BoundedCompetency) Name() string { return fmt.Sprintf("p∈(%g,%g)", b.Beta, 1-b.Beta) }
+
+// Check implements Property.
+func (b BoundedCompetency) Check(in *Instance) error {
+	if b.Beta <= 0 || b.Beta >= 0.5 {
+		return fmt.Errorf("%w: beta %v not in (0, 1/2)", ErrInvalidInstance, b.Beta)
+	}
+	for i := 0; i < in.N(); i++ {
+		p := in.Competency(i)
+		if p <= b.Beta || p >= 1-b.Beta {
+			return fmt.Errorf("%w: p[%d] = %v outside (%v, %v)", ErrInvalidInstance, i, p, b.Beta, 1-b.Beta)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+func TestCompleteGraphProperty(t *testing.T) {
+	imp := mustInstance(t, graph.NewComplete(4), []float64{0.1, 0.2, 0.3, 0.4})
+	if err := (CompleteGraph{}).Check(imp); err != nil {
+		t.Fatalf("implicit complete rejected: %v", err)
+	}
+	expTop, err := graph.CompleteExplicit(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := mustInstance(t, expTop, []float64{0.1, 0.2, 0.3, 0.4})
+	if err := (CompleteGraph{}).Check(exp); err != nil {
+		t.Fatalf("explicit complete rejected: %v", err)
+	}
+	starTop, err := graph.Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star := mustInstance(t, starTop, []float64{0.1, 0.2, 0.3, 0.4})
+	if err := (CompleteGraph{}).Check(star); !errors.Is(err, ErrInvalidInstance) {
+		t.Fatalf("star accepted as complete: %v", err)
+	}
+}
+
+func TestRegularProperty(t *testing.T) {
+	g, err := graph.RandomRegular(10, 3, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mustInstance(t, g, make([]float64, 10))
+	if err := (Regular{D: 3}).Check(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Regular{D: 4}).Check(in); err == nil {
+		t.Fatal("wrong degree accepted")
+	}
+}
+
+func TestDegreeProperties(t *testing.T) {
+	g, err := graph.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mustInstance(t, g, make([]float64, 5))
+	if err := (MaxDegree{K: 4}).Check(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := (MaxDegree{K: 3}).Check(in); err == nil {
+		t.Fatal("star center exceeds Δ≤3")
+	}
+	if err := (MinDegree{K: 1}).Check(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := (MinDegree{K: 2}).Check(in); err == nil {
+		t.Fatal("leaves violate δ≥2")
+	}
+}
+
+func TestPlausibleChangeability(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(4), []float64{0.4, 0.4, 0.5, 0.5})
+	if err := (PlausibleChangeability{A: 0.4}).Check(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := (PlausibleChangeability{A: 0.46}).Check(in); err == nil {
+		t.Fatal("mean 0.45 below a=0.46 accepted")
+	}
+	high := mustInstance(t, graph.NewComplete(2), []float64{0.9, 0.9})
+	if err := (PlausibleChangeability{A: 0.4}).Check(high); err == nil {
+		t.Fatal("mean above 1/2 accepted")
+	}
+}
+
+func TestBoundedCompetency(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(3), []float64{0.3, 0.5, 0.7})
+	if err := (BoundedCompetency{Beta: 0.2}).Check(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := (BoundedCompetency{Beta: 0.3}).Check(in); err == nil {
+		t.Fatal("boundary value 0.3 should violate the open interval")
+	}
+	if err := (BoundedCompetency{Beta: 0}).Check(in); err == nil {
+		t.Fatal("beta = 0 should be rejected")
+	}
+	if err := (BoundedCompetency{Beta: 0.5}).Check(in); err == nil {
+		t.Fatal("beta = 0.5 should be rejected")
+	}
+}
+
+func TestPropertySet(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(4), []float64{0.35, 0.4, 0.45, 0.48})
+	ps := PropertySet{
+		CompleteGraph{},
+		PlausibleChangeability{A: 0.3},
+		BoundedCompetency{Beta: 0.25},
+	}
+	if err := ps.Check(in); err != nil {
+		t.Fatal(err)
+	}
+	name := ps.Name()
+	for _, part := range []string{"K_n", "PC=0.3", "p∈(0.25,0.75)"} {
+		if !strings.Contains(name, part) {
+			t.Errorf("Name %q missing %q", name, part)
+		}
+	}
+	bad := PropertySet{CompleteGraph{}, BoundedCompetency{Beta: 0.4}}
+	if err := bad.Check(in); err == nil {
+		t.Fatal("violating set accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package dynamics implements rational delegation dynamics — the
+// game-theoretic perspective of the liquid-democracy literature the paper
+// cites (Bloembergen–Grossi–Lackner; Zhang–Grossi): each voter repeatedly
+// best-responds by choosing the action (vote directly, or delegate to an
+// approved neighbour) that maximizes the group's probability of deciding
+// correctly, holding everyone else fixed.
+//
+// Because all voters share the same utility (a common-interest game), the
+// group probability is an exact potential: every accepted move strictly
+// increases it, so round-robin best response converges to a pure Nash
+// equilibrium. Starting from all-direct voting, the equilibrium can only
+// improve on direct voting — a game-theoretic route to positive gain.
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+)
+
+// ErrInvalidDynamics reports invalid dynamics configuration.
+var ErrInvalidDynamics = errors.New("dynamics: invalid configuration")
+
+// Options configures a best-response run.
+type Options struct {
+	// Alpha is the approval margin restricting each voter's action set.
+	Alpha float64
+	// MaxSweeps bounds the number of full round-robin passes (default 50).
+	MaxSweeps int
+	// MinImprovement is the strict-improvement threshold for accepting a
+	// move (default 1e-12); it guards against floating-point cycling.
+	MinImprovement float64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Alpha < 0 {
+		return o, fmt.Errorf("%w: negative alpha %v", ErrInvalidDynamics, o.Alpha)
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 50
+	}
+	if o.MinImprovement <= 0 {
+		o.MinImprovement = 1e-12
+	}
+	return o, nil
+}
+
+// Trace records a best-response run.
+type Trace struct {
+	// Converged reports whether a full sweep passed with no accepted move
+	// (a pure Nash equilibrium of the common-interest game).
+	Converged bool
+	// Sweeps is the number of executed round-robin passes.
+	Sweeps int
+	// Moves is the total number of accepted strategy changes.
+	Moves int
+	// InitialProb and FinalProb are the group probabilities before (all
+	// direct) and at the end.
+	InitialProb float64
+	FinalProb   float64
+	// Delegation is the final strategy profile.
+	Delegation *core.DelegationGraph
+}
+
+// BestResponse runs round-robin best-response dynamics from all-direct
+// voting and returns the trace. The action set of voter i is {direct} plus
+// every approved neighbour whose adoption keeps the delegation graph
+// acyclic.
+func BestResponse(in *core.Instance, opts Options) (*Trace, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := in.N()
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty instance", ErrInvalidDynamics)
+	}
+
+	d := core.NewDelegationGraph(n)
+	current, err := profileProbability(in, d)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{InitialProb: current, Delegation: d}
+
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		tr.Sweeps++
+		improvedThisSweep := false
+		for i := 0; i < n; i++ {
+			bestTarget := d.Delegate[i]
+			bestProb := current
+			// Candidate: vote directly.
+			if d.Delegate[i] != core.NoDelegate {
+				d.Delegate[i] = core.NoDelegate
+				if p, err := profileProbability(in, d); err != nil {
+					return nil, err
+				} else if p > bestProb+opts.MinImprovement {
+					bestProb, bestTarget = p, core.NoDelegate
+				}
+			}
+			// Candidates: each approved neighbour that keeps acyclicity.
+			for _, j := range in.ApprovalSet(i, opts.Alpha) {
+				if createsCycle(d, i, j) {
+					continue
+				}
+				d.Delegate[i] = j
+				p, err := profileProbability(in, d)
+				if err != nil {
+					return nil, err
+				}
+				if p > bestProb+opts.MinImprovement {
+					bestProb, bestTarget = p, j
+				}
+			}
+			d.Delegate[i] = bestTarget
+			if bestProb > current {
+				current = bestProb
+				tr.Moves++
+				improvedThisSweep = true
+			}
+		}
+		if !improvedThisSweep {
+			tr.Converged = true
+			break
+		}
+	}
+	tr.FinalProb = current
+	return tr, nil
+}
+
+// profileProbability scores the current strategy profile exactly.
+func profileProbability(in *core.Instance, d *core.DelegationGraph) (float64, error) {
+	res, err := d.Resolve()
+	if err != nil {
+		return 0, err
+	}
+	return election.ResolutionProbabilityExact(in, res)
+}
+
+// createsCycle reports whether setting i -> j would close a delegation
+// cycle, i.e. whether i lies on j's current chain to its sink.
+func createsCycle(d *core.DelegationGraph, i, j int) bool {
+	for v := j; v != core.NoDelegate; v = d.Delegate[v] {
+		if v == i {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package dynamics
+
+import (
+	"errors"
+	"testing"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/rng"
+)
+
+func mustInstance(t *testing.T, top graph.Topology, p []float64) *core.Instance {
+	t.Helper()
+	in, err := core.NewInstance(top, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestBestResponseValidation(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(0), nil)
+	if _, err := BestResponse(in, Options{Alpha: 0.1}); !errors.Is(err, ErrInvalidDynamics) {
+		t.Fatalf("err = %v", err)
+	}
+	in2 := mustInstance(t, graph.NewComplete(3), []float64{0.3, 0.4, 0.5})
+	if _, err := BestResponse(in2, Options{Alpha: -1}); !errors.Is(err, ErrInvalidDynamics) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBestResponseNeverHarms(t *testing.T) {
+	// The potential argument: starting from all-direct, the final
+	// probability can never be below the direct-voting probability.
+	s := rng.New(3)
+	for trial := 0; trial < 5; trial++ {
+		n := 10 + int(s.Uint64()%15)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = 0.2 + 0.6*s.Float64()
+		}
+		in := mustInstance(t, graph.NewComplete(n), p)
+		tr, err := BestResponse(in, Options{Alpha: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.FinalProb < tr.InitialProb {
+			t.Fatalf("trial %d: final %v below initial %v", trial, tr.FinalProb, tr.InitialProb)
+		}
+		pd, err := election.DirectProbabilityExact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.InitialProb != pd {
+			t.Fatalf("initial prob %v should equal P^D %v", tr.InitialProb, pd)
+		}
+	}
+}
+
+func TestBestResponseConverges(t *testing.T) {
+	// Common-interest potential game: must reach equilibrium.
+	s := rng.New(7)
+	p := make([]float64, 20)
+	for i := range p {
+		p[i] = 0.3 + 0.3*s.Float64()
+	}
+	in := mustInstance(t, graph.NewComplete(20), p)
+	tr, err := BestResponse(in, Options{Alpha: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Converged {
+		t.Fatalf("dynamics did not converge in %d sweeps (%d moves)", tr.Sweeps, tr.Moves)
+	}
+	// The final profile must be a legal, acyclic, approved delegation
+	// graph.
+	if err := tr.Delegation.ValidateLocal(in, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Delegation.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestResponseFindsExpert(t *testing.T) {
+	// One expert among weak voters: equilibrium should delegate enough to
+	// reach at least the expert's competency.
+	p := []float64{0.95, 0.4, 0.4, 0.4, 0.4}
+	in := mustInstance(t, graph.NewComplete(5), p)
+	tr, err := BestResponse(in, Options{Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FinalProb < 0.95-1e-9 {
+		t.Fatalf("equilibrium prob %v below expert level", tr.FinalProb)
+	}
+	if tr.Moves == 0 {
+		t.Fatal("expected delegation moves")
+	}
+}
+
+func TestBestResponseBeatsOrMatchesRandomMechanism(t *testing.T) {
+	s := rng.New(11)
+	p := make([]float64, 25)
+	for i := range p {
+		p[i] = 0.30 + 0.19*s.Float64()
+	}
+	in := mustInstance(t, graph.NewComplete(25), p)
+	tr, err := BestResponse(in, Options{Alpha: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := election.EvaluateMechanism(in, mechanism.ApprovalThreshold{Alpha: 0.05}, election.Options{
+		Replications: 32, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FinalProb < rnd.PM-0.02 {
+		t.Fatalf("best response %v clearly below random mechanism %v", tr.FinalProb, rnd.PM)
+	}
+}
+
+func TestBestResponseDirectIsEquilibriumWhenNobodyApproves(t *testing.T) {
+	// Equal competencies: empty approval sets, zero moves.
+	p := []float64{0.6, 0.6, 0.6}
+	in := mustInstance(t, graph.NewComplete(3), p)
+	tr, err := BestResponse(in, Options{Alpha: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Moves != 0 || !tr.Converged {
+		t.Fatalf("trace %+v", tr)
+	}
+	if tr.FinalProb != tr.InitialProb {
+		t.Fatal("probability changed without moves")
+	}
+}

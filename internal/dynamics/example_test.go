@@ -1,0 +1,29 @@
+package dynamics_test
+
+import (
+	"fmt"
+
+	"liquid/internal/core"
+	"liquid/internal/dynamics"
+	"liquid/internal/graph"
+)
+
+// Example runs best-response delegation dynamics to a Nash equilibrium.
+func Example() {
+	p := []float64{0.95, 0.4, 0.4, 0.4, 0.4}
+	in, err := core.NewInstance(graph.NewComplete(5), p)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := dynamics.BestResponse(in, dynamics.Options{Alpha: 0.1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("converged:", tr.Converged)
+	fmt.Println("equilibrium beats direct voting:", tr.FinalProb > tr.InitialProb)
+	fmt.Printf("equilibrium P = %.2f\n", tr.FinalProb)
+	// Output:
+	// converged: true
+	// equilibrium beats direct voting: true
+	// equilibrium P = 0.95
+}

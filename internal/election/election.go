@@ -1,0 +1,303 @@
+// Package election computes the probability that a (delegated) vote decides
+// correctly: P^M(G) and P^D(G) from the paper, and the gain
+// gain(M, G) = P^M(G) - P^D(G).
+//
+// Two engines are provided and composed automatically:
+//
+//   - an exact engine: the weighted-majority distribution of the sinks is
+//     computed by dynamic programming (package prob), so the only sampling
+//     error left is over the mechanism's own randomness;
+//   - a Monte-Carlo engine for instances where the DP is too large.
+package election
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"liquid/internal/core"
+	"liquid/internal/mechanism"
+	"liquid/internal/prob"
+	"liquid/internal/rng"
+)
+
+// ErrNoVoters reports an election over an empty electorate.
+var ErrNoVoters = errors.New("election: no voters")
+
+// Options configures gain estimation.
+type Options struct {
+	// Replications is the number of mechanism realizations to average over.
+	// Defaults to 64.
+	Replications int
+	// VoteSamples is the number of vote draws used when a realization is
+	// scored by Monte Carlo instead of the exact DP. Defaults to 2000.
+	VoteSamples int
+	// ExactCostLimit bounds the DP cost (#sinks x total weight) above which
+	// a realization is scored by Monte Carlo. Defaults to 1 << 23.
+	ExactCostLimit int64
+	// Workers bounds parallelism. Defaults to GOMAXPROCS.
+	Workers int
+	// Seed drives all randomness. Two runs with equal options are
+	// bit-identical.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replications <= 0 {
+		o.Replications = 64
+	}
+	if o.VoteSamples <= 0 {
+		o.VoteSamples = 2000
+	}
+	if o.ExactCostLimit <= 0 {
+		o.ExactCostLimit = 1 << 23
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Result summarizes a mechanism evaluation on one instance.
+type Result struct {
+	Mechanism string
+	N         int
+
+	// PM is the estimated probability that the mechanism decides correctly,
+	// averaged over mechanism randomness; PMStdErr is its standard error.
+	PM       float64
+	PMStdErr float64
+	// PD is the probability that direct voting decides correctly.
+	PD float64
+	// Gain = PM - PD; GainLo/GainHi bound it at 95% confidence (mechanism
+	// randomness only; PD is exact or tightly estimated).
+	Gain   float64
+	GainLo float64
+	GainHi float64
+
+	// Structural averages over realizations.
+	MeanDelegators   float64
+	MeanSinks        float64
+	MeanMaxWeight    float64
+	MaxMaxWeight     int
+	MeanLongestChain float64
+}
+
+// DirectProbability returns P^D(G) for the instance: the probability that a
+// strict majority of independent direct votes is correct. Exact for
+// n <= 4096, Monte Carlo (with the given stream and samples) above.
+func DirectProbability(in *core.Instance, samples int, s *rng.Stream) (float64, error) {
+	n := in.N()
+	if n == 0 {
+		return 0, ErrNoVoters
+	}
+	if n <= 4096 {
+		return DirectProbabilityExact(in)
+	}
+	if samples <= 0 {
+		samples = 2000
+	}
+	p := in.Competencies()
+	wins := 0
+	for t := 0; t < samples; t++ {
+		correct := 0
+		for _, pi := range p {
+			if s.Bernoulli(pi) {
+				correct++
+			}
+		}
+		if 2*correct > n {
+			wins++
+		}
+	}
+	return float64(wins) / float64(samples), nil
+}
+
+// DirectProbabilityExact returns the exact P^D(G) via the Poisson-binomial
+// DP. Cost is O(n^2).
+func DirectProbabilityExact(in *core.Instance) (float64, error) {
+	if in.N() == 0 {
+		return 0, ErrNoVoters
+	}
+	pb, err := prob.NewPoissonBinomial(in.Competencies())
+	if err != nil {
+		return 0, fmt.Errorf("direct probability: %w", err)
+	}
+	return pb.ProbMajority(), nil
+}
+
+// DirectNormalApproximation returns the Lemma 4 normal approximation of the
+// direct-vote total.
+func DirectNormalApproximation(in *core.Instance) prob.Normal {
+	var mu, v float64
+	for _, p := range in.Competencies() {
+		mu += p
+		v += p * (1 - p)
+	}
+	return prob.Normal{Mu: mu, Sigma: math.Sqrt(v)}
+}
+
+// ResolutionProbabilityExact returns the exact probability that the
+// resolved delegation outcome decides correctly.
+func ResolutionProbabilityExact(in *core.Instance, res *core.Resolution) (float64, error) {
+	if in.N() == 0 {
+		return 0, ErrNoVoters
+	}
+	voters := make([]prob.WeightedVoter, 0, len(res.Sinks))
+	for _, sk := range res.Sinks {
+		if res.Weight[sk] == 0 { // possible with zero initial token weight
+			continue
+		}
+		voters = append(voters, prob.WeightedVoter{Weight: res.Weight[sk], P: in.Competency(sk)})
+	}
+	if len(voters) == 0 {
+		// Everyone abstained: no correct strict majority is possible.
+		return 0, nil
+	}
+	wm, err := prob.NewWeightedMajority(voters)
+	if err != nil {
+		return 0, fmt.Errorf("delegation probability: %w", err)
+	}
+	return wm.ProbCorrectDecision(), nil
+}
+
+// ResolutionProbabilityMC estimates the same probability by sampling sink
+// votes.
+func ResolutionProbabilityMC(in *core.Instance, res *core.Resolution, samples int, s *rng.Stream) (float64, error) {
+	if in.N() == 0 {
+		return 0, ErrNoVoters
+	}
+	if samples <= 0 {
+		samples = 2000
+	}
+	if len(res.Sinks) == 0 {
+		return 0, nil
+	}
+	wins := 0
+	for t := 0; t < samples; t++ {
+		correct := 0
+		for _, sk := range res.Sinks {
+			if s.Bernoulli(in.Competency(sk)) {
+				correct += res.Weight[sk]
+			}
+		}
+		if 2*correct > res.TotalWeight {
+			wins++
+		}
+	}
+	return float64(wins) / float64(samples), nil
+}
+
+// resolutionCost is the DP cost estimate used to pick an engine.
+func resolutionCost(res *core.Resolution) int64 {
+	return int64(len(res.Sinks)) * int64(res.TotalWeight)
+}
+
+// EvaluateMechanism estimates P^M, P^D, and the gain of mech on in.
+// Replications run in parallel on independent RNG streams.
+func EvaluateMechanism(in *core.Instance, mech mechanism.Mechanism, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if in.N() == 0 {
+		return nil, ErrNoVoters
+	}
+	root := rng.New(opts.Seed)
+	pd, err := DirectProbability(in, opts.VoteSamples*4, root.DeriveString("direct"))
+	if err != nil {
+		return nil, err
+	}
+
+	type repOut struct {
+		pm           float64
+		delegators   int
+		sinks        int
+		maxWeight    int
+		longestChain int
+		err          error
+	}
+	outs := make([]repOut, opts.Replications)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for r := 0; r < opts.Replications; r++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(r int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s := root.Derive(uint64(r) + 1)
+			d, err := mech.Apply(in, s.DeriveString("mechanism"))
+			if err != nil {
+				outs[r].err = err
+				return
+			}
+			res, err := d.Resolve()
+			if err != nil {
+				outs[r].err = err
+				return
+			}
+			var pm float64
+			if resolutionCost(res) <= opts.ExactCostLimit {
+				pm, err = ResolutionProbabilityExact(in, res)
+			} else {
+				pm, err = ResolutionProbabilityMC(in, res, opts.VoteSamples, s.DeriveString("votes"))
+			}
+			if err != nil {
+				outs[r].err = err
+				return
+			}
+			outs[r] = repOut{
+				pm:           pm,
+				delegators:   res.Delegators,
+				sinks:        len(res.Sinks),
+				maxWeight:    res.MaxWeight,
+				longestChain: res.LongestChain,
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	var pmSum prob.Summary
+	result := &Result{Mechanism: mech.Name(), N: in.N(), PD: pd}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		pmSum.Add(o.pm)
+		result.MeanDelegators += float64(o.delegators)
+		result.MeanSinks += float64(o.sinks)
+		result.MeanMaxWeight += float64(o.maxWeight)
+		result.MeanLongestChain += float64(o.longestChain)
+		if o.maxWeight > result.MaxMaxWeight {
+			result.MaxMaxWeight = o.maxWeight
+		}
+	}
+	reps := float64(opts.Replications)
+	result.MeanDelegators /= reps
+	result.MeanSinks /= reps
+	result.MeanMaxWeight /= reps
+	result.MeanLongestChain /= reps
+	result.PM = pmSum.Mean()
+	result.PMStdErr = pmSum.StdErr()
+	result.Gain = result.PM - pd
+	lo, hi := pmSum.MeanCI(0.95)
+	result.GainLo = lo - pd
+	result.GainHi = hi - pd
+	return result, nil
+}
+
+// ResolutionMoments returns the exact mean and variance of the correct
+// weight W = sum_s w_s * Bernoulli(p_s) of a resolved delegation outcome.
+// These are the quantities the paper's variance-manipulation argument is
+// about: delegation shifts the mean up by >= alpha per delegation and
+// inflates the variance by concentrating weight on fewer independent sinks.
+func ResolutionMoments(in *core.Instance, res *core.Resolution) (mean, variance float64) {
+	for _, sk := range res.Sinks {
+		w := float64(res.Weight[sk])
+		p := in.Competency(sk)
+		mean += w * p
+		variance += w * w * p * (1 - p)
+	}
+	return mean, variance
+}

@@ -1,0 +1,142 @@
+package election
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+)
+
+func TestExactMechanismDirectEqualsPoissonBinomial(t *testing.T) {
+	p := []float64{0.3, 0.8, 0.55, 0.62, 0.41}
+	in := mustInstance(t, graph.NewComplete(5), p)
+	got, err := ExactMechanismProbability(in, mechanism.Direct{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DirectProbabilityExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("exact direct %v vs Poisson binomial %v", got, want)
+	}
+}
+
+func TestExactMechanismMatchesSampling(t *testing.T) {
+	// Small instance, full enumeration vs many sampled replications.
+	p := []float64{0.25, 0.45, 0.5, 0.65, 0.7, 0.9}
+	expTop, err := graph.CompleteExplicit(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mustInstance(t, expTop, p)
+	mech := mechanism.ApprovalThreshold{Alpha: 0.1}
+
+	exact, err := ExactMechanismProbability(in, mech, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := EvaluateMechanism(in, mech, Options{Replications: 3000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-sampled.PM) > 0.01 {
+		t.Fatalf("enumeration %v vs sampling %v", exact, sampled.PM)
+	}
+}
+
+func TestExactMechanismMatchesSamplingProbabilistic(t *testing.T) {
+	p := []float64{0.3, 0.5, 0.7, 0.85}
+	in := mustInstance(t, graph.NewComplete(4), p)
+	mech := mechanism.ProbabilisticDelegation{Alpha: 0.05, Q: 0.6}
+
+	exact, err := ExactMechanismProbability(in, mech, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := EvaluateMechanism(in, mech, Options{Replications: 4000, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-sampled.PM) > 0.01 {
+		t.Fatalf("enumeration %v vs sampling %v", exact, sampled.PM)
+	}
+}
+
+func TestExactMechanismGreedyDictator(t *testing.T) {
+	// Star with a dominant center: greedy is deterministic, the exact
+	// probability must equal the center's competency.
+	top, err := graph.Star(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{0.7, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4}
+	in := mustInstance(t, top, p)
+	got, err := ExactMechanismProbability(in, mechanism.GreedyBest{Alpha: 0.1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("greedy star P^M = %v, want 0.7", got)
+	}
+}
+
+func TestExactMechanismTooManyOutcomes(t *testing.T) {
+	// 30 voters on K_30 with tiny alpha: choice sets are huge.
+	p := make([]float64, 30)
+	for i := range p {
+		p[i] = float64(i) / 40
+	}
+	in := mustInstance(t, graph.NewComplete(30), p)
+	_, err := ExactMechanismProbability(in, mechanism.ApprovalThreshold{Alpha: 0.01}, 1000)
+	if !errors.Is(err, ErrTooManyOutcomes) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExactMechanismEmptyInstance(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(0), nil)
+	if _, err := ExactMechanismProbability(in, mechanism.Direct{}, 0); !errors.Is(err, ErrNoVoters) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDistributionsSumToOne(t *testing.T) {
+	p := []float64{0.2, 0.4, 0.6, 0.8}
+	in := mustInstance(t, graph.NewComplete(4), p)
+	mechs := []mechanism.DistributionMechanism{
+		mechanism.Direct{},
+		mechanism.ApprovalThreshold{Alpha: 0.05},
+		mechanism.ApprovalThreshold{Alpha: 0.05, Threshold: mechanism.ConstantThreshold(2)},
+		mechanism.HalfNeighborhood{Alpha: 0.05},
+		mechanism.GreedyBest{Alpha: 0.05},
+		mechanism.ProbabilisticDelegation{Alpha: 0.05, Q: 0.3},
+		mechanism.ProbabilisticDelegation{Alpha: 0.05, Q: 0},
+		mechanism.ProbabilisticDelegation{Alpha: 0.05, Q: 1},
+	}
+	for _, m := range mechs {
+		for v := 0; v < 4; v++ {
+			dist, err := m.DelegateDistribution(in, v)
+			if err != nil {
+				t.Fatalf("%s voter %d: %v", m.Name(), v, err)
+			}
+			var sum float64
+			for _, c := range dist {
+				if c.P < 0 || c.P > 1 {
+					t.Fatalf("%s voter %d: probability %v", m.Name(), v, c.P)
+				}
+				if c.Delegate != core.NoDelegate && !in.Approves(v, c.Delegate, 0.05) {
+					t.Fatalf("%s voter %d: unapproved delegate %d", m.Name(), v, c.Delegate)
+				}
+				sum += c.P
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("%s voter %d: distribution sums to %v", m.Name(), v, sum)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package election
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/rng"
+)
+
+func TestMultiDelegationAllDirectEqualsDirect(t *testing.T) {
+	p := []float64{0.4, 0.6, 0.7, 0.3, 0.55}
+	in := mustInstance(t, graph.NewComplete(5), p)
+	md := &mechanism.MultiDelegation{Delegates: make([][]int, 5)}
+	got, err := MultiDelegationProbability(in, md, 200000, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DirectProbabilityExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("all-direct multi %v vs direct %v", got, want)
+	}
+}
+
+func TestMultiDelegationSingleDelegateMatchesChain(t *testing.T) {
+	// Voter 0 consults only voter 2: its vote is a copy of voter 2's. That
+	// is exactly the single-delegate weight-2 situation.
+	p := []float64{0.2, 0.6, 0.9}
+	in := mustInstance(t, graph.NewComplete(3), p)
+	md := &mechanism.MultiDelegation{Delegates: [][]int{{2}, nil, nil}}
+	got, err := MultiDelegationProbability(in, md, 300000, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := core.NewDelegationGraph(3)
+	if err := d.SetDelegate(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ResolutionProbabilityExact(in, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("multi single-delegate %v vs chain %v", got, want)
+	}
+}
+
+func TestMultiDelegationRejectsCycles(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	in := mustInstance(t, graph.NewComplete(2), p)
+	md := &mechanism.MultiDelegation{Delegates: [][]int{{1}, {0}}}
+	if _, err := MultiDelegationProbability(in, md, 100, rng.New(3)); !errors.Is(err, core.ErrCyclicDelegation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMultiDelegationRejectsBadIndices(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(2), []float64{0.4, 0.6})
+	for _, ds := range [][][]int{
+		{{5}, nil},
+		{{0}, nil}, // self
+	} {
+		md := &mechanism.MultiDelegation{Delegates: ds}
+		if _, err := MultiDelegationProbability(in, md, 100, rng.New(4)); err == nil {
+			t.Fatalf("delegates %v accepted", ds)
+		}
+	}
+}
+
+func TestMultiDelegationSizeMismatch(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(3), []float64{0.4, 0.5, 0.6})
+	md := &mechanism.MultiDelegation{Delegates: make([][]int, 2)}
+	if _, err := MultiDelegationProbability(in, md, 100, rng.New(5)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestEvaluateMultiMechanismGain(t *testing.T) {
+	const n = 151
+	s := rng.New(6)
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.3 + 0.35*s.Float64()
+	}
+	in := mustInstance(t, graph.NewComplete(n), p)
+	res, err := EvaluateMultiMechanism(in, mechanism.MultiDelegate{Alpha: 0.05, K: 3}, Options{
+		Replications: 8, VoteSamples: 2000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gain <= 0 {
+		t.Fatalf("multi-delegate gain = %v (PM=%v PD=%v)", res.Gain, res.PM, res.PD)
+	}
+	if res.MeanDelegators == 0 {
+		t.Fatal("expected delegators")
+	}
+}
+
+func TestEvaluateMultiMechanismEmpty(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(0), nil)
+	if _, err := EvaluateMultiMechanism(in, mechanism.MultiDelegate{Alpha: 0.1, K: 2}, Options{}); !errors.Is(err, ErrNoVoters) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWeightedMultiDominantDelegate(t *testing.T) {
+	// Voter 0 consults delegates {1, 2} with weights {10, 1}: its vote is a
+	// copy of voter 1's (weight 10 always wins). Compare with the exact
+	// chain equivalent.
+	p := []float64{0.2, 0.9, 0.3}
+	in := mustInstance(t, graph.NewComplete(3), p)
+	md := &mechanism.MultiDelegation{
+		Delegates: [][]int{{1, 2}, nil, nil},
+		Weights:   [][]float64{{10, 1}, nil, nil},
+	}
+	got, err := MultiDelegationProbability(in, md, 300000, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.NewDelegationGraph(3)
+	if err := d.SetDelegate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ResolutionProbabilityExact(in, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("dominant-weight multi %v vs chain %v", got, want)
+	}
+}
+
+func TestWeightedMultiWeightLengthMismatch(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(3), []float64{0.2, 0.5, 0.9})
+	md := &mechanism.MultiDelegation{
+		Delegates: [][]int{{1, 2}, nil, nil},
+		Weights:   [][]float64{{1}, nil, nil},
+	}
+	if _, err := MultiDelegationProbability(in, md, 100, rng.New(22)); err == nil {
+		t.Fatal("weight length mismatch accepted")
+	}
+}
+
+func TestEvaluateWeightedMultiMechanism(t *testing.T) {
+	const n = 101
+	s := rng.New(23)
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.3 + 0.19*s.Float64()
+	}
+	in := mustInstance(t, graph.NewComplete(n), p)
+	res, err := EvaluateMultiMechanism(in, mechanism.WeightedMultiDelegate{
+		Alpha: 0.05, K: 3, Weights: mechanism.HarmonicWeights,
+	}, Options{Replications: 6, VoteSamples: 1500, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gain <= 0 {
+		t.Fatalf("weighted multi-delegate gain = %v", res.Gain)
+	}
+}

@@ -1,0 +1,190 @@
+package experiment
+
+import (
+	"math"
+	"time"
+
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/recycle"
+	"liquid/internal/report"
+	"liquid/internal/rng"
+)
+
+// runA1 ablates the delegation threshold j(n) on the complete graph: small
+// thresholds maximize delegation and gain in the SPG regime; thresholds
+// near n suppress delegation entirely.
+func runA1(cfg Config) (*Outcome, error) {
+	n := cfg.scaleInt(1001, 301)
+	reps := cfg.scaleInt(32, 8)
+	root := rng.New(cfg.Seed)
+	in, err := uniformInstance(graph.NewComplete(n), 0.30, 0.49, root.DeriveString("inst"))
+	if err != nil {
+		return nil, err
+	}
+
+	type thDef struct {
+		name string
+		j    int
+	}
+	logN := int(math.Ceil(math.Log(float64(n))))
+	sqrtN := int(math.Ceil(math.Sqrt(float64(n))))
+	ths := []thDef{
+		{"1", 1},
+		{"log n", logN},
+		{"n^{1/2}", sqrtN},
+		{"n/4", n / 4},
+		{"n/2", n / 2},
+		{"9n/10", 9 * n / 10},
+	}
+
+	tab := report.NewTable("Ablation A1: threshold j(n) on K_n (alpha=0.05, SPG regime)",
+		"j(n)", "delegators", "gain", "gain 95% CI")
+	gains := make([]float64, 0, len(ths))
+	delegs := make([]float64, 0, len(ths))
+	for _, th := range ths {
+		mech := mechanism.ApprovalThreshold{Alpha: 0.05, Threshold: mechanism.ConstantThreshold(th.j)}
+		res, err := election.EvaluateMechanism(in, mech, election.Options{
+			Replications: reps, Seed: cfg.Seed + uint64(th.j), Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gains = append(gains, res.Gain)
+		delegs = append(delegs, res.MeanDelegators)
+		tab.AddRow(th.name, report.F2(res.MeanDelegators), report.F(res.Gain),
+			report.Interval(res.GainLo, res.GainHi))
+	}
+
+	return &Outcome{
+		Tables: []*report.Table{tab},
+		Checks: []Check{
+			check("small thresholds gain", gains[0] > 0 && gains[1] > 0, "gains %v", gains),
+			check("delegation count decreases with threshold", isNonIncreasing(delegs, 1), "delegators %v", delegs),
+			check("huge threshold converges to direct voting", math.Abs(gains[len(gains)-1]) < 0.03,
+				"gain at 9n/10 = %v", gains[len(gains)-1]),
+		},
+	}, nil
+}
+
+// runA2 ablates the approval margin alpha: larger alpha increases the
+// per-delegation expectation boost (each delegation gains >= alpha) but
+// shrinks approval sets; the partition complexity of the induced recycle
+// structure scales like 1/alpha.
+func runA2(cfg Config) (*Outcome, error) {
+	n := cfg.scaleInt(1001, 301)
+	reps := cfg.scaleInt(32, 8)
+	root := rng.New(cfg.Seed)
+	in, err := uniformInstance(graph.NewComplete(n), 0.30, 0.49, root.DeriveString("inst"))
+	if err != nil {
+		return nil, err
+	}
+
+	alphas := []float64{0.01, 0.02, 0.05, 0.1, 0.15}
+	tab := report.NewTable("Ablation A2: approval margin alpha on K_n (SPG regime)",
+		"alpha", "1/alpha", "partition complexity c", "delegators", "gain", "gain 95% CI")
+
+	gains := make([]float64, 0, len(alphas))
+	cs := make([]float64, 0, len(alphas))
+	for _, alpha := range alphas {
+		mech := mechanism.ApprovalThreshold{Alpha: alpha}
+		res, err := election.EvaluateMechanism(in, mech, election.Options{
+			Replications: reps, Seed: cfg.Seed + uint64(alpha*1000), Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rg, err := recycle.FromCompleteDelegation(in, alpha, 1)
+		if err != nil {
+			return nil, err
+		}
+		c := rg.PartitionComplexity()
+		gains = append(gains, res.Gain)
+		cs = append(cs, float64(c))
+		tab.AddRow(report.G(alpha), report.F2(1/alpha), report.Itoa(c),
+			report.F2(res.MeanDelegators), report.F(res.Gain), report.Interval(res.GainLo, res.GainHi))
+	}
+
+	// c should be bounded by 1/alpha (paper: c <= 1/alpha) and decrease as
+	// alpha grows.
+	cBounded := true
+	for i, alpha := range alphas {
+		if cs[i] > 1/alpha+1 {
+			cBounded = false
+		}
+	}
+	return &Outcome{
+		Tables: []*report.Table{tab},
+		Checks: []Check{
+			check("partition complexity bounded by 1/alpha", cBounded, "c %v", cs),
+			check("complexity decreases with alpha", isNonIncreasing(cs, 0.5), "c %v", cs),
+			check("all alphas gain in the SPG regime", minFloat(gains) > 0, "gains %v", gains),
+		},
+	}, nil
+}
+
+// runA3 compares the exact DP engine with the Monte-Carlo engine on the
+// same resolved delegation graphs: probabilities must agree within
+// sampling error, and the exact engine's determinism is verified.
+func runA3(cfg Config) (*Outcome, error) {
+	n := cfg.scaleInt(801, 201)
+	votes := cfg.scaleInt(60000, 20000)
+	root := rng.New(cfg.Seed)
+	in, err := uniformInstance(graph.NewComplete(n), 0.30, 0.70, root.DeriveString("inst"))
+	if err != nil {
+		return nil, err
+	}
+
+	tab := report.NewTable("Ablation A3: exact DP vs Monte-Carlo scoring of identical delegation graphs",
+		"realization", "sinks", "exact P^M", "MC P^M", "|diff|", "exact µs", "MC µs")
+
+	maxDiff := 0.0
+	deterministic := true
+	for r := 0; r < 5; r++ {
+		s := root.Derive(uint64(r) + 1)
+		d, err := (mechanism.ApprovalThreshold{Alpha: 0.03}).Apply(in, s)
+		if err != nil {
+			return nil, err
+		}
+		res, err := d.Resolve()
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		exact, err := election.ResolutionProbabilityExact(in, res)
+		if err != nil {
+			return nil, err
+		}
+		exactDur := time.Since(t0)
+		again, err := election.ResolutionProbabilityExact(in, res)
+		if err != nil {
+			return nil, err
+		}
+		if again != exact {
+			deterministic = false
+		}
+		t1 := time.Now()
+		mc, err := election.ResolutionProbabilityMC(in, res, votes, s.DeriveString("mc"))
+		if err != nil {
+			return nil, err
+		}
+		mcDur := time.Since(t1)
+		diff := math.Abs(exact - mc)
+		if diff > maxDiff {
+			maxDiff = diff
+		}
+		tab.AddRow(report.Itoa(r), report.Itoa(len(res.Sinks)), report.F(exact), report.F(mc),
+			report.F(diff), report.Itoa(int(exactDur.Microseconds())), report.Itoa(int(mcDur.Microseconds())))
+	}
+
+	// MC standard error at p ~ 0.5 is 0.5/sqrt(votes); allow 5 sigma.
+	tol := 5 * 0.5 / math.Sqrt(float64(votes))
+	return &Outcome{
+		Tables: []*report.Table{tab},
+		Checks: []Check{
+			check("engines agree within sampling error", maxDiff <= tol, "max diff %v, tol %v", maxDiff, tol),
+			check("exact engine is deterministic", deterministic, ""),
+		},
+	}, nil
+}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"fmt"
+
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/report"
+	"liquid/internal/rng"
+)
+
+// runA6 ranks the mechanism family head-to-head with paired (common-
+// random-number) comparisons, which resolve orderings far smaller than the
+// independent-run confidence intervals could: randomized uniform delegation
+// vs greedy concentration vs weight caps, in both competency regimes.
+func runA6(cfg Config) (*Outcome, error) {
+	n := cfg.scaleInt(801, 301)
+	reps := cfg.scaleInt(24, 8)
+	root := rng.New(cfg.Seed)
+
+	type duel struct {
+		name string
+		a, b mechanism.Mechanism
+	}
+	duels := []duel{
+		{"threshold vs direct", mechanism.ApprovalThreshold{Alpha: 0.05}, mechanism.Direct{}},
+		{"threshold vs greedy", mechanism.ApprovalThreshold{Alpha: 0.05}, mechanism.GreedyBest{Alpha: 0.05}},
+		{"threshold vs capped w=8",
+			mechanism.ApprovalThreshold{Alpha: 0.05},
+			mechanism.WeightCapped{Inner: mechanism.ApprovalThreshold{Alpha: 0.05}, MaxWeight: 8}},
+		{"alpha 0.02 vs alpha 0.10",
+			mechanism.ApprovalThreshold{Alpha: 0.02},
+			mechanism.ApprovalThreshold{Alpha: 0.10}},
+	}
+
+	makeTable := func(title string) *report.Table {
+		return report.NewTable(title, "duel", "mean diff P^A-P^B", "95% CI", "A wins", "B wins", "ties", "winner")
+	}
+	spgTab := makeTable(fmt.Sprintf("Ablation A6: paired mechanism duels — SPG regime (n=%d)", n))
+	dnhTab := makeTable(fmt.Sprintf("Ablation A6: paired mechanism duels — DNH regime (n=%d)", n))
+
+	runRegime := func(tab *report.Table, lo, hi float64, label string) (map[string]*election.Comparison, error) {
+		in, err := uniformInstance(graph.NewComplete(n), lo, hi, root.DeriveString(label))
+		if err != nil {
+			return nil, err
+		}
+		outs := make(map[string]*election.Comparison, len(duels))
+		for i, d := range duels {
+			cmp, err := election.CompareMechanisms(in, d.a, d.b, election.Options{
+				Replications: reps, Seed: cfg.Seed + uint64(i)*17, Workers: cfg.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			outs[d.name] = cmp
+			tab.AddRow(d.name, report.F(cmp.MeanDiff), report.Interval(cmp.DiffLo, cmp.DiffHi),
+				report.Itoa(cmp.AWins), report.Itoa(cmp.BWins), report.Itoa(cmp.Ties), cmp.Winner())
+		}
+		return outs, nil
+	}
+
+	spg, err := runRegime(spgTab, 0.30, 0.49, "spg")
+	if err != nil {
+		return nil, err
+	}
+	dnh, err := runRegime(dnhTab, 0.52, 0.80, "dnh")
+	if err != nil {
+		return nil, err
+	}
+
+	return &Outcome{
+		Tables: []*report.Table{spgTab, dnhTab},
+		Checks: []Check{
+			check("SPG: threshold clearly beats direct", spg["threshold vs direct"].Winner() == "A",
+				"diff %v", spg["threshold vs direct"].MeanDiff),
+			check("SPG: small alpha beats large alpha", spg["alpha 0.02 vs alpha 0.10"].Winner() == "A",
+				"diff %v", spg["alpha 0.02 vs alpha 0.10"].MeanDiff),
+			check("SPG: the cap costs gain (uncapped at least ties)",
+				spg["threshold vs capped w=8"].MeanDiff >= -0.01,
+				"diff %v", spg["threshold vs capped w=8"].MeanDiff),
+			check("DNH: everything ties with direct (nothing to gain, nothing lost)",
+				dnh["threshold vs direct"].MeanDiff > -0.01 && dnh["threshold vs direct"].MeanDiff < 0.01,
+				"diff %v", dnh["threshold vs direct"].MeanDiff),
+		},
+	}, nil
+}

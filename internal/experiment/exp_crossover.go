@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/report"
+	"liquid/internal/rng"
+)
+
+// runA4 locates the crossover where delegation stops mattering: sweeping
+// the electorate's mean competency mu through 1/2, Algorithm 1 on K_n gains
+// hugely below 1/2 (direct voting is hopeless, delegation manufactures a
+// decisive bloc) and converges to zero gain above it (direct voting already
+// wins). The concentrating greedy mechanism on the star, in contrast,
+// flips from helpful to harmful as mu passes 1/2 — the Figure 1 phenomenon
+// as a function of competence rather than size.
+func runA4(cfg Config) (*Outcome, error) {
+	n := cfg.scaleInt(1001, 301)
+	reps := cfg.scaleInt(24, 8)
+	root := rng.New(cfg.Seed)
+
+	mus := []float64{0.35, 0.40, 0.45, 0.48, 0.52, 0.55, 0.60, 0.65}
+	const band = 0.05
+
+	tab := report.NewTable(
+		fmt.Sprintf("Ablation A4: mean-competency sweep (n=%d, band ±%g)", n, band),
+		"mean p", "K_n threshold gain", "K_n P^D", "star greedy gain", "star P^D")
+
+	var (
+		knGains   []float64
+		starGains []float64
+	)
+	for i, mu := range mus {
+		// K_n with Algorithm 1.
+		knIn, err := uniformInstance(graph.NewComplete(n), mu-band, mu+band, root.Derive(uint64(i)*2+1))
+		if err != nil {
+			return nil, err
+		}
+		knRes, err := election.EvaluateMechanism(knIn, mechanism.ApprovalThreshold{Alpha: 0.05}, election.Options{
+			Replications: reps, Seed: cfg.Seed + uint64(i), Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Star with greedy: center slightly above the leaves' mean.
+		starTop, err := graph.Star(n)
+		if err != nil {
+			return nil, err
+		}
+		p := make([]float64, n)
+		center := mu + 0.06
+		if center > 0.99 {
+			center = 0.99
+		}
+		p[0] = center
+		for v := 1; v < n; v++ {
+			p[v] = mu
+		}
+		starIn, err := core.NewInstance(starTop, p)
+		if err != nil {
+			return nil, err
+		}
+		starRes, err := election.EvaluateMechanism(starIn, mechanism.GreedyBest{Alpha: 0.01}, election.Options{
+			Replications: 4, Seed: cfg.Seed + uint64(i) + 100, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		knGains = append(knGains, knRes.Gain)
+		starGains = append(starGains, starRes.Gain)
+		tab.AddRow(report.F2(mu), report.F(knRes.Gain), report.F(knRes.PD),
+			report.F(starRes.Gain), report.F(starRes.PD))
+	}
+
+	last := len(mus) - 1
+	// The gain peaks just below 1/2: delegation cannot rescue a deeply
+	// incompetent electorate (sinks are still below 1/2 when mu is small),
+	// and is unnecessary above 1/2.
+	peak := 0
+	for i, g := range knGains {
+		if g > knGains[peak] {
+			peak = i
+		}
+	}
+	return &Outcome{
+		Tables: []*report.Table{tab},
+		Checks: []Check{
+			check("K_n gain peaks just below 1/2", mus[peak] >= 0.40 && mus[peak] <= 0.49,
+				"peak gain %.4f at mu=%g", knGains[peak], mus[peak]),
+			check("K_n delegation never harms below 1/2", minFloat(knGains[:4]) >= -0.005,
+				"gains %v", knGains[:4]),
+			check("K_n gain at the peak is substantial", knGains[peak] > 0.1,
+				"peak gain %v", knGains[peak]),
+			check("K_n gain collapses above 1/2", knGains[last] < 0.01 && knGains[last] > -0.01,
+				"gain at mu=%g: %v", mus[last], knGains[last]),
+			check("star greedy helps below 1/2", starGains[0] > 0, "gain %v", starGains[0]),
+			check("star greedy harms above 1/2 (Figure 1 regime)", starGains[last] < -0.05,
+				"gain at mu=%g: %v", mus[last], starGains[last]),
+			check("crossovers bracket 1/2", knGains[2] > knGains[last] && starGains[2] > starGains[last],
+				"K_n %v star %v", knGains, starGains),
+		},
+	}, nil
+}

@@ -1,0 +1,20 @@
+package experiment
+
+import "testing"
+
+// TestX12AcrossSeedsSmallScale guards against seed-sensitive gossip
+// convergence regressions (quantization noise once stalled rare seeds).
+func TestX12AcrossSeedsSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		out, err := Run("X12", Config{Seed: seed, Scale: 0.1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if failed := out.Failed(); len(failed) > 0 {
+			t.Errorf("seed %d failed: %v", seed, failed)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package experiment
+
+import (
+	"math"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/prob"
+	"liquid/internal/recycle"
+	"liquid/internal/report"
+	"liquid/internal/rng"
+)
+
+// runL1 measures the Lemma 1 event empirically: for an independent
+// Bernoulli sequence, how often does some prefix sum X_i with i >= j fall
+// below (1 - eps/j^{1/3}) * mu(X_i)? The failure rate must decay in j.
+func runL1(cfg Config) (*Outcome, error) {
+	const eps = 1.0
+	n := cfg.scaleInt(20000, 2000)
+	reps := cfg.scaleInt(400, 60)
+	root := rng.New(cfg.Seed)
+
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.3 + 0.4*root.DeriveString("p").Float64()
+	}
+	g, err := recycle.NewIndependent(p)
+	if err != nil {
+		return nil, err
+	}
+	muPrefix := g.MeanPrefixSums()
+
+	js := []int{10, 50, 250, 1250, n / 4}
+	tab := report.NewTable("Lemma 1: P[exists i >= j with X_i < (1 - eps/j^{1/3}) mu(X_i)], eps=1",
+		"j", "threshold factor at j", "failures", "reps", "failure rate", "Wilson 95% hi")
+
+	rates := make([]float64, 0, len(js))
+	// One pass per replication: realize once, test all j values on the same
+	// path to keep the comparison paired.
+	fails := make([]int, len(js))
+	for r := 0; r < reps; r++ {
+		s := root.Derive(uint64(r) + 10)
+		prefix := g.RealizePrefixSums(s)
+		// firstBad: smallest index i where X_i dips below its j-dependent
+		// envelope is computed per j (the envelope changes with j).
+		for ji, j := range js {
+			factor := 1 - eps/math.Cbrt(float64(j))
+			bad := false
+			for i := j; i < n; i++ {
+				if float64(prefix[i]) < factor*muPrefix[i] {
+					bad = true
+					break
+				}
+			}
+			if bad {
+				fails[ji]++
+			}
+		}
+	}
+	for ji, j := range js {
+		rate := float64(fails[ji]) / float64(reps)
+		_, hi := prob.WilsonInterval(fails[ji], reps, 0.95)
+		factor := 1 - eps/math.Cbrt(float64(j))
+		tab.AddRow(report.Itoa(j), report.F(factor), report.Itoa(fails[ji]),
+			report.Itoa(reps), report.F(rate), report.F(hi))
+		rates = append(rates, rate)
+	}
+
+	return &Outcome{
+		Tables: []*report.Table{tab},
+		Checks: []Check{
+			check("failure rate non-increasing in j", isNonIncreasing(rates, 0.02), "rates %v", rates),
+			check("large-j failure rate near zero", rates[len(rates)-1] < 0.05, "rate %v", rates[len(rates)-1]),
+		},
+	}, nil
+}
+
+// runL2 measures Lemma 2: recycle-sampled sums with partition complexity c
+// stay above mu(X_n) - c*eps*n/j^{1/3}. We construct layered recycle graphs
+// with exact complexity c and track both the violation rate of the bound
+// and the worst observed normalized deviation, which should grow with c
+// (the dependency makes the lower tail fatter) while staying inside the
+// c-scaled envelope.
+func runL2(cfg Config) (*Outcome, error) {
+	const eps = 0.5
+	n := cfg.scaleInt(10000, 1500)
+	reps := cfg.scaleInt(300, 50)
+	j := n / 10
+	root := rng.New(cfg.Seed)
+
+	tab := report.NewTable("Lemma 2: recycle-sampled concentration, j = n/10, eps = 0.5",
+		"c", "mu(X_n)", "bound", "violations", "reps", "worst deviation", "stddev of X_n")
+
+	cs := []int{1, 2, 4, 8}
+	violationRates := make([]float64, 0, len(cs))
+	stddevs := make([]float64, 0, len(cs))
+	for _, c := range cs {
+		g, err := layeredRecycleGraph(n, j, c, root.Derive(uint64(c)))
+		if err != nil {
+			return nil, err
+		}
+		if got := g.PartitionComplexity(); got != c {
+			return nil, errf("layered graph complexity = %d, want %d", got, c)
+		}
+		mu := g.MeanSum()
+		bound := g.Lemma2Bound(eps)
+
+		var sum prob.Summary
+		violations := 0
+		worst := 0.0
+		for r := 0; r < reps; r++ {
+			s := root.Derive(uint64(c)*1000 + uint64(r) + 1)
+			x := float64(g.RealizeSum(s))
+			sum.Add(x)
+			if x < bound {
+				violations++
+			}
+			if dev := mu - x; dev > worst {
+				worst = dev
+			}
+		}
+		rate := float64(violations) / float64(reps)
+		violationRates = append(violationRates, rate)
+		stddevs = append(stddevs, sum.StdDev())
+		tab.AddRow(report.Itoa(c), report.F2(mu), report.F2(bound),
+			report.Itoa(violations), report.Itoa(reps), report.F2(worst), report.F2(sum.StdDev()))
+	}
+
+	maxRate := 0.0
+	for _, r := range violationRates {
+		if r > maxRate {
+			maxRate = r
+		}
+	}
+	return &Outcome{
+		Tables: []*report.Table{tab},
+		Checks: []Check{
+			check("Lemma 2 bound holds w.h.p. for every c", maxRate < 0.05, "max violation rate %v", maxRate),
+			check("dependency widens the spread (stddev grows with c)",
+				stddevs[len(stddevs)-1] > stddevs[0], "stddevs %v", stddevs),
+		},
+	}, nil
+}
+
+// layeredRecycleGraph builds a (j, c, n)-recycle graph with exact partition
+// complexity c: after the fresh prefix of size j, the remaining vertices are
+// split into c layers; each copying vertex copies uniformly from everything
+// before its layer, and layer boundaries force chains of length exactly c.
+func layeredRecycleGraph(n, j, c int, s *rng.Stream) (*recycle.Graph, error) {
+	z := make([]float64, n)
+	p := make([]float64, n)
+	upTo := make([]int, n)
+	for i := 0; i < n; i++ {
+		p[i] = 0.3 + 0.4*s.Float64()
+	}
+	for i := 0; i < j; i++ {
+		z[i] = 1
+	}
+	layer := (n - j) / c
+	if layer < 1 {
+		layer = 1
+	}
+	for i := j; i < n; i++ {
+		t := (i - j) / layer // layer index
+		if t >= c {
+			t = c - 1
+		}
+		start := j + t*layer
+		z[i] = 0
+		upTo[i] = start
+		if upTo[i] < j {
+			upTo[i] = j
+		}
+	}
+	return recycle.New(j, z, p, upTo)
+}
+
+// runL3 measures Lemma 3: with bounded competencies, delegating at most
+// n^{1/2 - eps} votes flips the outcome with vanishing probability. We
+// build the most harmful local delegation we can (k mid-tier voters
+// delegate onto the single best voter, concentrating exactly k+1 weight)
+// and measure the realized loss and the exact flip-window probability.
+func runL3(cfg Config) (*Outcome, error) {
+	const (
+		beta = 0.2
+		eps  = 0.1
+	)
+	sizes := dedupeSizes([]int{501, 1001, 2001, cfg.scaleInt(4001, 2001)})
+	root := rng.New(cfg.Seed)
+
+	tab := report.NewTable("Lemma 3: adversarial delegation of k = n^{1/2-eps} votes, p in (0.2, 0.8)",
+		"n", "k delegated", "P^D", "P^M", "loss", "normal flip bound")
+
+	losses := make([]float64, 0, len(sizes))
+	bounds := make([]float64, 0, len(sizes))
+	for _, n := range sizes {
+		in, err := uniformInstance(graph.NewComplete(n), beta+0.01, 1-beta-0.01, root.Derive(uint64(n)))
+		if err != nil {
+			return nil, err
+		}
+		k := int(math.Pow(float64(n), 0.5-eps))
+		d := core.NewDelegationGraph(n)
+		// The k voters just below the top delegate to the top voter: this
+		// is local-mechanism-feasible (target is approved) and concentrates
+		// weight k+1 on one sink, the worst case the lemma's proof charges.
+		order := in.TopByCompetency(k + 1)
+		top := order[0]
+		for _, v := range order[1:] {
+			if err := d.SetDelegate(v, top); err != nil {
+				return nil, err
+			}
+		}
+		res, err := d.Resolve()
+		if err != nil {
+			return nil, err
+		}
+		pm, err := election.ResolutionProbabilityExact(in, res)
+		if err != nil {
+			return nil, err
+		}
+		pd, err := election.DirectProbabilityExact(in)
+		if err != nil {
+			return nil, err
+		}
+		loss := pd - pm
+		losses = append(losses, loss)
+		nrm := election.DirectNormalApproximation(in)
+		bound := prob.FlipProbabilityBound(n, nrm.Mu, nrm.Sigma, 2*float64(k))
+		bounds = append(bounds, bound)
+		tab.AddRow(report.Itoa(n), report.Itoa(k), report.F(pd), report.F(pm),
+			report.F(loss), report.F(bound))
+	}
+
+	return &Outcome{
+		Tables: []*report.Table{tab},
+		Checks: []Check{
+			check("loss bounded by the flip-window probability",
+				pairwiseAtMost(losses, bounds, 0.02), "losses %v bounds %v", losses, bounds),
+			check("flip bound decays with n", trendDown(bounds, 0.02) || isNonIncreasing(bounds, 0.02),
+				"bounds %v", bounds),
+			check("loss stays small everywhere", maxAbs(losses) < 0.1, "losses %v", losses),
+		},
+	}, nil
+}
+
+// runL5 measures Lemma 5/6: with every sink weight at most w, deviations of
+// the realized correct weight from its mean stay inside sqrt(n^{1+eps} * w).
+func runL5(cfg Config) (*Outcome, error) {
+	const eps = 0.1
+	n := cfg.scaleInt(4001, 801)
+	reps := cfg.scaleInt(400, 80)
+	root := rng.New(cfg.Seed)
+
+	in, err := uniformInstance(graph.NewComplete(n), 0.25, 0.75, root.DeriveString("instance"))
+	if err != nil {
+		return nil, err
+	}
+
+	tab := report.NewTable("Lemma 5: deviation of correct weight vs max sink weight w (eps = 0.1)",
+		"w", "sinks", "envelope sqrt(n^{1+eps} w)", "violations", "reps", "max |X - mu|", "mean |X - mu|")
+
+	ws := []int{1, 4, 16, 64}
+	meanDevs := make([]float64, 0, len(ws))
+	maxViolationRate := 0.0
+	for _, w := range ws {
+		mech := mechanism.WeightCapped{
+			Inner:     mechanism.ApprovalThreshold{Alpha: 0.02},
+			MaxWeight: w,
+		}
+		d, err := mech.Apply(in, root.Derive(uint64(w)))
+		if err != nil {
+			return nil, err
+		}
+		res, err := d.Resolve()
+		if err != nil {
+			return nil, err
+		}
+		// Mean of the correct-weight variable.
+		var mu float64
+		for _, sk := range res.Sinks {
+			mu += float64(res.Weight[sk]) * in.Competency(sk)
+		}
+		envelope := math.Sqrt(math.Pow(float64(n), 1+eps) * float64(w))
+
+		violations := 0
+		maxDev, sumDev := 0.0, 0.0
+		voteStream := root.Derive(uint64(w) * 7919)
+		for r := 0; r < reps; r++ {
+			var x float64
+			for _, sk := range res.Sinks {
+				if voteStream.Bernoulli(in.Competency(sk)) {
+					x += float64(res.Weight[sk])
+				}
+			}
+			dev := math.Abs(x - mu)
+			sumDev += dev
+			if dev > maxDev {
+				maxDev = dev
+			}
+			if dev > envelope {
+				violations++
+			}
+		}
+		rate := float64(violations) / float64(reps)
+		if rate > maxViolationRate {
+			maxViolationRate = rate
+		}
+		meanDevs = append(meanDevs, sumDev/float64(reps))
+		tab.AddRow(report.Itoa(w), report.Itoa(len(res.Sinks)), report.F2(envelope),
+			report.Itoa(violations), report.Itoa(reps), report.F2(maxDev), report.F2(sumDev/float64(reps)))
+	}
+
+	return &Outcome{
+		Tables: []*report.Table{tab},
+		Checks: []Check{
+			check("envelope holds w.h.p. (violation rate < 5%)", maxViolationRate < 0.05,
+				"max rate %v", maxViolationRate),
+			check("deviation grows with w", meanDevs[len(meanDevs)-1] > meanDevs[0], "mean devs %v", meanDevs),
+		},
+	}, nil
+}
+
+// pairwiseAtMost reports xs[i] <= ys[i] + tol for all i.
+func pairwiseAtMost(xs, ys []float64, tol float64) bool {
+	for i := range xs {
+		if xs[i] > ys[i]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// maxAbs returns max |x|.
+func maxAbs(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

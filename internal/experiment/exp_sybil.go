@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"fmt"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/history"
+	"liquid/internal/mechanism"
+	"liquid/internal/report"
+	"liquid/internal/rng"
+)
+
+// runX11 mounts a reputation-farming attack on track-record-based liquid
+// democracy: a coalition of b adversaries votes perfectly while reputations
+// are being built, attracts delegations as the apparent experts, then
+// defects on the target issue. The Lemma 5 weight cap is evaluated as the
+// defence: it bounds how much weight the coalition can capture, converting
+// a stolen election back into a narrow one.
+func runX11(cfg Config) (*Outcome, error) {
+	n := cfg.scaleInt(1001, 301) // honest voters
+	historyLen := 200
+	const alpha = 0.05
+	root := rng.New(cfg.Seed)
+
+	blocs := []int{0, n / 100, n / 40, n / 20, n / 10}
+	tab := report.NewTable(
+		fmt.Sprintf("X11: reputation-farming coalitions (n=%d honest, history=%d, alpha=%g)", n, historyLen, alpha),
+		"coalition size b", "coalition weight (uncapped)", "P uncapped", "P capped w=8", "capped coalition weight")
+
+	type out struct {
+		pUncapped, pCapped float64
+		wUncapped          int
+	}
+	outs := make([]out, 0, len(blocs))
+	for bi, b := range blocs {
+		total := n + b
+		s := root.Derive(uint64(bi) + 1)
+
+		// Honest competencies in the DNH regime: direct voting would win.
+		p := make([]float64, total)
+		for i := 0; i < n; i++ {
+			p[i] = 0.52 + 0.28*s.Float64()
+		}
+		// Adversaries: once the real vote happens they always vote wrong.
+		for i := n; i < total; i++ {
+			p[i] = 0
+		}
+		in, err := core.NewInstance(graph.NewComplete(total), p)
+		if err != nil {
+			return nil, err
+		}
+
+		// Track record: honest voters vote per competency; adversaries farm
+		// a perfect record.
+		honest, err := core.NewInstance(graph.NewComplete(total), p)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := history.Simulate(honest, historyLen, s.DeriveString("record"))
+		if err != nil {
+			return nil, err
+		}
+		for i := n; i < total; i++ {
+			tr.Scores[i] = historyLen // perfect farmed reputation
+		}
+		surrogate, err := tr.SurrogateInstance(in)
+		if err != nil {
+			return nil, err
+		}
+
+		evaluate := func(mech mechanism.Mechanism) (float64, int, error) {
+			d, err := mech.Apply(surrogate, s.DeriveString(mech.Name()))
+			if err != nil {
+				return 0, 0, err
+			}
+			res, err := d.Resolve()
+			if err != nil {
+				return 0, 0, err
+			}
+			captured := 0
+			for i := n; i < total; i++ {
+				captured += res.Weight[i]
+			}
+			pm, err := election.ResolutionProbabilityExact(in, res)
+			if err != nil {
+				return 0, 0, err
+			}
+			return pm, captured, nil
+		}
+
+		pUncapped, wUncapped, err := evaluate(mechanism.ApprovalThreshold{Alpha: alpha})
+		if err != nil {
+			return nil, err
+		}
+		pCapped, wCapped, err := evaluate(mechanism.WeightCapped{
+			Inner:     mechanism.ApprovalThreshold{Alpha: alpha},
+			MaxWeight: 8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, out{pUncapped: pUncapped, pCapped: pCapped, wUncapped: wUncapped})
+		tab.AddRow(report.Itoa(b), report.Itoa(wUncapped), report.F(pUncapped),
+			report.F(pCapped), report.Itoa(wCapped))
+	}
+
+	last := len(outs) - 1
+	return &Outcome{
+		Tables: []*report.Table{tab},
+		Checks: []Check{
+			check("no coalition, no harm", outs[0].pUncapped > 0.7,
+				"P %v", outs[0].pUncapped),
+			check("finding: even a tiny farmed coalition steals the uncapped election",
+				outs[1].pUncapped < 0.5, "P %v with b=%d", outs[1].pUncapped, blocs[1]),
+			check("the coalition captures outsized weight",
+				outs[last].wUncapped > 5*blocs[last], "captured %d with b=%d", outs[last].wUncapped, blocs[last]),
+			check("the Lemma 5 weight cap defends against small coalitions (b ~ 1-2.5%)",
+				outs[1].pCapped > 0.7 && outs[2].pCapped > 0.7,
+				"capped P %v / %v", outs[1].pCapped, outs[2].pCapped),
+			check("finding: the cap's defence breaks once b*w approaches n/2",
+				outs[last].pCapped <= outs[2].pCapped, "capped P %v (b=%d) vs %v (b=%d)",
+				outs[last].pCapped, blocs[last], outs[2].pCapped, blocs[2]),
+		},
+	}, nil
+}

@@ -1,0 +1,216 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/report"
+	"liquid/internal/rng"
+)
+
+// spgSweep runs a mechanism over instances in the strong-positive-gain
+// regime (mean competency below 1/2, bounded away from extremes) and a DNH
+// regime (mean competency above 1/2 so delegation could only hurt), for a
+// sweep of sizes. It returns the two tables plus the gain series.
+type sweepResult struct {
+	spgTable  *report.Table
+	dnhTable  *report.Table
+	spgGains  []float64
+	dnhLosses []float64
+	delegates []float64
+}
+
+// regimeBounds sets the competency ranges for the two regimes of a sweep.
+// The SPG range must average below 1/2 (plausible changeability); the DNH
+// range sits above 1/2 so delegation can only hurt through concentration.
+type regimeBounds struct {
+	spgLo, spgHi float64
+	dnhLo, dnhHi float64
+}
+
+func defaultRegimes() regimeBounds {
+	return regimeBounds{spgLo: 0.30, spgHi: 0.49, dnhLo: 0.52, dnhHi: 0.80}
+}
+
+func runRegimeSweep(
+	cfg Config,
+	title string,
+	sizes []int,
+	rb regimeBounds,
+	buildTop func(n int, s *rng.Stream) (graph.Topology, error),
+	buildMech func(n int) mechanism.Mechanism,
+	reps int,
+) (*sweepResult, error) {
+	root := rng.New(cfg.Seed)
+	out := &sweepResult{
+		spgTable: newGainTable(fmt.Sprintf("%s — SPG regime (p in [%g, %g])", title, rb.spgLo, rb.spgHi)),
+		dnhTable: newGainTable(fmt.Sprintf("%s — DNH regime (p in [%g, %g])", title, rb.dnhLo, rb.dnhHi)),
+	}
+	for _, n := range sizes {
+		top, err := buildTop(n, root.Derive(uint64(n)))
+		if err != nil {
+			return nil, err
+		}
+		mech := buildMech(n)
+
+		spgIn, err := uniformInstance(top, rb.spgLo, rb.spgHi, root.Derive(uint64(n)*3+1))
+		if err != nil {
+			return nil, err
+		}
+		spgRes, err := election.EvaluateMechanism(spgIn, mech, election.Options{
+			Replications: reps, Seed: cfg.Seed ^ uint64(n), Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		addGainRow(out.spgTable, n, spgRes)
+		out.spgGains = append(out.spgGains, spgRes.Gain)
+		out.delegates = append(out.delegates, spgRes.MeanDelegators)
+
+		dnhIn, err := uniformInstance(top, rb.dnhLo, rb.dnhHi, root.Derive(uint64(n)*3+2))
+		if err != nil {
+			return nil, err
+		}
+		dnhRes, err := election.EvaluateMechanism(dnhIn, mech, election.Options{
+			Replications: reps, Seed: cfg.Seed ^ (uint64(n) << 1), Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		addGainRow(out.dnhTable, n, dnhRes)
+		out.dnhLosses = append(out.dnhLosses, -dnhRes.Gain)
+	}
+	return out, nil
+}
+
+// spgDNHChecks builds the standard SPG/DNH shape checks from a sweep.
+func spgDNHChecks(sw *sweepResult, gamma, lossCap float64) []Check {
+	minGain := minFloat(sw.spgGains)
+	worstLoss := 0.0
+	for _, l := range sw.dnhLosses {
+		if l > worstLoss {
+			worstLoss = l
+		}
+	}
+	lastLoss := sw.dnhLosses[len(sw.dnhLosses)-1]
+	return []Check{
+		check("SPG: gain >= gamma on every size", minGain >= gamma,
+			"min gain %.4f, gamma %.4f", minGain, gamma),
+		check("delegation actually happens (Delegate(n) grows)",
+			sw.delegates[len(sw.delegates)-1] > sw.delegates[0], "delegators %v", sw.delegates),
+		check("DNH: loss bounded", worstLoss <= lossCap,
+			"worst loss %.4f (cap %.4f)", worstLoss, lossCap),
+		check("DNH: loss vanishing at the largest size", lastLoss <= lossCap/2 || lastLoss <= 0.01,
+			"last loss %.4f", lastLoss),
+	}
+}
+
+// runT2 validates Theorem 2: Algorithm 1 on complete graphs.
+func runT2(cfg Config) (*Outcome, error) {
+	sizes := dedupeSizes([]int{251, 501, 1001, cfg.scaleInt(2001, 1001)})
+	sw, err := runRegimeSweep(cfg,
+		"Theorem 2: Algorithm 1 on K_n (alpha=0.05, threshold j(n)=ceil(n^{1/3}))",
+		sizes,
+		defaultRegimes(),
+		func(n int, _ *rng.Stream) (graph.Topology, error) { return graph.NewComplete(n), nil },
+		func(n int) mechanism.Mechanism {
+			j := int(math.Ceil(math.Cbrt(float64(n))))
+			return mechanism.ApprovalThreshold{Alpha: 0.05, Threshold: mechanism.ConstantThreshold(j)}
+		},
+		cfg.scaleInt(32, 8),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Tables: []*report.Table{sw.spgTable, sw.dnhTable},
+		Checks: spgDNHChecks(sw, 0.01, 0.05),
+	}, nil
+}
+
+// runT3 validates Theorem 3: Algorithm 2 (random d-neighbour sampling).
+func runT3(cfg Config) (*Outcome, error) {
+	sizes := dedupeSizes([]int{251, 501, 1001, cfg.scaleInt(2001, 1001)})
+	const d = 16
+	sw, err := runRegimeSweep(cfg,
+		"Theorem 3: Algorithm 2, d=16 random neighbours, j(d)=d/8",
+		sizes,
+		defaultRegimes(),
+		func(n int, _ *rng.Stream) (graph.Topology, error) { return graph.NewComplete(n), nil },
+		func(n int) mechanism.Mechanism {
+			return mechanism.NeighborSampling{Alpha: 0.05, D: d, Threshold: mechanism.ConstantThreshold(d / 8)}
+		},
+		cfg.scaleInt(32, 8),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Tables: []*report.Table{sw.spgTable, sw.dnhTable},
+		Checks: spgDNHChecks(sw, 0.01, 0.05),
+	}, nil
+}
+
+// runT4 validates Theorem 4: bounded-degree graphs, Delta <= ~n^{1/2}.
+func runT4(cfg Config) (*Outcome, error) {
+	sizes := dedupeSizes([]int{251, 501, 1001, cfg.scaleInt(2001, 1001)})
+	sw, err := runRegimeSweep(cfg,
+		"Theorem 4: random graphs with Delta <= ceil(n^{0.45}), threshold mechanism",
+		sizes,
+		defaultRegimes(),
+		func(n int, s *rng.Stream) (graph.Topology, error) {
+			maxDeg := int(math.Ceil(math.Pow(float64(n), 0.45)))
+			return graph.RandomBoundedDegree(n, maxDeg, 8*n, s)
+		},
+		func(n int) mechanism.Mechanism {
+			return mechanism.ApprovalThreshold{Alpha: 0.05}
+		},
+		cfg.scaleInt(32, 8),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Tables: []*report.Table{sw.spgTable, sw.dnhTable},
+		Checks: spgDNHChecks(sw, 0.005, 0.05),
+	}, nil
+}
+
+// runT5 validates Theorem 5: bounded minimum degree with the
+// half-neighbourhood rule.
+func runT5(cfg Config) (*Outcome, error) {
+	sizes := dedupeSizes([]int{250, 500, 1000, cfg.scaleInt(2000, 1000)})
+	sw, err := runRegimeSweep(cfg,
+		"Theorem 5: d-regular graphs with delta = ceil(n^{0.6}), half-neighbourhood rule",
+		sizes,
+		regimeBounds{spgLo: 0.45, spgHi: 0.53, dnhLo: 0.52, dnhHi: 0.80},
+		func(n int, s *rng.Stream) (graph.Topology, error) {
+			d := int(math.Ceil(math.Pow(float64(n), 0.6)))
+			if (n*d)%2 != 0 {
+				d++
+			}
+			return graph.RandomRegular(n, d, s)
+		},
+		func(n int) mechanism.Mechanism {
+			return mechanism.HalfNeighborhood{Alpha: 0.02}
+		},
+		cfg.scaleInt(24, 8),
+	)
+	if err != nil {
+		return nil, err
+	}
+	checks := spgDNHChecks(sw, 0.005, 0.05)
+	// Theorem 5's Delegate(n) >= h >= sqrt(n) restriction: verify the
+	// mechanism actually delegates that much in the SPG regime.
+	lastN := float64(sizes[len(sizes)-1])
+	checks = append(checks, check("Delegate(n) >= sqrt(n) in SPG regime",
+		sw.delegates[len(sw.delegates)-1] >= math.Sqrt(lastN),
+		"delegators %.1f, sqrt(n) %.1f", sw.delegates[len(sw.delegates)-1], math.Sqrt(lastN)))
+	return &Outcome{
+		Tables: []*report.Table{sw.spgTable, sw.dnhTable},
+		Checks: checks,
+	}, nil
+}

@@ -1,0 +1,178 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// testConfig shrinks every experiment enough to run in CI while keeping the
+// qualitative shapes intact.
+func testConfig() Config {
+	return Config{Seed: 12345, Scale: 0.25}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 31 {
+		t.Fatalf("expected 15 experiments, got %d: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		if _, err := Lookup(id); err != nil {
+			t.Errorf("Lookup(%q): %v", id, err)
+		}
+	}
+	if _, err := Lookup("nope"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Run("nope", testConfig()); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	a[0].ID = "mutated"
+	if All()[0].ID == "mutated" {
+		t.Fatal("All must return a copy")
+	}
+}
+
+// runAndCheck runs one experiment and asserts all its paper-shape checks
+// pass.
+func runAndCheck(t *testing.T, id string) *Outcome {
+	t.Helper()
+	out, err := Run(id, testConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if out.ID != id {
+		t.Fatalf("outcome id %q", out.ID)
+	}
+	if len(out.Tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	for _, c := range out.Checks {
+		if !c.Passed {
+			t.Errorf("%s check failed: %s (%s)", id, c.Name, c.Detail)
+		}
+	}
+	// Tables must render.
+	var buf bytes.Buffer
+	for _, tab := range out.Tables {
+		if err := tab.Render(&buf); err != nil {
+			t.Fatalf("%s render: %v", id, err)
+		}
+	}
+	if !strings.Contains(buf.String(), "-") {
+		t.Fatalf("%s rendered nothing", id)
+	}
+	return out
+}
+
+func TestF1Star(t *testing.T)              { runAndCheck(t, "F1") }
+func TestF2Example(t *testing.T)           { runAndCheck(t, "F2") }
+func TestL1PrefixDeviation(t *testing.T)   { runAndCheck(t, "L1") }
+func TestL2Recycle(t *testing.T)           { runAndCheck(t, "L2") }
+func TestL3AntiConcentration(t *testing.T) { runAndCheck(t, "L3") }
+func TestL4CLT(t *testing.T)               { runAndCheck(t, "L4") }
+func TestL5MaxWeight(t *testing.T)         { runAndCheck(t, "L5") }
+func TestL7Expectation(t *testing.T)       { runAndCheck(t, "L7") }
+func TestV1Variance(t *testing.T)          { runAndCheck(t, "V1") }
+
+func TestT2Complete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "T2")
+}
+
+func TestT3DRegular(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "T3")
+}
+
+func TestT4BoundedDegree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "T4")
+}
+
+func TestT5MinDegree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "T5")
+}
+
+func TestX1Abstention(t *testing.T)                { runAndCheck(t, "X1") }
+func TestX2MultiDelegate(t *testing.T)             { runAndCheck(t, "X2") }
+func TestX3RealWorld(t *testing.T)                 { runAndCheck(t, "X3") }
+func TestX4ProbabilisticCompetencies(t *testing.T) { runAndCheck(t, "X4") }
+func TestX5SparseTopologies(t *testing.T)          { runAndCheck(t, "X5") }
+func TestX6PowerConcentration(t *testing.T)        { runAndCheck(t, "X6") }
+func TestX7TrackRecords(t *testing.T)              { runAndCheck(t, "X7") }
+func TestX8Equilibria(t *testing.T)                { runAndCheck(t, "X8") }
+func TestX9Adaptive(t *testing.T)                  { runAndCheck(t, "X9") }
+func TestX10Homophily(t *testing.T)                { runAndCheck(t, "X10") }
+func TestX11ReputationFarming(t *testing.T)        { runAndCheck(t, "X11") }
+func TestX12GossipSpectral(t *testing.T)           { runAndCheck(t, "X12") }
+func TestA1Threshold(t *testing.T)                 { runAndCheck(t, "A1") }
+func TestA2Alpha(t *testing.T)                     { runAndCheck(t, "A2") }
+func TestA3Engines(t *testing.T)                   { runAndCheck(t, "A3") }
+func TestA4Crossover(t *testing.T)                 { runAndCheck(t, "A4") }
+func TestA5TieRules(t *testing.T)                  { runAndCheck(t, "A5") }
+func TestA6PairedDuels(t *testing.T)               { runAndCheck(t, "A6") }
+
+func TestOutcomeFailedNames(t *testing.T) {
+	o := &Outcome{Checks: []Check{
+		{Name: "ok", Passed: true},
+		{Name: "bad", Passed: false},
+	}}
+	failed := o.Failed()
+	if len(failed) != 1 || failed[0] != "bad" {
+		t.Fatalf("Failed() = %v", failed)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run("F2", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("F2", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	for _, tab := range a.Tables {
+		if err := tab.Render(&bufA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tab := range b.Tables {
+		if err := tab.Render(&bufB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bufA.String() != bufB.String() {
+		t.Fatal("same config must reproduce identical tables")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed != 1 || c.Scale != 1 {
+		t.Fatalf("defaults %+v", c)
+	}
+	if got := (Config{Scale: 0.5}).scaleInt(100, 10); got != 50 {
+		t.Fatalf("scaleInt = %d", got)
+	}
+	if got := (Config{Scale: 0.01}.withDefaults()).scaleInt(100, 10); got != 10 {
+		t.Fatalf("scaleInt floor = %d", got)
+	}
+}

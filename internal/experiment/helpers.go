@@ -1,0 +1,27 @@
+package experiment
+
+import (
+	"liquid/internal/election"
+	"liquid/internal/report"
+)
+
+// newGainTable creates the standard gain-sweep table used by most
+// experiments.
+func newGainTable(title string) *report.Table {
+	return report.NewTable(title,
+		"n", "delegators", "sinks", "max w", "P^D", "P^M", "gain", "gain 95% CI")
+}
+
+// addGainRow appends one election result to a gain table.
+func addGainRow(tab *report.Table, n int, res *election.Result) {
+	tab.AddRow(
+		report.Itoa(n),
+		report.F2(res.MeanDelegators),
+		report.F2(res.MeanSinks),
+		report.F2(res.MeanMaxWeight),
+		report.F(res.PD),
+		report.F(res.PM),
+		report.F(res.Gain),
+		report.Interval(res.GainLo, res.GainHi),
+	)
+}

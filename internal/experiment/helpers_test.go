@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDedupeSizes(t *testing.T) {
+	tests := []struct {
+		in, want []int
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}},
+		{[]int{1, 2, 2}, []int{1, 2}},
+		{[]int{5, 5, 5}, []int{5}},
+		{[]int{1}, []int{1}},
+		{nil, nil},
+	}
+	for _, tt := range tests {
+		got := dedupeSizes(append([]int(nil), tt.in...))
+		if len(got) != len(tt.want) {
+			t.Fatalf("dedupe(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Fatalf("dedupe(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestIsNonIncreasing(t *testing.T) {
+	if !isNonIncreasing([]float64{3, 2, 1}, 0) {
+		t.Error("strictly decreasing should pass")
+	}
+	if !isNonIncreasing([]float64{1, 1.05, 0.5}, 0.1) {
+		t.Error("small bump within tolerance should pass")
+	}
+	if isNonIncreasing([]float64{1, 2}, 0.5) {
+		t.Error("big rise should fail")
+	}
+	if !isNonIncreasing(nil, 0) {
+		t.Error("empty is trivially non-increasing")
+	}
+}
+
+func TestTrendDown(t *testing.T) {
+	if !trendDown([]float64{0.5, 0.3, 0.1}, 0.2) {
+		t.Error("clear downtrend should pass")
+	}
+	if trendDown([]float64{0.5}, 0.1) {
+		t.Error("single point has no trend")
+	}
+	if trendDown([]float64{0.1, 0.5}, 0.2) {
+		t.Error("uptrend should fail")
+	}
+	if !trendDown([]float64{0.01, 0.02}, 0.05) {
+		t.Error("both tiny should count as down (already at floor)")
+	}
+}
+
+func TestMinMaxHelpers(t *testing.T) {
+	if got := minFloat([]float64{3, 1, 2}); got != 1 {
+		t.Errorf("minFloat = %v", got)
+	}
+	if !math.IsInf(minFloat(nil), 1) {
+		t.Error("minFloat(nil) should be +Inf")
+	}
+	if got := maxAbs([]float64{-3, 1, 2}); got != 3 {
+		t.Errorf("maxAbs = %v", got)
+	}
+	if got := maxFloat([]float64{1, 5, 2}); got != 5 {
+		t.Errorf("maxFloat = %v", got)
+	}
+	if got := countPositive([]float64{-1, 0, 2, 3}); got != 2 {
+		t.Errorf("countPositive = %d", got)
+	}
+}
+
+func TestPairwiseAtMost(t *testing.T) {
+	if !pairwiseAtMost([]float64{1, 2}, []float64{1.5, 2.5}, 0) {
+		t.Error("dominated should pass")
+	}
+	if pairwiseAtMost([]float64{3}, []float64{1}, 0.5) {
+		t.Error("violation should fail")
+	}
+}
+
+func TestSortedCopyDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := sortedCopy(in)
+	if out[0] != 1 || out[2] != 3 {
+		t.Errorf("sortedCopy = %v", out)
+	}
+	if in[0] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestCheckFormatting(t *testing.T) {
+	c := check("name", true, "value %d", 42)
+	if !c.Passed || c.Name != "name" || c.Detail != "value 42" {
+		t.Errorf("check = %+v", c)
+	}
+}

@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteEdgeList writes g in a plain text format: a header line "n m"
+// followed by one "u v" line per edge with u < v.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Blank lines and
+// lines starting with '#' are ignored.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+
+	var (
+		g       *Graph
+		edges   int
+		wantM   int
+		gotHead bool
+	)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var a, b int
+		if _, err := fmt.Sscanf(line, "%d %d", &a, &b); err != nil {
+			return nil, fmt.Errorf("%w: bad line %q", ErrInvalidGraph, line)
+		}
+		if !gotHead {
+			if a < 0 || b < 0 {
+				return nil, fmt.Errorf("%w: bad header %q", ErrInvalidGraph, line)
+			}
+			g = NewGraph(a)
+			wantM = b
+			gotHead = true
+			continue
+		}
+		if err := g.AddEdge(a, b); err != nil {
+			return nil, err
+		}
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !gotHead {
+		return nil, fmt.Errorf("%w: missing header", ErrInvalidGraph)
+	}
+	if edges != wantM {
+		return nil, fmt.Errorf("%w: header declares %d edges, found %d", ErrInvalidGraph, wantM, edges)
+	}
+	return g, nil
+}

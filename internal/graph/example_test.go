@@ -1,0 +1,45 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+// Example builds the paper's graph classes and inspects the restrictions.
+func Example() {
+	s := rng.New(1)
+	regular, err := graph.RandomRegular(100, 6, s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("6-regular:", graph.IsRegular(regular, 6))
+	fmt.Println("Δ ≤ 6:", graph.MaxDegreeAtMost(regular, 6))
+	fmt.Println("δ ≥ 6:", graph.MinDegreeAtLeast(regular, 6))
+	kn := graph.NewComplete(1000000) // implicit: O(1) memory
+	fmt.Println("K_n degree:", kn.Degree(0))
+	// Output:
+	// 6-regular: true
+	// Δ ≤ 6: true
+	// δ ≥ 6: true
+	// K_n degree: 999999
+}
+
+// ExampleWattsStrogatz shows the small-world effect: rewiring collapses
+// path lengths while retaining most clustering.
+func ExampleWattsStrogatz() {
+	lattice, err := graph.WattsStrogatz(300, 6, 0, rng.New(2))
+	if err != nil {
+		panic(err)
+	}
+	rewired, err := graph.WattsStrogatz(300, 6, 0.1, rng.New(2))
+	if err != nil {
+		panic(err)
+	}
+	l0 := graph.EstimateAveragePathLength(lattice, 30, rng.New(3))
+	l1 := graph.EstimateAveragePathLength(rewired, 30, rng.New(3))
+	fmt.Println("paths shorter after rewiring:", l1 < l0/2)
+	// Output:
+	// paths shorter after rewiring: true
+}

@@ -1,0 +1,317 @@
+package graph
+
+import (
+	"fmt"
+
+	"liquid/internal/rng"
+)
+
+// Star returns the star graph: vertex 0 is the center, vertices 1..n-1 are
+// leaves. This is the Figure 1 topology. It returns an error for n < 1.
+func Star(n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: star needs n >= 1, got %d", ErrInvalidGraph, n)
+	}
+	g := NewGraph(n)
+	for v := 1; v < n; v++ {
+		if err := g.AddEdge(0, v); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Cycle returns the n-cycle. It returns an error for n < 3.
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("%w: cycle needs n >= 3, got %d", ErrInvalidGraph, n)
+	}
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		if err := g.AddEdge(v, (v+1)%n); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Path returns the path graph on n vertices. It returns an error for n < 1.
+func Path(n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: path needs n >= 1, got %d", ErrInvalidGraph, n)
+	}
+	g := NewGraph(n)
+	for v := 0; v+1 < n; v++ {
+		if err := g.AddEdge(v, v+1); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Grid returns the rows x cols king-free 4-neighbor grid graph.
+func Grid(rows, cols int) (*Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("%w: grid needs positive dimensions", ErrInvalidGraph)
+	}
+	g := NewGraph(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := g.AddEdge(id(r, c), id(r, c+1)); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddEdge(id(r, c), id(r+1, c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// ErdosRenyi returns a G(n, p) random graph.
+func ErdosRenyi(n int, p float64, s *rng.Stream) (*Graph, error) {
+	if n < 0 || p < 0 || p > 1 {
+		return nil, fmt.Errorf("%w: ErdosRenyi(n=%d, p=%v)", ErrInvalidGraph, n, p)
+	}
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if s.Bernoulli(p) {
+				if err := g.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomRegular returns a random d-regular simple graph on n vertices using
+// the pairing (configuration) model with edge-swap repair: d copies of each
+// vertex are paired uniformly, then self-loops and multi-edges are removed
+// by swapping their endpoints with uniformly chosen good edges. This is the
+// standard practical generator for d << n. n*d must be even and d < n.
+func RandomRegular(n, d int, s *rng.Stream) (*Graph, error) {
+	switch {
+	case n < 0 || d < 0:
+		return nil, fmt.Errorf("%w: RandomRegular(n=%d, d=%d)", ErrInvalidGraph, n, d)
+	case d >= n && n > 0:
+		return nil, fmt.Errorf("%w: degree %d requires at least %d vertices", ErrInvalidGraph, d, d+1)
+	case n*d%2 != 0:
+		return nil, fmt.Errorf("%w: n*d = %d must be even", ErrInvalidGraph, n*d)
+	}
+	if d == 0 || n == 0 {
+		return NewGraph(n), nil
+	}
+
+	const maxRestarts = 100
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		if g, ok := pairingWithRepair(n, d, s); ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: pairing model failed to produce a simple %d-regular graph on %d vertices", ErrInvalidGraph, d, n)
+}
+
+// pairingWithRepair runs one configuration-model draw followed by endpoint
+// swaps that eliminate self-loops and duplicate edges.
+func pairingWithRepair(n, d int, s *rng.Stream) (*Graph, bool) {
+	stubs := make([]int, n*d)
+	for i := range stubs {
+		stubs[i] = i / d
+	}
+	s.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	type edge struct{ u, v int }
+	canon := func(u, v int) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+
+	m := len(stubs) / 2
+	edges := make([][2]int, m)
+	count := make(map[edge]int, m)
+	for i := 0; i < m; i++ {
+		u, v := stubs[2*i], stubs[2*i+1]
+		edges[i] = [2]int{u, v}
+		count[canon(u, v)]++
+	}
+	isBad := func(u, v int) bool {
+		return u == v || count[canon(u, v)] > 1
+	}
+	// badAfter reports whether adding edge {a,b} would create a loop or a
+	// duplicate, given current multiplicities.
+	badAfter := func(a, b int) bool {
+		return a == b || count[canon(a, b)] >= 1
+	}
+	var bad []int
+	for i, e := range edges {
+		if isBad(e[0], e[1]) {
+			bad = append(bad, i)
+		}
+	}
+
+	// Swap endpoints of bad edges with random edges until clean. Each
+	// successful swap strictly reduces (loops + excess multiplicity) in
+	// expectation; cap the work to avoid pathological spins.
+	budget := 200 * (len(bad) + 1) * (d + 1)
+	for len(bad) > 0 && budget > 0 {
+		budget--
+		bi := bad[len(bad)-1]
+		u, v := edges[bi][0], edges[bi][1]
+		if !isBad(u, v) { // repaired as a side effect of an earlier swap
+			bad = bad[:len(bad)-1]
+			continue
+		}
+		oi := s.IntN(m)
+		if oi == bi {
+			continue
+		}
+		x, y := edges[oi][0], edges[oi][1]
+		// Propose rewiring {u,v},{x,y} -> {u,x},{v,y}.
+		if u == x || v == y || badAfter(u, x) || badAfter(v, y) {
+			continue
+		}
+		count[canon(u, v)]--
+		count[canon(x, y)]--
+		count[canon(u, x)]++
+		count[canon(v, y)]++
+		edges[bi] = [2]int{u, x}
+		edges[oi] = [2]int{v, y}
+		if !isBad(u, x) {
+			bad = bad[:len(bad)-1]
+		}
+		if isBad(v, y) {
+			bad = append(bad, oi)
+		}
+	}
+	if len(bad) > 0 {
+		return nil, false
+	}
+
+	g := NewGraph(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, false
+		}
+	}
+	return g, true
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: it starts from a
+// star on m+1 vertices and attaches each later vertex to m distinct existing
+// vertices chosen proportionally to their degree. This is the real-world
+// network model the paper's discussion proposes auditing (Section 6).
+func BarabasiAlbert(n, m int, s *rng.Stream) (*Graph, error) {
+	if m < 1 || n < m+1 {
+		return nil, fmt.Errorf("%w: BarabasiAlbert(n=%d, m=%d) requires n >= m+1, m >= 1", ErrInvalidGraph, n, m)
+	}
+	g := NewGraph(n)
+	// Repeated-endpoints list: vertex v appears deg(v) times, which makes
+	// degree-proportional sampling O(1).
+	targets := make([]int, 0, 2*m*n)
+	for v := 1; v <= m; v++ {
+		if err := g.AddEdge(0, v); err != nil {
+			return nil, err
+		}
+		targets = append(targets, 0, v)
+	}
+	chosen := make(map[int]struct{}, m)
+	for v := m + 1; v < n; v++ {
+		clear(chosen)
+		for len(chosen) < m {
+			u := targets[s.IntN(len(targets))]
+			if u == v {
+				continue
+			}
+			if _, dup := chosen[u]; dup {
+				continue
+			}
+			chosen[u] = struct{}{}
+		}
+		for u := range chosen {
+			if err := g.AddEdge(v, u); err != nil {
+				return nil, err
+			}
+			targets = append(targets, v, u)
+		}
+	}
+	return g, nil
+}
+
+// Community returns a planted-partition graph: n vertices split evenly into
+// k communities, with intra-community edge probability pIn and
+// inter-community probability pOut. A stand-in for clustered social
+// networks.
+func Community(n, k int, pIn, pOut float64, s *rng.Stream) (*Graph, error) {
+	if n < 0 || k < 1 || pIn < 0 || pIn > 1 || pOut < 0 || pOut > 1 {
+		return nil, fmt.Errorf("%w: Community(n=%d, k=%d, pIn=%v, pOut=%v)", ErrInvalidGraph, n, k, pIn, pOut)
+	}
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if u%k == v%k {
+				p = pIn
+			}
+			if s.Bernoulli(p) {
+				if err := g.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomBoundedDegree returns a random graph in which every vertex has
+// degree at most maxDeg: it attempts `attempts` uniformly random edges and
+// keeps those that do not violate the bound or simplicity. Used for the
+// paper's Delta <= k experiments (Theorem 4).
+func RandomBoundedDegree(n, maxDeg, attempts int, s *rng.Stream) (*Graph, error) {
+	if n < 0 || maxDeg < 0 || attempts < 0 {
+		return nil, fmt.Errorf("%w: RandomBoundedDegree(n=%d, maxDeg=%d, attempts=%d)", ErrInvalidGraph, n, maxDeg, attempts)
+	}
+	g := NewGraph(n)
+	if n < 2 || maxDeg == 0 {
+		return g, nil
+	}
+	for i := 0; i < attempts; i++ {
+		u := s.IntN(n)
+		v := s.IntN(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if g.Degree(u) >= maxDeg || g.Degree(v) >= maxDeg {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// CompleteExplicit materializes K_n as an explicit Graph. Intended for small
+// n in tests; use NewComplete for large instances.
+func CompleteExplicit(n int) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative n", ErrInvalidGraph)
+	}
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

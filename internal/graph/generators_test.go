@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"liquid/internal/rng"
+)
+
+func TestStar(t *testing.T) {
+	g, err := Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 5 {
+		t.Fatalf("center degree %d", g.Degree(0))
+	}
+	for v := 1; v < 6; v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("leaf %d degree %d", v, g.Degree(v))
+		}
+	}
+	if _, err := Star(0); !errors.Is(err, ErrInvalidGraph) {
+		t.Fatal("Star(0) should fail")
+	}
+	if g, err := Star(1); err != nil || g.M() != 0 {
+		t.Fatal("Star(1) should be a single vertex")
+	}
+}
+
+func TestCycleAndPath(t *testing.T) {
+	c, err := Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsRegular(c, 2) || c.M() != 5 {
+		t.Fatal("cycle should be 2-regular with n edges")
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Fatal("Cycle(2) should fail")
+	}
+
+	p, err := Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.M() != 3 || p.Degree(0) != 1 || p.Degree(1) != 2 {
+		t.Fatal("bad path shape")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Edge count: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8.
+	if g.M() != 17 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if !IsConnected(g) {
+		t.Fatal("grid should be connected")
+	}
+	if _, err := Grid(0, 5); err == nil {
+		t.Fatal("Grid(0,5) should fail")
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	s := rng.New(1)
+	empty, err := ErdosRenyi(10, 0, s)
+	if err != nil || empty.M() != 0 {
+		t.Fatal("p=0 should yield empty graph")
+	}
+	full, err := ErdosRenyi(10, 1, s)
+	if err != nil || full.M() != 45 {
+		t.Fatalf("p=1 should yield complete graph, M = %d", full.M())
+	}
+	if _, err := ErdosRenyi(10, 1.5, s); err == nil {
+		t.Fatal("invalid p accepted")
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	s := rng.New(2)
+	g, err := ErdosRenyi(200, 0.1, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 * 199.0
+	st := Degrees(g)
+	if st.Mean < want*0.8 || st.Mean > want*1.2 {
+		t.Fatalf("mean degree %v, want ~%v", st.Mean, want)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	s := rng.New(3)
+	for _, tt := range []struct{ n, d int }{{10, 3}, {50, 4}, {101, 6}, {8, 7}} {
+		g, err := RandomRegular(tt.n, tt.d, s)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tt.n, tt.d, err)
+		}
+		if !IsRegular(g, tt.d) {
+			t.Fatalf("RandomRegular(%d,%d) not regular: %+v", tt.n, tt.d, Degrees(g))
+		}
+	}
+}
+
+func TestRandomRegularRejections(t *testing.T) {
+	s := rng.New(4)
+	for _, tt := range []struct{ n, d int }{{5, 3}, {4, 4}, {3, -1}} {
+		if _, err := RandomRegular(tt.n, tt.d, s); !errors.Is(err, ErrInvalidGraph) {
+			t.Errorf("RandomRegular(%d,%d) should fail", tt.n, tt.d)
+		}
+	}
+	if g, err := RandomRegular(7, 0, s); err != nil || g.M() != 0 {
+		t.Error("0-regular graph should be empty")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	s := rng.New(5)
+	g, err := BarabasiAlbert(300, 3, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 300 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Initial star has m edges; each of the n-m-1 later vertices adds m.
+	wantM := 3 + 3*(300-4)
+	if g.M() != wantM {
+		t.Fatalf("M = %d, want %d", g.M(), wantM)
+	}
+	if !IsConnected(g) {
+		t.Fatal("BA graph should be connected")
+	}
+	// Preferential attachment should produce a heavy hub.
+	if Degrees(g).Max < 10 {
+		t.Fatalf("expected a hub, max degree %d", Degrees(g).Max)
+	}
+	if _, err := BarabasiAlbert(3, 3, s); err == nil {
+		t.Fatal("n <= m accepted")
+	}
+}
+
+func TestCommunity(t *testing.T) {
+	s := rng.New(6)
+	g, err := Community(120, 3, 0.5, 0.01, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, inter := 0, 0
+	for _, e := range g.Edges() {
+		if e[0]%3 == e[1]%3 {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= inter {
+		t.Fatalf("communities not denser inside: intra=%d inter=%d", intra, inter)
+	}
+	if _, err := Community(10, 0, 0.5, 0.1, s); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestRandomBoundedDegree(t *testing.T) {
+	s := rng.New(7)
+	g, err := RandomBoundedDegree(100, 5, 5000, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MaxDegreeAtMost(g, 5) {
+		t.Fatalf("degree bound violated: %+v", Degrees(g))
+	}
+	if g.M() == 0 {
+		t.Fatal("expected some edges")
+	}
+	if _, err := RandomBoundedDegree(-1, 5, 10, s); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestQuickRandomRegularIsRegular(t *testing.T) {
+	f := func(seed uint64, nRaw, dRaw uint8) bool {
+		d := int(dRaw%4) + 1 // 1..4
+		n := int(nRaw%30) + d + 1
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := RandomRegular(n, d, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		return IsRegular(g, d)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package graph provides the voting-graph substrate: an undirected graph
+// type, the generators behind the paper's graph restrictions (complete,
+// random d-regular, bounded degree, bounded minimum degree) plus the
+// real-world stand-ins named in the paper's discussion (Barabási–Albert,
+// community graphs), and structural metrics.
+//
+// Two representations implement Topology: Graph stores explicit adjacency
+// lists; Complete is an O(1)-memory implicit complete graph so that K_n
+// experiments scale to large n without materializing n^2 edges.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrInvalidGraph reports malformed construction input.
+var ErrInvalidGraph = errors.New("graph: invalid graph")
+
+// Topology is a read-only undirected graph on vertices [0, N).
+type Topology interface {
+	// N returns the number of vertices.
+	N() int
+	// Degree returns the number of neighbors of vertex v.
+	Degree(v int) int
+	// Neighbors returns the neighbors of v in ascending order. Callers must
+	// not modify the returned slice; implicit topologies may allocate.
+	Neighbors(v int) []int
+	// HasEdge reports whether {u, v} is an edge. Self-loops never exist.
+	HasEdge(u, v int) bool
+}
+
+// Graph is an explicit undirected simple graph with sorted adjacency lists.
+type Graph struct {
+	adj [][]int
+	m   int // number of edges
+}
+
+var _ Topology = (*Graph)(nil)
+
+// NewGraph returns an empty graph on n vertices. It panics if n < 0.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// NewGraphFromEdges builds a graph on n vertices from an edge list.
+// Duplicate edges are rejected; self-loops and out-of-range endpoints are
+// rejected.
+func NewGraphFromEdges(n int, edges [][2]int) (*Graph, error) {
+	g := NewGraph(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// N implements Topology.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge {u, v}, keeping adjacency sorted.
+// It returns an error for self-loops, duplicate edges, or endpoints outside
+// [0, N).
+func (g *Graph) AddEdge(u, v int) error {
+	n := len(g.adj)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("%w: edge (%d,%d) out of range [0,%d)", ErrInvalidGraph, u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: self-loop at %d", ErrInvalidGraph, u)
+	}
+	if g.hasEdgeSorted(u, v) {
+		return fmt.Errorf("%w: duplicate edge (%d,%d)", ErrInvalidGraph, u, v)
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	g.m++
+	return nil
+}
+
+// Degree implements Topology.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors implements Topology. The returned slice aliases internal state
+// and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// HasEdge implements Topology.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) || u == v {
+		return false
+	}
+	return g.hasEdgeSorted(u, v)
+}
+
+func (g *Graph) hasEdgeSorted(u, v int) bool {
+	a := g.adj[u]
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v
+}
+
+func insertSorted(a []int, v int) []int {
+	i := sort.SearchInts(a, v)
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = v
+	return a
+}
+
+// Edges returns all edges as (u, v) pairs with u < v, in lexicographic
+// order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Complete is the implicit complete graph K_n.
+type Complete struct {
+	n int
+}
+
+var _ Topology = Complete{}
+
+// NewComplete returns K_n. It panics if n < 0.
+func NewComplete(n int) Complete {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return Complete{n: n}
+}
+
+// N implements Topology.
+func (c Complete) N() int { return c.n }
+
+// Degree implements Topology.
+func (c Complete) Degree(v int) int {
+	if c.n == 0 {
+		return 0
+	}
+	return c.n - 1
+}
+
+// Neighbors implements Topology. It allocates a fresh slice of n-1 vertices;
+// prefer Degree/HasEdge in hot paths.
+func (c Complete) Neighbors(v int) []int {
+	out := make([]int, 0, c.n-1)
+	for u := 0; u < c.n; u++ {
+		if u != v {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// HasEdge implements Topology.
+func (c Complete) HasEdge(u, v int) bool {
+	return u != v && u >= 0 && v >= 0 && u < c.n && v < c.n
+}

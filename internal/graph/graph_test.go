@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := NewGraph(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(1, 2) {
+		t.Fatal("edges should be undirected")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatalf("degrees: %d %d", g.Degree(1), g.Degree(3))
+	}
+}
+
+func TestAddEdgeRejections(t *testing.T) {
+	g := NewGraph(3)
+	tests := []struct {
+		u, v int
+	}{
+		{0, 0},  // self loop
+		{-1, 1}, // out of range
+		{0, 3},  // out of range
+	}
+	for _, tt := range tests {
+		if err := g.AddEdge(tt.u, tt.v); !errors.Is(err, ErrInvalidGraph) {
+			t.Errorf("AddEdge(%d,%d): err = %v, want ErrInvalidGraph", tt.u, tt.v, err)
+		}
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); !errors.Is(err, ErrInvalidGraph) {
+		t.Errorf("duplicate edge: err = %v", err)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := NewGraph(5)
+	for _, v := range []int{4, 1, 3} {
+		if err := g.AddEdge(2, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nbrs := g.Neighbors(2)
+	want := []int{1, 3, 4}
+	if len(nbrs) != len(want) {
+		t.Fatalf("Neighbors = %v", nbrs)
+	}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", nbrs, want)
+		}
+	}
+}
+
+func TestEdgesCanonical(t *testing.T) {
+	g := NewGraph(4)
+	mustAdd(t, g, 3, 0)
+	mustAdd(t, g, 1, 2)
+	mustAdd(t, g, 0, 1)
+	edges := g.Edges()
+	want := [][2]int{{0, 1}, {0, 3}, {1, 2}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges = %v", edges)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", edges, want)
+		}
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewGraphFromEdges(t *testing.T) {
+	g, err := NewGraphFromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if _, err := NewGraphFromEdges(3, [][2]int{{0, 1}, {0, 1}}); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestCompleteTopology(t *testing.T) {
+	c := NewComplete(5)
+	if c.N() != 5 {
+		t.Fatalf("N = %d", c.N())
+	}
+	for v := 0; v < 5; v++ {
+		if c.Degree(v) != 4 {
+			t.Fatalf("Degree(%d) = %d", v, c.Degree(v))
+		}
+		nbrs := c.Neighbors(v)
+		if len(nbrs) != 4 {
+			t.Fatalf("Neighbors(%d) = %v", v, nbrs)
+		}
+		for _, u := range nbrs {
+			if u == v {
+				t.Fatal("self in neighbors")
+			}
+		}
+	}
+	if c.HasEdge(2, 2) {
+		t.Fatal("self edge in complete graph")
+	}
+	if !c.HasEdge(0, 4) {
+		t.Fatal("missing edge in complete graph")
+	}
+	if c.HasEdge(0, 5) || c.HasEdge(-1, 2) {
+		t.Fatal("out-of-range edge reported")
+	}
+}
+
+func TestCompleteEmptyDegree(t *testing.T) {
+	c := NewComplete(0)
+	if c.N() != 0 {
+		t.Fatal("empty complete graph")
+	}
+}
+
+func TestCompleteMatchesExplicit(t *testing.T) {
+	imp := NewComplete(6)
+	exp, err := CompleteExplicit(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 6; u++ {
+		if imp.Degree(u) != exp.Degree(u) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+		for v := 0; v < 6; v++ {
+			if imp.HasEdge(u, v) != exp.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) mismatch", u, v)
+			}
+		}
+	}
+}
+
+func TestQuickHandshakeLemma(t *testing.T) {
+	// Sum of degrees equals twice the number of edges for arbitrary edge
+	// sets.
+	f := func(nRaw uint8, pairs [][2]uint8) bool {
+		n := int(nRaw%20) + 2
+		g := NewGraph(n)
+		for _, p := range pairs {
+			u, v := int(p[0])%n, int(p[1])%n
+			_ = g.AddEdge(u, v) // errors (dups/self-loops) are fine to skip
+		}
+		total := 0
+		for v := 0; v < n; v++ {
+			total += g.Degree(v)
+		}
+		return total == 2*g.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

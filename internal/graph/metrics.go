@@ -1,0 +1,121 @@
+package graph
+
+// DegreeStats summarizes the degree sequence of a topology.
+type DegreeStats struct {
+	Min  int
+	Max  int
+	Mean float64
+}
+
+// Degrees computes the degree statistics of t. For an empty graph all
+// fields are zero.
+func Degrees(t Topology) DegreeStats {
+	n := t.N()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	st := DegreeStats{Min: t.Degree(0), Max: t.Degree(0)}
+	total := 0
+	for v := 0; v < n; v++ {
+		d := t.Degree(v)
+		total += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	st.Mean = float64(total) / float64(n)
+	return st
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d.
+func DegreeHistogram(t Topology) []int {
+	n := t.N()
+	maxD := 0
+	degs := make([]int, n)
+	for v := 0; v < n; v++ {
+		degs[v] = t.Degree(v)
+		if degs[v] > maxD {
+			maxD = degs[v]
+		}
+	}
+	counts := make([]int, maxD+1)
+	for _, d := range degs {
+		counts[d]++
+	}
+	return counts
+}
+
+// ConnectedComponents returns, for each vertex, the id of its component
+// (ids are 0-based in order of discovery) and the number of components.
+func ConnectedComponents(t Topology) (comp []int, count int) {
+	n := t.N()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int
+	for v := 0; v < n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		comp[v] = count
+		queue = append(queue[:0], v)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range t.Neighbors(u) {
+				if comp[w] == -1 {
+					comp[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// IsConnected reports whether t is connected. The empty graph counts as
+// connected.
+func IsConnected(t Topology) bool {
+	if t.N() == 0 {
+		return true
+	}
+	_, c := ConnectedComponents(t)
+	return c == 1
+}
+
+// IsRegular reports whether every vertex has degree d.
+func IsRegular(t Topology, d int) bool {
+	for v := 0; v < t.N(); v++ {
+		if t.Degree(v) != d {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDegreeAtMost reports whether the maximum degree is at most k (the
+// paper's restriction Delta <= k).
+func MaxDegreeAtMost(t Topology, k int) bool {
+	for v := 0; v < t.N(); v++ {
+		if t.Degree(v) > k {
+			return false
+		}
+	}
+	return true
+}
+
+// MinDegreeAtLeast reports whether the minimum degree is at least k (the
+// paper's restriction delta >= k).
+func MinDegreeAtLeast(t Topology, k int) bool {
+	for v := 0; v < t.N(); v++ {
+		if t.Degree(v) < k {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"testing"
+
+	"liquid/internal/rng"
+)
+
+func TestDegreesStar(t *testing.T) {
+	g, err := Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Degrees(g)
+	if st.Min != 1 || st.Max != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	want := 8.0 / 5
+	if st.Mean != want {
+		t.Fatalf("mean %v, want %v", st.Mean, want)
+	}
+}
+
+func TestDegreesEmpty(t *testing.T) {
+	st := Degrees(NewGraph(0))
+	if st.Min != 0 || st.Max != 0 || st.Mean != 0 {
+		t.Fatalf("empty stats %+v", st)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g, err := Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := DegreeHistogram(g)
+	// degree 1: 3 leaves; degree 3: center.
+	if len(h) != 4 || h[1] != 3 || h[3] != 1 || h[0] != 0 || h[2] != 0 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewGraph(6)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 1, 2)
+	mustAdd(t, g, 4, 5)
+	comp, count := ConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("vertices 0-2 should share a component")
+	}
+	if comp[3] == comp[0] || comp[3] == comp[4] {
+		t.Fatal("vertex 3 should be isolated")
+	}
+	if comp[4] != comp[5] {
+		t.Fatal("vertices 4,5 should share a component")
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !IsConnected(NewGraph(0)) {
+		t.Fatal("empty graph counts as connected")
+	}
+	if !IsConnected(NewComplete(10)) {
+		t.Fatal("complete graph connected")
+	}
+	g := NewGraph(2)
+	if IsConnected(g) {
+		t.Fatal("two isolated vertices are disconnected")
+	}
+}
+
+func TestDegreeBoundPredicates(t *testing.T) {
+	s := rng.New(11)
+	g, err := RandomRegular(20, 4, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MaxDegreeAtMost(g, 4) || MaxDegreeAtMost(g, 3) {
+		t.Fatal("MaxDegreeAtMost wrong")
+	}
+	if !MinDegreeAtLeast(g, 4) || MinDegreeAtLeast(g, 5) {
+		t.Fatal("MinDegreeAtLeast wrong")
+	}
+}

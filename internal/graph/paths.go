@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"liquid/internal/rng"
+)
+
+// BFSDistances returns the hop distance from src to every vertex
+// (-1 for unreachable vertices).
+func BFSDistances(t Topology, src int) []int {
+	n := t.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= n {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range t.Neighbors(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the greatest distance from src to any reachable
+// vertex.
+func Eccentricity(t Topology, src int) int {
+	ecc := 0
+	for _, d := range BFSDistances(t, src) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact diameter of t (the maximum eccentricity over
+// all vertices, ignoring unreachable pairs). Cost is O(n * (n + m)); use
+// EstimateAveragePathLength for large graphs.
+func Diameter(t Topology) int {
+	d := 0
+	for v := 0; v < t.N(); v++ {
+		if e := Eccentricity(t, v); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// EstimateAveragePathLength estimates the mean hop distance between
+// reachable vertex pairs by running BFS from `samples` random sources.
+// Returns 0 for graphs with fewer than 2 vertices.
+func EstimateAveragePathLength(t Topology, samples int, s *rng.Stream) float64 {
+	n := t.N()
+	if n < 2 {
+		return 0
+	}
+	if samples <= 0 {
+		samples = 16
+	}
+	if samples > n {
+		samples = n
+	}
+	var (
+		sum   float64
+		pairs int
+	)
+	for _, src := range s.SampleWithoutReplacement(n, samples) {
+		for u, d := range BFSDistances(t, src) {
+			if u != src && d > 0 {
+				sum += float64(d)
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return sum / float64(pairs)
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"liquid/internal/rng"
+)
+
+func TestBFSDistancesPath(t *testing.T) {
+	g, err := Path(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := BFSDistances(g, 0)
+	want := []int{0, 1, 2, 3, 4}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist = %v, want %v", dist, want)
+		}
+	}
+}
+
+func TestBFSDistancesDisconnected(t *testing.T) {
+	g := NewGraph(4)
+	mustAdd(t, g, 0, 1)
+	dist := BFSDistances(g, 0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatalf("unreachable vertices should be -1: %v", dist)
+	}
+	// Out-of-range source: everything unreachable.
+	for _, d := range BFSDistances(g, -1) {
+		if d != -1 {
+			t.Fatal("bad source should reach nothing")
+		}
+	}
+}
+
+func TestDiameterKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		make func() (*Graph, error)
+		want int
+	}{
+		{"path5", func() (*Graph, error) { return Path(5) }, 4},
+		{"cycle6", func() (*Graph, error) { return Cycle(6) }, 3},
+		{"star7", func() (*Graph, error) { return Star(7) }, 2},
+		{"K5", func() (*Graph, error) { return CompleteExplicit(5) }, 1},
+	}
+	for _, tt := range tests {
+		g, err := tt.make()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Diameter(g); got != tt.want {
+			t.Errorf("%s diameter = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestEccentricityCenterVsLeaf(t *testing.T) {
+	g, err := Star(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Eccentricity(g, 0) != 1 {
+		t.Fatal("center eccentricity should be 1")
+	}
+	if Eccentricity(g, 3) != 2 {
+		t.Fatal("leaf eccentricity should be 2")
+	}
+}
+
+func TestAveragePathLengthCompleteIsOne(t *testing.T) {
+	g, err := CompleteExplicit(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EstimateAveragePathLength(g, 10, rng.New(1))
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("complete graph APL = %v, want 1", got)
+	}
+}
+
+func TestAveragePathLengthSmallWorldShortcut(t *testing.T) {
+	// Rewiring shortens paths: the small-world effect.
+	lattice, err := WattsStrogatz(300, 6, 0, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewired, err := WattsStrogatz(300, 6, 0.2, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lAPL := EstimateAveragePathLength(lattice, 20, rng.New(3))
+	rAPL := EstimateAveragePathLength(rewired, 20, rng.New(3))
+	if rAPL >= lAPL {
+		t.Fatalf("rewiring should shorten paths: %v -> %v", lAPL, rAPL)
+	}
+}
+
+func TestAveragePathLengthEdgeCases(t *testing.T) {
+	if EstimateAveragePathLength(NewGraph(1), 4, rng.New(4)) != 0 {
+		t.Fatal("single vertex APL should be 0")
+	}
+	if EstimateAveragePathLength(NewGraph(5), 4, rng.New(5)) != 0 {
+		t.Fatal("edgeless graph APL should be 0")
+	}
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"fmt"
+
+	"liquid/internal/rng"
+)
+
+// WattsStrogatz returns a small-world graph: a ring lattice where every
+// vertex connects to its k nearest neighbours (k even), with each edge's
+// far endpoint rewired to a uniform random vertex with probability beta.
+// beta = 0 is the ring lattice, beta = 1 approaches a random graph while
+// keeping minimum degree >= k/2. A standard model for social networks with
+// high clustering and short paths.
+func WattsStrogatz(n, k int, beta float64, s *rng.Stream) (*Graph, error) {
+	switch {
+	case n < 3 || k < 2 || k%2 != 0:
+		return nil, fmt.Errorf("%w: WattsStrogatz(n=%d, k=%d) needs n >= 3 and even k >= 2", ErrInvalidGraph, n, k)
+	case k >= n:
+		return nil, fmt.Errorf("%w: WattsStrogatz needs k < n, got k=%d n=%d", ErrInvalidGraph, k, n)
+	case beta < 0 || beta > 1:
+		return nil, fmt.Errorf("%w: WattsStrogatz beta=%v not in [0,1]", ErrInvalidGraph, beta)
+	}
+	g := NewGraph(n)
+	// Ring lattice: vertex v connects to v+1 .. v+k/2 (mod n).
+	for v := 0; v < n; v++ {
+		for off := 1; off <= k/2; off++ {
+			u := (v + off) % n
+			if !s.Bernoulli(beta) {
+				if !g.HasEdge(v, u) {
+					if err := g.AddEdge(v, u); err != nil {
+						return nil, err
+					}
+				}
+				continue
+			}
+			// Rewire: keep v, pick a fresh far endpoint. Skip (rather than
+			// retry forever) if v is saturated.
+			rewired := false
+			for attempt := 0; attempt < 4*n; attempt++ {
+				w := s.IntN(n)
+				if w == v || g.HasEdge(v, w) {
+					continue
+				}
+				if err := g.AddEdge(v, w); err != nil {
+					return nil, err
+				}
+				rewired = true
+				break
+			}
+			if !rewired && !g.HasEdge(v, u) {
+				if err := g.AddEdge(v, u); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// ClusteringCoefficient returns the global clustering coefficient of t:
+// 3 x triangles / open triads. Returns 0 for graphs without any wedge.
+func ClusteringCoefficient(t Topology) float64 {
+	n := t.N()
+	var triangles, wedges int64
+	for v := 0; v < n; v++ {
+		nbrs := t.Neighbors(v)
+		d := int64(len(nbrs))
+		wedges += d * (d - 1) / 2
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				if t.HasEdge(nbrs[i], nbrs[j]) {
+					triangles++
+				}
+			}
+		}
+	}
+	if wedges == 0 {
+		return 0
+	}
+	// Each triangle is counted once per corner (3 times total), and the
+	// definition is 3*T / wedges with T the triangle count; since we count
+	// per-corner the factor is already folded in.
+	return float64(triangles) / float64(wedges)
+}

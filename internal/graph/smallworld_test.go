@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"liquid/internal/rng"
+)
+
+func TestWattsStrogatzRingLattice(t *testing.T) {
+	// beta = 0: exact ring lattice, k-regular.
+	g, err := WattsStrogatz(20, 4, 0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsRegular(g, 4) {
+		t.Fatalf("ring lattice should be 4-regular: %+v", Degrees(g))
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || !g.HasEdge(0, 19) || !g.HasEdge(0, 18) {
+		t.Fatal("ring lattice edges missing")
+	}
+	if !IsConnected(g) {
+		t.Fatal("ring lattice should be connected")
+	}
+}
+
+func TestWattsStrogatzRewiring(t *testing.T) {
+	g0, err := WattsStrogatz(200, 6, 0, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := WattsStrogatz(200, 6, 0.5, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge count is preserved by rewiring (up to skipped saturations).
+	if g1.M() < g0.M()-10 || g1.M() > g0.M() {
+		t.Fatalf("edge counts: lattice %d, rewired %d", g0.M(), g1.M())
+	}
+	// Rewiring destroys clustering.
+	c0 := ClusteringCoefficient(g0)
+	c1 := ClusteringCoefficient(g1)
+	if c1 >= c0 {
+		t.Fatalf("rewiring should reduce clustering: %v -> %v", c0, c1)
+	}
+	if c0 < 0.4 {
+		t.Fatalf("ring lattice k=6 clustering should be ~0.6, got %v", c0)
+	}
+}
+
+func TestWattsStrogatzValidation(t *testing.T) {
+	s := rng.New(3)
+	tests := []struct {
+		n, k int
+		beta float64
+	}{
+		{2, 2, 0.1},   // n too small
+		{10, 3, 0.1},  // odd k
+		{10, 0, 0.1},  // k too small
+		{10, 10, 0.1}, // k >= n
+		{10, 4, -0.1}, // bad beta
+		{10, 4, 1.5},  // bad beta
+	}
+	for _, tt := range tests {
+		if _, err := WattsStrogatz(tt.n, tt.k, tt.beta, s); !errors.Is(err, ErrInvalidGraph) {
+			t.Errorf("WattsStrogatz(%d,%d,%v): err = %v", tt.n, tt.k, tt.beta, err)
+		}
+	}
+}
+
+func TestClusteringCoefficientKnown(t *testing.T) {
+	// Triangle: clustering 1.
+	tri, err := Cycle(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := ClusteringCoefficient(tri); c != 1 {
+		t.Fatalf("triangle clustering = %v", c)
+	}
+	// Star: no triangles.
+	star, err := Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := ClusteringCoefficient(star); c != 0 {
+		t.Fatalf("star clustering = %v", c)
+	}
+	// Complete graph K5: clustering 1.
+	k5, err := CompleteExplicit(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := ClusteringCoefficient(k5); c != 1 {
+		t.Fatalf("K5 clustering = %v", c)
+	}
+	// Empty graph: defined as 0.
+	if c := ClusteringCoefficient(NewGraph(4)); c != 0 {
+		t.Fatalf("empty clustering = %v", c)
+	}
+}

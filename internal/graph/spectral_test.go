@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"liquid/internal/rng"
+)
+
+func TestSpectralGapCompleteIsLarge(t *testing.T) {
+	g, err := CompleteExplicit(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := SpectralGapEstimate(g, 300, rng.New(1))
+	// For K_n with self loops, S = J/n: lambda_2 = 0 exactly, gap = 1.
+	if gap < 0.95 {
+		t.Fatalf("complete graph gap = %v, want ~1", gap)
+	}
+}
+
+func TestSpectralGapRingIsTiny(t *testing.T) {
+	g, err := Cycle(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := SpectralGapEstimate(g, 500, rng.New(2))
+	// Ring gap is Theta(1/n^2): tiny.
+	if gap > 0.05 {
+		t.Fatalf("cycle gap = %v, want tiny", gap)
+	}
+	if gap <= 0 {
+		t.Fatalf("cycle gap = %v, want positive", gap)
+	}
+}
+
+func TestSpectralGapExpanderBeatsRing(t *testing.T) {
+	s := rng.New(3)
+	ring, err := Cycle(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expander, err := RandomRegular(200, 8, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gRing := SpectralGapEstimate(ring, 400, rng.New(4))
+	gExp := SpectralGapEstimate(expander, 400, rng.New(5))
+	if gExp <= 5*gRing {
+		t.Fatalf("expander gap %v should dwarf ring gap %v", gExp, gRing)
+	}
+}
+
+func TestSpectralGapBounds(t *testing.T) {
+	if SpectralGapEstimate(NewGraph(1), 10, rng.New(6)) != 0 {
+		t.Fatal("single vertex gap should be 0")
+	}
+	// Disconnected graph: lambda_2 = 1 (a second stationary direction), so
+	// the gap should be ~0.
+	g := NewGraph(10)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 2, 3)
+	gap := SpectralGapEstimate(g, 300, rng.New(7))
+	if gap > 0.05 {
+		t.Fatalf("disconnected gap = %v, want ~0", gap)
+	}
+}
+
+func TestSpectralGapSmallWorldRewiringHelps(t *testing.T) {
+	lattice, err := WattsStrogatz(200, 6, 0, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewired, err := WattsStrogatz(200, 6, 0.3, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gL := SpectralGapEstimate(lattice, 400, rng.New(9))
+	gR := SpectralGapEstimate(rewired, 400, rng.New(10))
+	if gR <= gL {
+		t.Fatalf("rewiring should open the gap: %v -> %v", gL, gR)
+	}
+	if math.IsNaN(gL) || math.IsNaN(gR) {
+		t.Fatal("NaN gap")
+	}
+}

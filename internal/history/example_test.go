@@ -1,0 +1,29 @@
+package history_test
+
+import (
+	"fmt"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/history"
+	"liquid/internal/rng"
+)
+
+// Example estimates approval sets from an observed track record instead of
+// assuming known competencies.
+func Example() {
+	p := []float64{0.2, 0.5, 0.9}
+	in, err := core.NewInstance(graph.NewComplete(3), p)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := history.Simulate(in, 1000, rng.New(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("v0 approves v2 (margin 0.2):", tr.Approves(0, 2, 0.2))
+	fmt.Println("v2 approves v0 (margin 0.2):", tr.Approves(2, 0, 0.2))
+	// Output:
+	// v0 approves v2 (margin 0.2): true
+	// v2 approves v0 (margin 0.2): false
+}

@@ -1,0 +1,92 @@
+// Package history models where approval sets come from in practice: voters
+// observe each other's track records on past issues with known outcomes and
+// approve neighbours whose observed accuracy exceeds their own by the
+// margin alpha. As the history grows, estimated approvals converge to the
+// true approval sets J(i) of the paper's model; with short histories,
+// mechanisms run on noisy approvals, and the library measures how much gain
+// that costs.
+package history
+
+import (
+	"errors"
+	"fmt"
+
+	"liquid/internal/core"
+	"liquid/internal/rng"
+)
+
+// ErrInvalidHistory reports invalid track-record parameters.
+var ErrInvalidHistory = errors.New("history: invalid track record")
+
+// TrackRecord holds each voter's score on T past binary issues with known
+// ground truth.
+type TrackRecord struct {
+	T      int
+	Scores []int
+}
+
+// Simulate draws a track record: on each of t issues every voter is
+// independently correct with its competency.
+func Simulate(in *core.Instance, t int, s *rng.Stream) (*TrackRecord, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("%w: history length %d", ErrInvalidHistory, t)
+	}
+	tr := &TrackRecord{T: t, Scores: make([]int, in.N())}
+	for issue := 0; issue < t; issue++ {
+		for v := 0; v < in.N(); v++ {
+			if s.Bernoulli(in.Competency(v)) {
+				tr.Scores[v]++
+			}
+		}
+	}
+	return tr, nil
+}
+
+// Accuracy returns voter v's observed accuracy with Laplace (add-one)
+// smoothing, keeping estimates strictly inside (0, 1).
+func (tr *TrackRecord) Accuracy(v int) float64 {
+	return (float64(tr.Scores[v]) + 1) / (float64(tr.T) + 2)
+}
+
+// Approves reports whether voter i would approve voter j at margin alpha
+// based on observed accuracies.
+func (tr *TrackRecord) Approves(i, j int, alpha float64) bool {
+	return tr.Accuracy(j) >= tr.Accuracy(i)+alpha
+}
+
+// SurrogateInstance builds an instance over the same topology whose
+// competencies are the observed (smoothed) accuracies. Running a mechanism
+// on the surrogate realizes delegation decisions based purely on observable
+// information; the resulting delegation graph is then scored against the
+// true instance.
+func (tr *TrackRecord) SurrogateInstance(in *core.Instance) (*core.Instance, error) {
+	if len(tr.Scores) != in.N() {
+		return nil, fmt.Errorf("%w: %d scores for %d voters", ErrInvalidHistory, len(tr.Scores), in.N())
+	}
+	p := make([]float64, in.N())
+	for v := range p {
+		p[v] = tr.Accuracy(v)
+	}
+	return core.NewInstance(in.Topology(), p)
+}
+
+// MisdelegationRate reports the fraction of delegation edges in d whose
+// target is NOT truly approved at margin alpha under the real competencies
+// — delegation mistakes induced by the noisy history. Returns 0 when
+// nothing is delegated.
+func MisdelegationRate(in *core.Instance, d *core.DelegationGraph, alpha float64) float64 {
+	total, wrong := 0, 0
+	for i, j := range d.Delegate {
+		if j == core.NoDelegate {
+			continue
+		}
+		total++
+		if !in.Approves(i, j, alpha) {
+			wrong++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(wrong) / float64(total)
+}

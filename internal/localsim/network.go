@@ -1,0 +1,266 @@
+// Package localsim is a synchronous message-passing simulator in the spirit
+// of the LOCAL model of distributed computing, which the paper cites as the
+// inspiration for its locality restriction (Section 1.2).
+//
+// Each voter runs as a node that only knows the pseudonymous identities of
+// its neighbours and which of them it approves (the paper's information
+// model: nobody knows numeric competencies). The package ships a
+// distributed implementation of the threshold delegation mechanism plus a
+// weight-convergecast phase; its output is verified against the centralized
+// resolution in tests, demonstrating that the paper's mechanisms really are
+// implementable locally.
+package localsim
+
+import (
+	"errors"
+	"fmt"
+
+	"liquid/internal/rng"
+)
+
+// ErrProtocol reports a protocol violation detected by the simulator.
+var ErrProtocol = errors.New("localsim: protocol violation")
+
+// Message is a point-to-point message delivered in the round after it is
+// sent. Kind, Payload, and Seq semantics belong to the protocol.
+type Message struct {
+	From    int
+	To      int
+	Kind    int
+	Payload int
+	Seq     int
+}
+
+// NodeContext is the read-only local view a node is given: its own id, its
+// neighbour ids, its approval bits, and a private random stream. Ids are
+// pseudonymous: protocols may compare and store them but learn nothing
+// else.
+type NodeContext struct {
+	ID        int
+	Neighbors []int
+	// Approved[k] reports whether the node approves Neighbors[k].
+	Approved []bool
+	Rand     *rng.Stream
+}
+
+// ApprovedNeighbors returns the ids of approved neighbours.
+func (c *NodeContext) ApprovedNeighbors() []int {
+	var out []int
+	for k, ok := range c.Approved {
+		if ok {
+			out = append(out, c.Neighbors[k])
+		}
+	}
+	return out
+}
+
+// Node is a protocol participant. Init runs once before round 0; Round runs
+// every round with the messages delivered this round and returns the
+// messages to send. The simulation stops at global quiescence (no messages
+// in flight and no node requesting more rounds).
+type Node interface {
+	Init(ctx *NodeContext) []Message
+	Round(round int, inbox []Message, ctx *NodeContext) []Message
+}
+
+// Persistent is an optional Node extension for retransmission protocols on
+// lossy networks: a node reporting Busy() == true keeps the simulation
+// running even in rounds where every in-flight message was dropped.
+type Persistent interface {
+	Busy() bool
+}
+
+// Network simulates a synchronous network of nodes, optionally with lossy
+// links.
+type Network struct {
+	contexts []*NodeContext
+	nodes    []Node
+
+	lossRate   float64
+	lossStream *rng.Stream
+
+	maxDelay    int
+	delayStream *rng.Stream
+
+	rounds   int
+	messages int
+	dropped  int
+}
+
+// SetLoss makes every message independently dropped with probability rate,
+// drawn from s. Call before Run. Rate outside [0, 1) is rejected.
+func (nw *Network) SetLoss(rate float64, s *rng.Stream) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("%w: loss rate %v not in [0, 1)", ErrProtocol, rate)
+	}
+	if rate > 0 && s == nil {
+		return fmt.Errorf("%w: loss rate needs a random stream", ErrProtocol)
+	}
+	nw.lossRate = rate
+	nw.lossStream = s
+	return nil
+}
+
+// SetDelay makes message delivery asynchronous: each message is delivered
+// after 1 + IntN(maxDelay) rounds instead of exactly one. Call before Run.
+// maxDelay < 1 disables extra delay.
+func (nw *Network) SetDelay(maxDelay int, s *rng.Stream) error {
+	if maxDelay > 0 && s == nil {
+		return fmt.Errorf("%w: delay needs a random stream", ErrProtocol)
+	}
+	nw.maxDelay = maxDelay
+	nw.delayStream = s
+	return nil
+}
+
+// NewNetwork builds a network over the given contexts and nodes (parallel
+// slices).
+func NewNetwork(contexts []*NodeContext, nodes []Node) (*Network, error) {
+	if len(contexts) != len(nodes) {
+		return nil, fmt.Errorf("%w: %d contexts for %d nodes", ErrProtocol, len(contexts), len(nodes))
+	}
+	return &Network{contexts: contexts, nodes: nodes}, nil
+}
+
+// Run executes the protocol until quiescence or maxRounds, whichever comes
+// first. It returns an error if maxRounds is exhausted with messages still
+// in flight, or if any node addresses a message to a non-neighbour.
+func (nw *Network) Run(maxRounds int) error {
+	n := len(nw.nodes)
+	// wheel[k] holds messages due k rounds from now; wheel[0] is the next
+	// round's inbox batch.
+	wheelSize := nw.maxDelay + 1
+	if wheelSize < 1 {
+		wheelSize = 1
+	}
+	wheel := make([][]Message, wheelSize)
+	pending := 0
+
+	deliver := func(msgs []Message, sender int) error {
+		for _, m := range msgs {
+			if m.From != sender {
+				return fmt.Errorf("%w: node %d forged sender %d", ErrProtocol, sender, m.From)
+			}
+			if m.To < 0 || m.To >= n {
+				return fmt.Errorf("%w: node %d sent to unknown node %d", ErrProtocol, sender, m.To)
+			}
+			if !nw.isNeighbor(sender, m.To) {
+				return fmt.Errorf("%w: node %d sent to non-neighbour %d", ErrProtocol, sender, m.To)
+			}
+			nw.messages++
+			if nw.lossRate > 0 && nw.lossStream.Bernoulli(nw.lossRate) {
+				nw.dropped++
+				continue
+			}
+			slot := 0
+			if nw.maxDelay > 0 {
+				slot = nw.delayStream.IntN(nw.maxDelay + 1)
+			}
+			wheel[slot] = append(wheel[slot], m)
+			pending++
+		}
+		return nil
+	}
+
+	for i, node := range nw.nodes {
+		if err := deliver(node.Init(nw.contexts[i]), i); err != nil {
+			return err
+		}
+	}
+
+	anyBusy := func() bool {
+		for _, node := range nw.nodes {
+			if p, ok := node.(Persistent); ok && p.Busy() {
+				return true
+			}
+		}
+		return false
+	}
+
+	inbox := make([][]Message, n)
+	for round := 0; pending > 0 || anyBusy(); round++ {
+		if round >= maxRounds {
+			return fmt.Errorf("%w: no quiescence after %d rounds", ErrProtocol, maxRounds)
+		}
+		nw.rounds++
+		// Pop the due slot and rotate the wheel.
+		due := wheel[0]
+		copy(wheel, wheel[1:])
+		wheel[len(wheel)-1] = nil
+		pending -= len(due)
+		for i := range inbox {
+			inbox[i] = inbox[i][:0]
+		}
+		for _, m := range due {
+			inbox[m.To] = append(inbox[m.To], m)
+		}
+		for i, node := range nw.nodes {
+			if err := deliver(node.Round(round, inbox[i], nw.contexts[i]), i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (nw *Network) isNeighbor(u, v int) bool {
+	for _, w := range nw.contexts[u].Neighbors {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// RunRounds executes exactly `rounds` synchronous rounds regardless of
+// message backlog — for protocols (like gossip) that send every round and
+// never reach quiescence.
+func (nw *Network) RunRounds(rounds int) error {
+	n := len(nw.nodes)
+	inboxes := make([][]Message, n)
+	deliver := func(msgs []Message, sender int) error {
+		for _, m := range msgs {
+			if m.From != sender {
+				return fmt.Errorf("%w: node %d forged sender %d", ErrProtocol, sender, m.From)
+			}
+			if m.To < 0 || m.To >= n {
+				return fmt.Errorf("%w: node %d sent to unknown node %d", ErrProtocol, sender, m.To)
+			}
+			if !nw.isNeighbor(sender, m.To) {
+				return fmt.Errorf("%w: node %d sent to non-neighbour %d", ErrProtocol, sender, m.To)
+			}
+			nw.messages++
+			if nw.lossRate > 0 && nw.lossStream.Bernoulli(nw.lossRate) {
+				nw.dropped++
+				continue
+			}
+			inboxes[m.To] = append(inboxes[m.To], m)
+		}
+		return nil
+	}
+	for i, node := range nw.nodes {
+		if err := deliver(node.Init(nw.contexts[i]), i); err != nil {
+			return err
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		nw.rounds++
+		current := inboxes
+		inboxes = make([][]Message, n)
+		for i, node := range nw.nodes {
+			if err := deliver(node.Round(round, current[i], nw.contexts[i]), i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Rounds returns the number of executed rounds.
+func (nw *Network) Rounds() int { return nw.rounds }
+
+// Messages returns the total number of sent messages (including dropped).
+func (nw *Network) Messages() int { return nw.messages }
+
+// Dropped returns the number of messages lost to link faults.
+func (nw *Network) Dropped() int { return nw.dropped }

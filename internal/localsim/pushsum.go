@@ -1,0 +1,221 @@
+package localsim
+
+import (
+	"fmt"
+	"math"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+// KindPushSum carries one push-sum share; Payload and Seq hold the fixed-
+// point encoded (s, w) pair.
+const KindPushSum = 100
+
+// pushSumScale converts float mass to the integer message fields. The
+// scale bounds quantization noise: a node holding mass w sees ratio noise
+// of order 1/(pushSumScale * w) per received message, so 2^40 keeps even
+// deep-drought nodes (w ~ 2^-25) accurate to well under 1%. Total encoded
+// mass stays far below 2^63 for any realistic electorate.
+const pushSumScale = 1 << 40
+
+// pushSumNode runs Kempe–Dobra–Gehrke push-sum gossip: every round it keeps
+// half of its (s, w) mass and pushes the other half to a uniformly random
+// neighbour. Mass conservation makes every node's ratio s/w converge to the
+// global ratio sum(s)/sum(w) on connected graphs — here, the fraction of
+// total vote weight cast for the correct option, so every node can decide
+// the election locally.
+type pushSumNode struct {
+	s, w float64
+}
+
+var _ Node = (*pushSumNode)(nil)
+
+// Init implements Node.
+func (p *pushSumNode) Init(_ *NodeContext) []Message { return nil }
+
+// Round implements Node.
+func (p *pushSumNode) Round(_ int, inbox []Message, ctx *NodeContext) []Message {
+	for _, m := range inbox {
+		if m.Kind != KindPushSum {
+			continue
+		}
+		p.s += float64(m.Payload) / pushSumScale
+		p.w += float64(m.Seq) / pushSumScale
+	}
+	if len(ctx.Neighbors) == 0 {
+		return nil
+	}
+	p.s /= 2
+	p.w /= 2
+	target := ctx.Neighbors[ctx.Rand.IntN(len(ctx.Neighbors))]
+	return []Message{{
+		From:    ctx.ID,
+		To:      target,
+		Kind:    KindPushSum,
+		Payload: int(math.Round(p.s * pushSumScale)),
+		Seq:     int(math.Round(p.w * pushSumScale)),
+	}}
+}
+
+// Estimate returns the node's current estimate of the correct-weight
+// fraction, and ok = false while the node has not yet accumulated any
+// weight mass.
+func (p *pushSumNode) Estimate() (float64, bool) {
+	if p.w <= 1.0/pushSumScale {
+		return 0, false
+	}
+	return p.s / p.w, true
+}
+
+// ElectionResult is the outcome of a fully distributed election: delegation
+// and weight convergecast followed by push-sum gossip so that every node
+// learns the result without any central tally.
+type ElectionResult struct {
+	// CorrectWon is the true outcome (computed from the actual votes).
+	CorrectWon bool
+	// Estimates[v] is node v's final estimate of the correct-weight
+	// fraction.
+	Estimates []float64
+	// Agreeing counts nodes whose local decision matches the true outcome.
+	Agreeing int
+	// GossipRounds is the number of gossip rounds executed.
+	GossipRounds int
+}
+
+// RunDistributedElection runs the full pipeline: (1) distributed delegation
+// with the given rule, (2) weight convergecast, (3) sinks draw their votes,
+// (4) push-sum gossip spreads the tally so every node can decide locally.
+func RunDistributedElection(in *core.Instance, alpha float64, decide DecisionRule, seed uint64, gossipRounds int) (*ElectionResult, error) {
+	if gossipRounds < 1 {
+		return nil, fmt.Errorf("%w: gossip rounds %d", ErrProtocol, gossipRounds)
+	}
+	deleg, err := RunDelegation(in, alpha, decide, seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := deleg.Delegation.Resolve()
+	if err != nil {
+		return nil, err
+	}
+
+	n := in.N()
+	root := rng.New(seed)
+	votes := root.DeriveString("votes")
+	correctWeight := 0
+	voteOf := make([]bool, n)
+	for _, sk := range res.Sinks {
+		voteOf[sk] = votes.Bernoulli(in.Competency(sk))
+		if voteOf[sk] {
+			correctWeight += res.Weight[sk]
+		}
+	}
+
+	contexts := make([]*NodeContext, n)
+	nodes := make([]Node, n)
+	psNodes := make([]*pushSumNode, n)
+	for v := 0; v < n; v++ {
+		contexts[v] = &NodeContext{
+			ID:        v,
+			Neighbors: in.Topology().Neighbors(v),
+			Rand:      root.Derive(uint64(v) + 7_000_000),
+		}
+		node := &pushSumNode{}
+		if res.SinkOf[v] == v {
+			node.w = float64(res.Weight[v])
+			if voteOf[v] {
+				node.s = float64(res.Weight[v])
+			}
+		}
+		psNodes[v] = node
+		nodes[v] = node
+	}
+	nw, err := NewNetwork(contexts, nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := nw.RunRounds(gossipRounds); err != nil {
+		return nil, err
+	}
+
+	out := &ElectionResult{
+		CorrectWon:   2*correctWeight > res.TotalWeight,
+		Estimates:    make([]float64, n),
+		GossipRounds: gossipRounds,
+	}
+	for v, node := range psNodes {
+		est, ok := node.Estimate()
+		if ok {
+			out.Estimates[v] = est
+			if (est > 0.5) == out.CorrectWon {
+				out.Agreeing++
+			}
+		}
+	}
+	return out, nil
+}
+
+// PushSumConvergenceRounds runs push-sum gossip over the topology with the
+// given initial (value, weight) pairs and returns the number of rounds
+// until every node's estimate is within eps of the true ratio
+// sum(values)/sum(weights). It returns an error if maxRounds is exhausted
+// first. Convergence is checked every checkEvery rounds (10).
+func PushSumConvergenceRounds(top graph.Topology, values, weights []float64, eps float64, maxRounds int, seed uint64) (int, error) {
+	n := top.N()
+	if len(values) != n || len(weights) != n {
+		return 0, fmt.Errorf("%w: %d values / %d weights for %d nodes", ErrProtocol, len(values), len(weights), n)
+	}
+	if eps <= 0 || maxRounds < 1 {
+		return 0, fmt.Errorf("%w: eps %v, maxRounds %d", ErrProtocol, eps, maxRounds)
+	}
+	var sumS, sumW float64
+	for i := range values {
+		sumS += values[i]
+		sumW += weights[i]
+	}
+	if sumW <= 0 {
+		return 0, fmt.Errorf("%w: total weight %v", ErrProtocol, sumW)
+	}
+	truth := sumS / sumW
+
+	root := rng.New(seed)
+	contexts := make([]*NodeContext, n)
+	nodes := make([]Node, n)
+	ps := make([]*pushSumNode, n)
+	for v := 0; v < n; v++ {
+		contexts[v] = &NodeContext{ID: v, Neighbors: top.Neighbors(v), Rand: root.Derive(uint64(v))}
+		node := &pushSumNode{s: values[v], w: weights[v]}
+		ps[v] = node
+		nodes[v] = node
+	}
+	nw, err := NewNetwork(contexts, nodes)
+	if err != nil {
+		return 0, err
+	}
+
+	const checkEvery = 10
+	done := 0
+	for done < maxRounds {
+		step := checkEvery
+		if done+step > maxRounds {
+			step = maxRounds - done
+		}
+		if err := nw.RunRounds(step); err != nil {
+			return 0, err
+		}
+		done += step
+		converged := true
+		for _, node := range ps {
+			est, ok := node.Estimate()
+			if !ok || math.Abs(est-truth) > eps {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return done, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: push-sum not within %v after %d rounds", ErrProtocol, eps, maxRounds)
+}

@@ -1,0 +1,152 @@
+package localsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+func TestPushSumConvergesToFraction(t *testing.T) {
+	// Hand-built mass: half the nodes start with (1,1), half with (0,1);
+	// every estimate must approach 0.5.
+	const n = 64
+	s := rng.New(41)
+	g, err := graph.RandomRegular(n, 8, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contexts := make([]*NodeContext, n)
+	nodes := make([]Node, n)
+	ps := make([]*pushSumNode, n)
+	for v := 0; v < n; v++ {
+		contexts[v] = &NodeContext{ID: v, Neighbors: g.Neighbors(v), Rand: s.Derive(uint64(v))}
+		node := &pushSumNode{w: 1}
+		if v%2 == 0 {
+			node.s = 1
+		}
+		ps[v] = node
+		nodes[v] = node
+	}
+	nw, err := NewNetwork(contexts, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.RunRounds(120); err != nil {
+		t.Fatal(err)
+	}
+	for v, node := range ps {
+		est, ok := node.Estimate()
+		if !ok {
+			t.Fatalf("node %d has no estimate", v)
+		}
+		if math.Abs(est-0.5) > 0.02 {
+			t.Fatalf("node %d estimate %v, want ~0.5", v, est)
+		}
+	}
+}
+
+func TestPushSumMassConservation(t *testing.T) {
+	const n = 30
+	s := rng.New(43)
+	g, err := graph.RandomRegular(n, 4, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contexts := make([]*NodeContext, n)
+	nodes := make([]Node, n)
+	ps := make([]*pushSumNode, n)
+	var wantS, wantW float64
+	for v := 0; v < n; v++ {
+		contexts[v] = &NodeContext{ID: v, Neighbors: g.Neighbors(v), Rand: s.Derive(uint64(v))}
+		node := &pushSumNode{s: float64(v % 3), w: 1}
+		wantS += node.s
+		wantW += node.w
+		ps[v] = node
+		nodes[v] = node
+	}
+	nw, err := NewNetwork(contexts, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.RunRounds(50); err != nil {
+		t.Fatal(err)
+	}
+	// After the final round, half of each node's mass is in flight; total
+	// held mass plus the final messages must equal the initial mass. We
+	// only check held mass is within the in-flight bound (quantization
+	// aside).
+	var gotS, gotW float64
+	for _, node := range ps {
+		gotS += node.s
+		gotW += node.w
+	}
+	if gotS > wantS+1e-3 || gotW > wantW+1e-3 {
+		t.Fatalf("mass created: s %v > %v or w %v > %v", gotS, wantS, gotW, wantW)
+	}
+	if gotS < wantS/4 || gotW < wantW/4 {
+		t.Fatalf("mass vanished: s %v of %v, w %v of %v", gotS, wantS, gotW, wantW)
+	}
+}
+
+func TestRunDistributedElection(t *testing.T) {
+	s := rng.New(47)
+	g, err := graph.RandomRegular(100, 10, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, 100)
+	for i := range p {
+		p[i] = 0.55 + 0.3*s.Float64() // competent electorate: clear margin
+	}
+	in := mustInstance(t, g, p)
+	res, err := RunDistributedElection(in, 0.03, ThresholdRule(nil), 7, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CorrectWon {
+		t.Fatal("competent electorate should decide correctly")
+	}
+	// With a clear margin and enough gossip, (nearly) all nodes agree.
+	if res.Agreeing < 95 {
+		t.Fatalf("only %d/100 nodes agree with the outcome", res.Agreeing)
+	}
+}
+
+func TestRunDistributedElectionValidation(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(3), []float64{0.3, 0.5, 0.7})
+	if _, err := RunDistributedElection(in, 0.05, ThresholdRule(nil), 1, 0); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunDistributedElectionDeterministic(t *testing.T) {
+	s := rng.New(53)
+	g, err := graph.RandomRegular(40, 6, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, 40)
+	for i := range p {
+		p[i] = 0.3 + 0.4*s.Float64()
+	}
+	in := mustInstance(t, g, p)
+	a, err := RunDistributedElection(in, 0.05, ThresholdRule(nil), 9, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDistributedElection(in, 0.05, ThresholdRule(nil), 9, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CorrectWon != b.CorrectWon || a.Agreeing != b.Agreeing {
+		t.Fatal("same seed must reproduce the election")
+	}
+	for v := range a.Estimates {
+		if a.Estimates[v] != b.Estimates[v] {
+			t.Fatal("estimates differ across identical runs")
+		}
+	}
+}

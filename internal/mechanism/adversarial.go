@@ -1,0 +1,92 @@
+package mechanism
+
+import (
+	"liquid/internal/core"
+	"liquid/internal/rng"
+)
+
+// This file holds deliberately broken mechanisms used for failure
+// injection: they violate the model's invariants (acyclicity, locality,
+// approval consistency) so that tests can verify the engines reject them
+// with typed errors instead of silently producing wrong numbers.
+
+// CycleForcing returns a delegation graph containing a 2-cycle between the
+// first two voters. Resolution must fail with core.ErrCyclicDelegation.
+type CycleForcing struct{}
+
+var _ Mechanism = CycleForcing{}
+
+// Name implements Mechanism.
+func (CycleForcing) Name() string { return "adversarial-cycle" }
+
+// Apply implements Mechanism.
+func (CycleForcing) Apply(in *core.Instance, _ *rng.Stream) (*core.DelegationGraph, error) {
+	d := core.NewDelegationGraph(in.N())
+	if in.N() >= 2 {
+		if err := d.SetDelegate(0, 1); err != nil {
+			return nil, err
+		}
+		if err := d.SetDelegate(1, 0); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// NonLocal delegates every voter to the globally most competent voter,
+// ignoring the topology. ValidateLocal must reject it on any instance where
+// some voter is not adjacent to the top voter.
+type NonLocal struct{}
+
+var _ Mechanism = NonLocal{}
+
+// Name implements Mechanism.
+func (NonLocal) Name() string { return "adversarial-nonlocal" }
+
+// Apply implements Mechanism.
+func (NonLocal) Apply(in *core.Instance, _ *rng.Stream) (*core.DelegationGraph, error) {
+	d := core.NewDelegationGraph(in.N())
+	if in.N() < 2 {
+		return d, nil
+	}
+	top := in.TopByCompetency(1)[0]
+	for v := 0; v < in.N(); v++ {
+		if v == top {
+			continue
+		}
+		if err := d.SetDelegate(v, top); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Downward delegates every voter to its least competent neighbour (if
+// strictly worse), violating approval consistency. ValidateLocal at any
+// alpha >= 0 must reject it whenever it delegates.
+type Downward struct{}
+
+var _ Mechanism = Downward{}
+
+// Name implements Mechanism.
+func (Downward) Name() string { return "adversarial-downward" }
+
+// Apply implements Mechanism.
+func (Downward) Apply(in *core.Instance, _ *rng.Stream) (*core.DelegationGraph, error) {
+	d := core.NewDelegationGraph(in.N())
+	for v := 0; v < in.N(); v++ {
+		worst := core.NoDelegate
+		for _, u := range in.Topology().Neighbors(v) {
+			if in.Competency(u) < in.Competency(v) &&
+				(worst == core.NoDelegate || in.Competency(u) < in.Competency(worst)) {
+				worst = u
+			}
+		}
+		if worst != core.NoDelegate {
+			if err := d.SetDelegate(v, worst); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}

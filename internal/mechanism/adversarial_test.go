@@ -1,0 +1,72 @@
+package mechanism
+
+import (
+	"errors"
+	"testing"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+func TestCycleForcingIsRejectedAtResolve(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(4), uniformComps(4, 51))
+	d, err := CycleForcing{}.Apply(in, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Resolve(); !errors.Is(err, core.ErrCyclicDelegation) {
+		t.Fatalf("Resolve err = %v, want ErrCyclicDelegation", err)
+	}
+}
+
+func TestNonLocalIsRejectedByValidateLocal(t *testing.T) {
+	// Path graph: only neighbours of the top voter may legally delegate to
+	// it.
+	g, err := graph.Path(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{0.1, 0.2, 0.9, 0.3, 0.4}
+	in := mustInstance(t, g, p)
+	d, err := NonLocal{}.Apply(in, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ValidateLocal(in, 0.01); !errors.Is(err, core.ErrInvalidDelegation) {
+		t.Fatalf("ValidateLocal err = %v, want ErrInvalidDelegation", err)
+	}
+}
+
+func TestDownwardIsRejectedByValidateLocal(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(5), []float64{0.1, 0.3, 0.5, 0.7, 0.9})
+	d, err := Downward{}.Apply(in, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumDelegators() == 0 {
+		t.Fatal("expected downward delegations")
+	}
+	if err := d.ValidateLocal(in, 0); !errors.Is(err, core.ErrInvalidDelegation) {
+		t.Fatalf("ValidateLocal err = %v, want ErrInvalidDelegation", err)
+	}
+}
+
+func TestDownwardResolvesAcyclically(t *testing.T) {
+	// Downward delegation is still acyclic (strictly decreasing
+	// competency), so Resolve succeeds even though it is unapproved; the
+	// locality validator is the guard that catches it.
+	in := mustInstance(t, graph.NewComplete(5), []float64{0.1, 0.3, 0.5, 0.7, 0.9})
+	d, err := Downward{}.Apply(in, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone lands on the least competent voter.
+	if res.Weight[0] != 5 {
+		t.Fatalf("weights %v", res.Weight)
+	}
+}

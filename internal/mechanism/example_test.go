@@ -1,0 +1,67 @@
+package mechanism_test
+
+import (
+	"fmt"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/rng"
+)
+
+// Example runs the paper's Algorithm 1 on a small instance and resolves the
+// delegation graph.
+func Example() {
+	p := []float64{0.9, 0.4, 0.4, 0.4}
+	in, err := core.NewInstance(graph.NewComplete(len(p)), p)
+	if err != nil {
+		panic(err)
+	}
+	mech := mechanism.ApprovalThreshold{Alpha: 0.1}
+	d, err := mech.Apply(in, rng.New(1))
+	if err != nil {
+		panic(err)
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("delegators:", res.Delegators)
+	fmt.Println("expert weight:", res.Weight[0])
+	// Output:
+	// delegators: 3
+	// expert weight: 4
+}
+
+// ExampleWeightCapped shows the Lemma 5 weight cap taming concentration.
+func ExampleWeightCapped() {
+	p := []float64{0.9, 0.4, 0.4, 0.4, 0.4, 0.4}
+	in, err := core.NewInstance(graph.NewComplete(len(p)), p)
+	if err != nil {
+		panic(err)
+	}
+	mech := mechanism.WeightCapped{
+		Inner:     mechanism.GreedyBest{Alpha: 0.1},
+		MaxWeight: 3,
+	}
+	d, err := mech.Apply(in, rng.New(2))
+	if err != nil {
+		panic(err)
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("max sink weight:", res.MaxWeight)
+	// Output:
+	// max sink weight: 3
+}
+
+// ExampleThresholdFunc shows the threshold helpers.
+func ExampleThresholdFunc() {
+	fmt.Println(mechanism.ConstantThreshold(5)(1000))
+	fmt.Println(mechanism.FractionThreshold(0.25)(10))
+	// Output:
+	// 5
+	// 3
+}

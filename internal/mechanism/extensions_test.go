@@ -1,0 +1,299 @@
+package mechanism
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+func TestCapWeightsChain(t *testing.T) {
+	// Chain 0->1->2->3->4: sink 4 would have weight 5; cap at 2.
+	d := core.NewDelegationGraph(5)
+	for i := 0; i < 4; i++ {
+		if err := d.SetDelegate(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := CapWeights(d, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxWeight > 2 {
+		t.Fatalf("max weight %d after cap 2", res.MaxWeight)
+	}
+	if res.TotalWeight != 5 {
+		t.Fatalf("votes lost: total weight %d", res.TotalWeight)
+	}
+}
+
+func TestCapWeightsStar(t *testing.T) {
+	// Nine voters all delegating to voter 0; cap 3 keeps at most 2 others.
+	d := core.NewDelegationGraph(9)
+	for i := 1; i < 9; i++ {
+		if err := d.SetDelegate(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := CapWeights(d, 3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxWeight > 3 {
+		t.Fatalf("max weight %d", res.MaxWeight)
+	}
+	if res.Weight[0] != 3 {
+		t.Fatalf("center weight %d, want exactly 3 (cap should cut minimally)", res.Weight[0])
+	}
+}
+
+func TestCapWeightsRejectsBadCap(t *testing.T) {
+	d := core.NewDelegationGraph(3)
+	if err := CapWeights(d, 0); !errors.Is(err, ErrInvalidMechanism) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCapWeightsNoOpWhenUnderCap(t *testing.T) {
+	d := core.NewDelegationGraph(4)
+	if err := d.SetDelegate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := CapWeights(d, 5); err != nil {
+		t.Fatal(err)
+	}
+	if d.Delegate[0] != 1 {
+		t.Fatal("cap cut an edge it should not have")
+	}
+}
+
+func TestWeightCappedMechanism(t *testing.T) {
+	const n = 60
+	in := mustInstance(t, graph.NewComplete(n), uniformComps(n, 31))
+	m := WeightCapped{Inner: GreedyBest{Alpha: 0.01}, MaxWeight: 4}
+	d, err := m.Apply(in, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxWeight > 4 {
+		t.Fatalf("max weight %d exceeds cap", res.MaxWeight)
+	}
+	if res.TotalWeight != n {
+		t.Fatalf("total weight %d, want %d", res.TotalWeight, n)
+	}
+}
+
+func TestWeightCappedValidation(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(3), uniformComps(3, 33))
+	if _, err := (WeightCapped{MaxWeight: 2}).Apply(in, rng.New(1)); !errors.Is(err, ErrInvalidMechanism) {
+		t.Error("nil inner accepted")
+	}
+	if _, err := (WeightCapped{Inner: Direct{}, MaxWeight: 0}).Apply(in, rng.New(1)); !errors.Is(err, ErrInvalidMechanism) {
+		t.Error("cap 0 accepted")
+	}
+}
+
+func TestAbstainingAll(t *testing.T) {
+	const n = 30
+	in := mustInstance(t, graph.NewComplete(n), uniformComps(n, 34))
+	m := Abstaining{Inner: ApprovalThreshold{Alpha: 0.05}, Q: 1}
+	d, err := m.Apply(in, rng.New(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delegators := 0
+	for _, j := range d.Delegate {
+		if j != core.NoDelegate {
+			delegators++
+		}
+	}
+	if delegators == 0 {
+		t.Fatal("expected delegators")
+	}
+	if res.TotalWeight != n-delegators {
+		t.Fatalf("total weight %d, want %d", res.TotalWeight, n-delegators)
+	}
+}
+
+func TestAbstainingNone(t *testing.T) {
+	const n = 20
+	in := mustInstance(t, graph.NewComplete(n), uniformComps(n, 36))
+	m := Abstaining{Inner: ApprovalThreshold{Alpha: 0.05}, Q: 0}
+	d, err := m.Apply(in, rng.New(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWeight != n {
+		t.Fatal("q=0 must not abstain anyone")
+	}
+}
+
+func TestAbstainingValidation(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(3), uniformComps(3, 38))
+	if _, err := (Abstaining{Q: 0.5}).Apply(in, rng.New(1)); !errors.Is(err, ErrInvalidMechanism) {
+		t.Error("nil inner accepted")
+	}
+	if _, err := (Abstaining{Inner: Direct{}, Q: 1.5}).Apply(in, rng.New(1)); !errors.Is(err, ErrInvalidMechanism) {
+		t.Error("q > 1 accepted")
+	}
+}
+
+func TestMultiDelegate(t *testing.T) {
+	const n = 40
+	in := mustInstance(t, graph.NewComplete(n), uniformComps(n, 39))
+	m := MultiDelegate{Alpha: 0.05, K: 3}
+	md, err := m.ApplyMulti(in, rng.New(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.N() != n {
+		t.Fatalf("N = %d", md.N())
+	}
+	if md.NumDelegators() == 0 {
+		t.Fatal("expected delegators")
+	}
+	for i, ds := range md.Delegates {
+		if len(ds) > 3 {
+			t.Fatalf("voter %d consults %d delegates", i, len(ds))
+		}
+		seen := make(map[int]bool)
+		for _, j := range ds {
+			if !in.Approves(i, j, 0.05) {
+				t.Fatalf("voter %d consults unapproved %d", i, j)
+			}
+			if seen[j] {
+				t.Fatalf("voter %d consults %d twice", i, j)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestMultiDelegateSmallApprovalSetTakesAll(t *testing.T) {
+	p := []float64{0.2, 0.8, 0.9, 0.35}
+	in := mustInstance(t, graph.NewComplete(4), p)
+	md, err := MultiDelegate{Alpha: 0.1, K: 5}.ApplyMulti(in, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md.Delegates[0]) != 3 {
+		t.Fatalf("voter 0 should consult all 3 approved, got %v", md.Delegates[0])
+	}
+	if len(md.Delegates[2]) != 0 {
+		t.Fatal("top voter should vote directly")
+	}
+}
+
+func TestMultiDelegateValidation(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(3), uniformComps(3, 42))
+	if _, err := (MultiDelegate{Alpha: -1, K: 2}).ApplyMulti(in, rng.New(1)); !errors.Is(err, ErrInvalidMechanism) {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := (MultiDelegate{Alpha: 0.1, K: 0}).ApplyMulti(in, rng.New(1)); !errors.Is(err, ErrInvalidMechanism) {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestQuickCapWeightsInvariant(t *testing.T) {
+	f := func(seed uint64, nRaw, capRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		cap := int(capRaw%8) + 1
+		s := rng.New(seed)
+		d := core.NewDelegationGraph(n)
+		for i := 0; i < n-1; i++ {
+			if s.Bernoulli(0.7) {
+				if err := d.SetDelegate(i, i+1+s.IntN(n-i-1)); err != nil {
+					return false
+				}
+			}
+		}
+		if err := CapWeights(d, cap); err != nil {
+			return false
+		}
+		res, err := d.Resolve()
+		if err != nil {
+			return false
+		}
+		return res.MaxWeight <= cap && res.TotalWeight == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedMultiDelegateEqualMatchesPlain(t *testing.T) {
+	const n = 30
+	in := mustInstance(t, graph.NewComplete(n), uniformComps(n, 71))
+	plain, err := MultiDelegate{Alpha: 0.05, K: 3}.ApplyMulti(in, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := WeightedMultiDelegate{Alpha: 0.05, K: 3}.ApplyMulti(in, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range plain.Delegates {
+		if len(plain.Delegates[v]) != len(weighted.Delegates[v]) {
+			t.Fatalf("voter %d delegate counts differ", v)
+		}
+		if len(weighted.Delegates[v]) > 0 {
+			for _, w := range weighted.Weights[v] {
+				if w != 1 {
+					t.Fatalf("default weights should be equal, got %v", w)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedMultiDelegateHarmonic(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(20), uniformComps(20, 72))
+	md, err := WeightedMultiDelegate{Alpha: 0.02, K: 4, Weights: HarmonicWeights}.ApplyMulti(in, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, ds := range md.Delegates {
+		if len(ds) == 0 {
+			continue
+		}
+		for k, w := range md.Weights[v] {
+			want := 1 / float64(k+1)
+			if w != want {
+				t.Fatalf("voter %d weight[%d] = %v, want %v", v, k, w, want)
+			}
+		}
+	}
+}
+
+func TestWeightedMultiDelegateRejectsBadWeightFunc(t *testing.T) {
+	in := mustInstance(t, graph.NewComplete(10), uniformComps(10, 73))
+	short := func(k int) []float64 { return make([]float64, k-1) }
+	if _, err := (WeightedMultiDelegate{Alpha: 0.02, K: 3, Weights: short}).ApplyMulti(in, rng.New(7)); !errors.Is(err, ErrInvalidMechanism) {
+		t.Error("short weight vector accepted")
+	}
+	zero := func(k int) []float64 { return make([]float64, k) }
+	if _, err := (WeightedMultiDelegate{Alpha: 0.02, K: 3, Weights: zero}).ApplyMulti(in, rng.New(8)); !errors.Is(err, ErrInvalidMechanism) {
+		t.Error("zero weights accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package popmodel_test
+
+import (
+	"fmt"
+
+	"liquid/internal/mechanism"
+	"liquid/internal/popmodel"
+	"liquid/internal/prob"
+)
+
+// Example evaluates probabilistic positive gain over a competency
+// distribution (the Halpern et al. setting the paper's Section 6 bridges
+// to).
+func Example() {
+	pop := popmodel.Population{
+		Competency: prob.UniformSampler{Lo: 0.30, Hi: 0.49},
+	}
+	v, err := popmodel.Evaluate(pop, mechanism.ApprovalThreshold{Alpha: 0.05}, popmodel.EvaluateOptions{
+		N:            201,
+		Instances:    6,
+		Replications: 8,
+		Seed:         11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("instances with positive gain:", v.FracPositive == 1)
+	fmt.Println("no instance shows nontrivial harm:", v.FracHarmful == 0)
+	// Output:
+	// instances with positive gain: true
+	// no instance shows nontrivial harm: true
+}

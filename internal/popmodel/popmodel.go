@@ -1,0 +1,156 @@
+// Package popmodel implements the probabilistic-competency setting the
+// paper's Section 6 proposes as the bridge to Halpern et al.: instead of a
+// fixed competency vector, each instance draws competencies from a
+// distribution, and the desiderata become probabilistic — positive gain and
+// do-no-harm must hold with high probability over the instance draw.
+package popmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/prob"
+	"liquid/internal/rng"
+)
+
+// ErrInvalidPopulation reports a malformed population model.
+var ErrInvalidPopulation = errors.New("popmodel: invalid population")
+
+// TopologyBuilder produces a topology for n voters.
+type TopologyBuilder func(n int, s *rng.Stream) (graph.Topology, error)
+
+// CompleteTopology is the K_n builder (the Halpern et al. setting).
+func CompleteTopology(n int, _ *rng.Stream) (graph.Topology, error) {
+	return graph.NewComplete(n), nil
+}
+
+// Population describes a distribution over problem instances: a topology
+// family plus a competency distribution.
+type Population struct {
+	// Topology builds the voting graph; nil means complete.
+	Topology TopologyBuilder
+	// Competency samples one voter's competency; required.
+	Competency prob.Sampler
+}
+
+// Sample draws one instance of size n.
+func (pop Population) Sample(n int, s *rng.Stream) (*core.Instance, error) {
+	if pop.Competency == nil {
+		return nil, fmt.Errorf("%w: nil competency sampler", ErrInvalidPopulation)
+	}
+	build := pop.Topology
+	if build == nil {
+		build = CompleteTopology
+	}
+	top, err := build(n, s.DeriveString("topology"))
+	if err != nil {
+		return nil, err
+	}
+	comp := s.DeriveString("competency")
+	p := make([]float64, top.N())
+	for i := range p {
+		v := pop.Competency.Sample(comp)
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		p[i] = v
+	}
+	return core.NewInstance(top, p)
+}
+
+// Verdict summarizes a mechanism's behaviour over the instance
+// distribution: the probabilistic analogues of positive gain and do no
+// harm.
+type Verdict struct {
+	Mechanism string
+	N         int
+	Instances int
+
+	// MeanGain is the average gain over instance draws; Gains holds every
+	// per-instance gain.
+	MeanGain float64
+	Gains    []float64
+	// FracPositive is the fraction of instances with strictly positive
+	// gain; FracHarmful the fraction with loss exceeding HarmEps.
+	FracPositive float64
+	FracHarmful  float64
+	HarmEps      float64
+	// WorstLoss is the largest observed loss (0 if none).
+	WorstLoss float64
+}
+
+// EvaluateOptions configures a population evaluation.
+type EvaluateOptions struct {
+	// N is the instance size. Required.
+	N int
+	// Instances is the number of instance draws (default 20).
+	Instances int
+	// HarmEps is the loss threshold counted as harm (default 0.01).
+	HarmEps float64
+	// Replications per instance for the election engine (default 16).
+	Replications int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Evaluate measures the probabilistic positive-gain / do-no-harm behaviour
+// of mech over the population.
+func Evaluate(pop Population, mech mechanism.Mechanism, opts EvaluateOptions) (*Verdict, error) {
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("%w: instance size %d", ErrInvalidPopulation, opts.N)
+	}
+	if opts.Instances <= 0 {
+		opts.Instances = 20
+	}
+	if opts.HarmEps <= 0 {
+		opts.HarmEps = 0.01
+	}
+	if opts.Replications <= 0 {
+		opts.Replications = 16
+	}
+
+	root := rng.New(opts.Seed)
+	v := &Verdict{
+		Mechanism: mech.Name(),
+		N:         opts.N,
+		Instances: opts.Instances,
+		HarmEps:   opts.HarmEps,
+		Gains:     make([]float64, 0, opts.Instances),
+	}
+	positive, harmful := 0, 0
+	for i := 0; i < opts.Instances; i++ {
+		in, err := pop.Sample(opts.N, root.Derive(uint64(i)+1))
+		if err != nil {
+			return nil, err
+		}
+		res, err := election.EvaluateMechanism(in, mech, election.Options{
+			Replications: opts.Replications,
+			Seed:         opts.Seed ^ (uint64(i) + 0x9E37),
+		})
+		if err != nil {
+			return nil, err
+		}
+		v.Gains = append(v.Gains, res.Gain)
+		v.MeanGain += res.Gain
+		if res.Gain > 0 {
+			positive++
+		}
+		if loss := -res.Gain; loss > opts.HarmEps {
+			harmful++
+		}
+		if loss := -res.Gain; loss > v.WorstLoss {
+			v.WorstLoss = loss
+		}
+	}
+	v.MeanGain /= float64(opts.Instances)
+	v.FracPositive = float64(positive) / float64(opts.Instances)
+	v.FracHarmful = float64(harmful) / float64(opts.Instances)
+	return v, nil
+}

@@ -1,0 +1,125 @@
+package popmodel
+
+import (
+	"errors"
+	"testing"
+
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/prob"
+	"liquid/internal/rng"
+)
+
+func TestSampleValidation(t *testing.T) {
+	if _, err := (Population{}).Sample(10, rng.New(1)); !errors.Is(err, ErrInvalidPopulation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSampleDefaultsToComplete(t *testing.T) {
+	pop := Population{Competency: prob.UniformSampler{Lo: 0.3, Hi: 0.7}}
+	in, err := pop.Sample(12, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 12 {
+		t.Fatalf("N = %d", in.N())
+	}
+	if _, ok := in.Topology().(graph.Complete); !ok {
+		t.Fatal("default topology should be complete")
+	}
+	for i := 0; i < 12; i++ {
+		p := in.Competency(i)
+		if p < 0.3 || p > 0.7 {
+			t.Fatalf("competency %v out of sampler range", p)
+		}
+	}
+}
+
+func TestSampleClampsCompetencies(t *testing.T) {
+	pop := Population{Competency: prob.ConstantSampler{Value: 1.5}}
+	in, err := pop.Sample(3, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Competency(0) != 1 {
+		t.Fatalf("competency %v, want clamped 1", in.Competency(0))
+	}
+}
+
+func TestSampleCustomTopology(t *testing.T) {
+	pop := Population{
+		Topology: func(n int, s *rng.Stream) (graph.Topology, error) {
+			return graph.RandomRegular(n, 4, s)
+		},
+		Competency: prob.UniformSampler{Lo: 0.4, Hi: 0.6},
+	}
+	in, err := pop.Sample(20, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsRegular(in.Topology(), 4) {
+		t.Fatal("custom topology not used")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	pop := Population{Competency: prob.UniformSampler{Lo: 0, Hi: 1}}
+	a, err := pop.Sample(10, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pop.Sample(10, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if a.Competency(i) != b.Competency(i) {
+			t.Fatal("sampling must be deterministic in the stream")
+		}
+	}
+}
+
+func TestEvaluateProbabilisticGain(t *testing.T) {
+	// Competencies centred below 1/2: delegation should gain on (almost)
+	// every instance draw.
+	pop := Population{Competency: prob.UniformSampler{Lo: 0.30, Hi: 0.49}}
+	v, err := Evaluate(pop, mechanism.ApprovalThreshold{Alpha: 0.05}, EvaluateOptions{
+		N: 201, Instances: 8, Replications: 8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Instances != 8 || len(v.Gains) != 8 {
+		t.Fatalf("verdict %+v", v)
+	}
+	if v.MeanGain <= 0 {
+		t.Fatalf("mean gain %v", v.MeanGain)
+	}
+	if v.FracPositive < 0.9 {
+		t.Fatalf("FracPositive = %v", v.FracPositive)
+	}
+	if v.FracHarmful > 0 {
+		t.Fatalf("FracHarmful = %v", v.FracHarmful)
+	}
+}
+
+func TestEvaluateDirectNeverHarmsOrGains(t *testing.T) {
+	pop := Population{Competency: prob.UniformSampler{Lo: 0.4, Hi: 0.6}}
+	v, err := Evaluate(pop, mechanism.Direct{}, EvaluateOptions{
+		N: 101, Instances: 5, Replications: 2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MeanGain != 0 || v.FracPositive != 0 || v.FracHarmful != 0 || v.WorstLoss != 0 {
+		t.Fatalf("direct verdict %+v", v)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	pop := Population{Competency: prob.UniformSampler{Lo: 0.4, Hi: 0.6}}
+	if _, err := Evaluate(pop, mechanism.Direct{}, EvaluateOptions{N: 0}); !errors.Is(err, ErrInvalidPopulation) {
+		t.Fatalf("err = %v", err)
+	}
+}

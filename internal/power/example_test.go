@@ -1,0 +1,32 @@
+package power_test
+
+import (
+	"fmt"
+
+	"liquid/internal/power"
+)
+
+// Example computes the concentration metrics for a whale-heavy weight
+// distribution.
+func Example() {
+	w := power.FromInts([]int{50, 20, 10, 10, 5, 5})
+	gini, err := w.Gini()
+	if err != nil {
+		panic(err)
+	}
+	nak, err := w.Nakamoto()
+	if err != nil {
+		panic(err)
+	}
+	eff, err := w.EffectiveHolders()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Gini: %.3f\n", gini)
+	fmt.Println("Nakamoto coefficient:", nak)
+	fmt.Printf("effective holders: %.2f\n", eff)
+	// Output:
+	// Gini: 0.450
+	// Nakamoto coefficient: 2
+	// effective holders: 3.17
+}

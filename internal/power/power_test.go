@@ -1,0 +1,172 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGiniEqual(t *testing.T) {
+	w := Weights{5, 5, 5, 5}
+	g, err := w.Gini()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g) > 1e-12 {
+		t.Fatalf("equal weights Gini = %v, want 0", g)
+	}
+}
+
+func TestGiniDictator(t *testing.T) {
+	w := Weights{0, 0, 0, 0, 0, 0, 0, 0, 0, 100}
+	g, err := w.Gini()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For n=10 with one holder, G = (n-1)/n = 0.9.
+	if math.Abs(g-0.9) > 1e-12 {
+		t.Fatalf("dictator Gini = %v, want 0.9", g)
+	}
+}
+
+func TestGiniKnownValue(t *testing.T) {
+	// {1, 3}: G = (2*(1*1+2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+	g, err := Weights{1, 3}.Gini()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-0.25) > 1e-12 {
+		t.Fatalf("Gini = %v, want 0.25", g)
+	}
+}
+
+func TestGiniErrors(t *testing.T) {
+	if _, err := (Weights{}).Gini(); !errors.Is(err, ErrNoWeights) {
+		t.Fatal("empty accepted")
+	}
+	if _, err := (Weights{0, 0}).Gini(); !errors.Is(err, ErrNoWeights) {
+		t.Fatal("zero total accepted")
+	}
+}
+
+func TestNakamoto(t *testing.T) {
+	tests := []struct {
+		w    Weights
+		want int
+	}{
+		{Weights{100}, 1},
+		{Weights{60, 40}, 1},              // 60 > 50
+		{Weights{50, 50}, 2},              // need strict majority
+		{Weights{40, 30, 20, 10}, 2},      // 40+30 = 70 > 50
+		{Weights{25, 25, 25, 25}, 3},      // 50 is not > 50
+		{Weights{1, 1, 1, 1, 1, 1, 1}, 4}, // 4/7 > 1/2
+	}
+	for _, tt := range tests {
+		got, err := tt.w.Nakamoto()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("Nakamoto(%v) = %d, want %d", tt.w, got, tt.want)
+		}
+	}
+	if _, err := (Weights{}).Nakamoto(); !errors.Is(err, ErrNoWeights) {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	h, err := Weights{1, 1, 1, 1}.Entropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-2) > 1e-12 {
+		t.Fatalf("uniform-4 entropy = %v, want 2 bits", h)
+	}
+	h, err = Weights{0, 7, 0}.Entropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Fatalf("dictator entropy = %v, want 0", h)
+	}
+}
+
+func TestEffectiveHolders(t *testing.T) {
+	e, err := Weights{2, 2, 2, 2, 2}.EffectiveHolders()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-5) > 1e-12 {
+		t.Fatalf("equal-5 effective holders = %v, want 5", e)
+	}
+	e, err = Weights{10, 0, 0}.EffectiveHolders()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-1) > 1e-12 {
+		t.Fatalf("dictator effective holders = %v, want 1", e)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	w := Weights{4, 3, 2, 1}
+	for _, tt := range []struct {
+		k    int
+		want float64
+	}{{0, 0}, {1, 0.4}, {2, 0.7}, {4, 1}, {10, 1}} {
+		got, err := w.TopShare(tt.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("TopShare(%d) = %v, want %v", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestFromInts(t *testing.T) {
+	w := FromInts([]int{1, 2, 3})
+	if w.Total() != 6 {
+		t.Fatalf("Total = %v", w.Total())
+	}
+}
+
+func TestQuickMetricsBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make(Weights, len(raw))
+		total := 0.0
+		for i, r := range raw {
+			w[i] = float64(r)
+			total += float64(r)
+		}
+		if total == 0 {
+			_, err := w.Gini()
+			return errors.Is(err, ErrNoWeights)
+		}
+		g, err := w.Gini()
+		if err != nil || g < 0 || g >= 1 {
+			return false
+		}
+		nk, err := w.Nakamoto()
+		if err != nil || nk < 1 || nk > len(w) {
+			return false
+		}
+		h, err := w.Entropy()
+		if err != nil || h < 0 || h > math.Log2(float64(len(w)))+1e-9 {
+			return false
+		}
+		e, err := w.EffectiveHolders()
+		if err != nil || e < 1-1e-9 || e > float64(len(w))+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForceMajority enumerates all 2^m outcomes of independent weighted
+// Bernoulli voters and sums the probability of a strict majority. It is the
+// reference the DP engines are checked against.
+func bruteForceMajority(voters []WeightedVoter) float64 {
+	total := 0
+	for _, v := range voters {
+		total += v.Weight
+	}
+	var acc float64
+	m := len(voters)
+	for mask := 0; mask < 1<<m; mask++ {
+		p := 1.0
+		w := 0
+		for i, v := range voters {
+			if mask&(1<<i) != 0 {
+				p *= v.P
+				w += v.Weight
+			} else {
+				p *= 1 - v.P
+			}
+		}
+		if 2*w > total {
+			acc += p
+		}
+	}
+	return acc
+}
+
+func TestWeightedMajorityMatchesBruteForce(t *testing.T) {
+	tests := [][]WeightedVoter{
+		{{Weight: 1, P: 0.5}},
+		{{Weight: 1, P: 0.2}, {Weight: 1, P: 0.9}},
+		{{Weight: 3, P: 0.4}, {Weight: 2, P: 0.7}, {Weight: 1, P: 0.1}},
+		{{Weight: 2, P: 0.5}, {Weight: 2, P: 0.5}, {Weight: 1, P: 0.5}, {Weight: 4, P: 0.31}},
+	}
+	for _, voters := range tests {
+		wm := mustWM(t, voters)
+		want := bruteForceMajority(voters)
+		if got := wm.ProbCorrectDecision(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("voters %v: DP %v vs brute force %v", voters, got, want)
+		}
+	}
+}
+
+func TestQuickWeightedMajorityMatchesBruteForce(t *testing.T) {
+	f := func(rawW []uint8, rawP []float64) bool {
+		m := min(len(rawW), len(rawP), 10)
+		if m == 0 {
+			return true
+		}
+		voters := make([]WeightedVoter, m)
+		for i := 0; i < m; i++ {
+			p := rawP[i]
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				p = 0.3
+			}
+			voters[i] = WeightedVoter{Weight: int(rawW[i]%5) + 1, P: math.Abs(math.Mod(p, 1))}
+		}
+		wm, err := NewWeightedMajority(voters)
+		if err != nil {
+			return false
+		}
+		return math.Abs(wm.ProbCorrectDecision()-bruteForceMajority(voters)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTieRulesMatchBruteForce(t *testing.T) {
+	// Brute force under each tie rule.
+	ruleBF := func(voters []WeightedVoter, rule TieRule) float64 {
+		total := 0
+		for _, v := range voters {
+			total += v.Weight
+		}
+		var acc float64
+		for mask := 0; mask < 1<<len(voters); mask++ {
+			p := 1.0
+			w := 0
+			for i, v := range voters {
+				if mask&(1<<i) != 0 {
+					p *= v.P
+					w += v.Weight
+				} else {
+					p *= 1 - v.P
+				}
+			}
+			switch {
+			case 2*w > total:
+				acc += p
+			case 2*w == total:
+				switch rule {
+				case TiesWin:
+					acc += p
+				case TiesCoin:
+					acc += p / 2
+				}
+			}
+		}
+		return acc
+	}
+	f := func(rawW []uint8, rawP []float64, ruleRaw uint8) bool {
+		m := min(len(rawW), len(rawP), 8)
+		if m == 0 {
+			return true
+		}
+		voters := make([]WeightedVoter, m)
+		for i := 0; i < m; i++ {
+			p := rawP[i]
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				p = 0.6
+			}
+			voters[i] = WeightedVoter{Weight: int(rawW[i]%4) + 1, P: math.Abs(math.Mod(p, 1))}
+		}
+		rule := []TieRule{TiesLose, TiesWin, TiesCoin}[ruleRaw%3]
+		wm, err := NewWeightedMajority(voters)
+		if err != nil {
+			return false
+		}
+		return math.Abs(wm.ProbCorrectDecisionRule(rule)-ruleBF(voters, rule)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package prob
+
+import "math"
+
+// KolmogorovDistanceToNormal returns the Kolmogorov-Smirnov distance
+// sup_x |F(x) - Phi(x)| between the discrete distribution given by pmf
+// (mass at integer points 0..len(pmf)-1) and the normal distribution nrm,
+// evaluated with the standard continuity correction (comparing at k + 1/2).
+//
+// This is the quantity behind Lemma 4 (the CLT for direct voting): the
+// distance must vanish as n grows when competencies are bounded away from
+// 0 and 1.
+func KolmogorovDistanceToNormal(pmf []float64, nrm Normal) float64 {
+	var (
+		cdf  float64
+		dist float64
+	)
+	for k, mass := range pmf {
+		cdf += mass
+		d := math.Abs(cdf - nrm.CDF(float64(k)+0.5))
+		if d > dist {
+			dist = d
+		}
+	}
+	return dist
+}
+
+// TotalVariation returns the total-variation distance between two discrete
+// distributions on the same support: (1/2) * sum_k |p[k] - q[k]|. Shorter
+// inputs are zero-padded.
+func TotalVariation(p, q []float64) float64 {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	var s float64
+	for k := 0; k < n; k++ {
+		var pv, qv float64
+		if k < len(p) {
+			pv = p[k]
+		}
+		if k < len(q) {
+			qv = q[k]
+		}
+		s += math.Abs(pv - qv)
+	}
+	return s / 2
+}

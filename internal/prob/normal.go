@@ -1,0 +1,115 @@
+// Package prob provides the probability and statistics substrate used by the
+// liquid-democracy simulator: exact Poisson-binomial and weighted-majority
+// vote distributions, normal approximations, concentration-bound evaluators
+// (Hoeffding, Chernoff), descriptive statistics, confidence intervals, and
+// samplers for competency distributions.
+//
+// Everything is implemented on top of the standard library only.
+package prob
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInvalidParameter reports a distribution parameter outside its domain.
+var ErrInvalidParameter = errors.New("prob: invalid parameter")
+
+// Normal is a normal distribution with mean Mu and standard deviation Sigma.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// CDF returns P[X <= x] for X ~ Normal.
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-n.Mu)/(n.Sigma*math.Sqrt2))
+}
+
+// SF returns the survival function P[X > x].
+func (n Normal) SF(x float64) float64 {
+	if n.Sigma <= 0 {
+		if x < n.Mu {
+			return 1
+		}
+		return 0
+	}
+	return 0.5 * math.Erfc((x-n.Mu)/(n.Sigma*math.Sqrt2))
+}
+
+// ProbInInterval returns P[a < X < b].
+func (n Normal) ProbInInterval(a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	p := n.CDF(b) - n.CDF(a)
+	return clamp01(p)
+}
+
+// Quantile returns the x with CDF(x) = p using the Acklam rational
+// approximation refined by one Halley step. It panics if p is outside (0, 1).
+func (n Normal) Quantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("prob: Quantile requires p in (0,1)")
+	}
+	return n.Mu + n.Sigma*standardQuantile(p)
+}
+
+// standardQuantile computes the standard normal inverse CDF.
+func standardQuantile(p float64) float64 {
+	// Coefficients from Peter Acklam's algorithm.
+	var (
+		a = [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+			-2.759285104469687e+02, 1.383577518672690e+02,
+			-3.066479806614716e+01, 2.506628277459239e+00}
+		b = [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+			-1.556989798598866e+02, 6.680131188771972e+01,
+			-1.328068155288572e+01}
+		c = [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+			-2.400758277161838e+00, -2.549732539343734e+00,
+			4.374664141464968e+00, 2.938163982698783e+00}
+		d = [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+			2.445134137142996e+00, 3.754408661907416e+00}
+	)
+	const pLow = 0.02425
+
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+
+	// One Halley refinement step against the true CDF.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+func clamp01(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}

@@ -1,0 +1,102 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{2, 0.9772498680518208},
+		{-3, 0.0013498980316300933},
+	}
+	for _, tt := range tests {
+		if got := n.CDF(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestNormalShiftScale(t *testing.T) {
+	n := Normal{Mu: 10, Sigma: 2}
+	std := Normal{Mu: 0, Sigma: 1}
+	for _, x := range []float64{4, 8, 10, 12, 16} {
+		want := std.CDF((x - 10) / 2)
+		if got := n.CDF(x); math.Abs(got-want) > 1e-14 {
+			t.Errorf("CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestNormalSFComplement(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 1.5}
+	for _, x := range []float64{-2, 0, 3, 5, 9} {
+		if got := n.CDF(x) + n.SF(x); math.Abs(got-1) > 1e-12 {
+			t.Errorf("CDF+SF at %v = %v, want 1", x, got)
+		}
+	}
+}
+
+func TestNormalDegenerateSigma(t *testing.T) {
+	n := Normal{Mu: 5, Sigma: 0}
+	if n.CDF(4.9) != 0 || n.CDF(5) != 1 || n.CDF(5.1) != 1 {
+		t.Error("degenerate normal CDF should be a step at mu")
+	}
+}
+
+func TestProbInInterval(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	// ~68.27% within one sigma.
+	got := n.ProbInInterval(-1, 1)
+	if math.Abs(got-0.6826894921370859) > 1e-12 {
+		t.Errorf("ProbInInterval(-1,1) = %v", got)
+	}
+	if n.ProbInInterval(2, 1) != 0 {
+		t.Error("empty interval should have probability 0")
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	n := Normal{Mu: -2, Sigma: 3}
+	for _, p := range []float64{1e-8, 0.001, 0.01, 0.25, 0.5, 0.75, 0.99, 0.999, 1 - 1e-8} {
+		x := n.Quantile(p)
+		if got := n.CDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestQuantilePanicsOutsideDomain(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) should panic", p)
+				}
+			}()
+			Normal{Sigma: 1}.Quantile(p)
+		}()
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		pa := 0.001 + 0.998*math.Abs(math.Mod(a, 1))
+		pb := 0.001 + 0.998*math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		n := Normal{Mu: 0, Sigma: 1}
+		return n.Quantile(pa) <= n.Quantile(pb)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package prob
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoissonBinomial is the distribution of a sum of independent Bernoulli
+// variables with (possibly distinct) success probabilities.
+type PoissonBinomial struct {
+	ps []float64
+}
+
+// NewPoissonBinomial validates the probability vector and returns the
+// distribution. Every p must lie in [0, 1].
+func NewPoissonBinomial(ps []float64) (*PoissonBinomial, error) {
+	for i, p := range ps {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("%w: p[%d] = %v not in [0,1]", ErrInvalidParameter, i, p)
+		}
+	}
+	cp := make([]float64, len(ps))
+	copy(cp, ps)
+	return &PoissonBinomial{ps: cp}, nil
+}
+
+// N returns the number of summands.
+func (pb *PoissonBinomial) N() int { return len(pb.ps) }
+
+// Mean returns the expected value of the sum.
+func (pb *PoissonBinomial) Mean() float64 {
+	var m float64
+	for _, p := range pb.ps {
+		m += p
+	}
+	return m
+}
+
+// Variance returns the variance of the sum.
+func (pb *PoissonBinomial) Variance() float64 {
+	var v float64
+	for _, p := range pb.ps {
+		v += p * (1 - p)
+	}
+	return v
+}
+
+// PMF returns the full probability mass function f where f[k] = P[sum = k]
+// for k in [0, n]. It runs the exact O(n^2) convolution dynamic program.
+func (pb *PoissonBinomial) PMF() []float64 {
+	f := make([]float64, len(pb.ps)+1)
+	f[0] = 1
+	for i, p := range pb.ps {
+		// Iterate downward so f[k-1] is still the previous round's value.
+		for k := i + 1; k >= 1; k-- {
+			f[k] = f[k]*(1-p) + f[k-1]*p
+		}
+		f[0] *= 1 - p
+	}
+	return f
+}
+
+// ProbAtLeast returns P[sum >= k].
+func (pb *PoissonBinomial) ProbAtLeast(k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	n := len(pb.ps)
+	if k > n {
+		return 0
+	}
+	f := pb.PMF()
+	var tail float64
+	for i := k; i <= n; i++ {
+		tail += f[i]
+	}
+	return clamp01(tail)
+}
+
+// ProbMajority returns the probability that strictly more than half of the
+// variables succeed: P[sum > n/2]. Ties (possible only for even n) count as
+// failure, matching the paper's weighted-majority rule.
+func (pb *PoissonBinomial) ProbMajority() float64 {
+	n := len(pb.ps)
+	return pb.ProbAtLeast(n/2 + 1)
+}
+
+// NormalApproximation returns the normal distribution matching the sum's
+// mean and variance (the CLT limit of Lemma 4 in the paper).
+func (pb *PoissonBinomial) NormalApproximation() Normal {
+	return Normal{Mu: pb.Mean(), Sigma: math.Sqrt(pb.Variance())}
+}

@@ -1,0 +1,167 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"liquid/internal/rng"
+)
+
+func mustPB(t *testing.T, ps []float64) *PoissonBinomial {
+	t.Helper()
+	pb, err := NewPoissonBinomial(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb
+}
+
+func TestPoissonBinomialRejectsInvalid(t *testing.T) {
+	for _, ps := range [][]float64{{-0.1}, {1.1}, {0.5, math.NaN()}} {
+		if _, err := NewPoissonBinomial(ps); err == nil {
+			t.Errorf("expected error for %v", ps)
+		}
+	}
+}
+
+func TestPMFMatchesBinomial(t *testing.T) {
+	// Equal ps reduce to Binomial(n, p).
+	const n, p = 10, 0.3
+	ps := make([]float64, n)
+	for i := range ps {
+		ps[i] = p
+	}
+	f := mustPB(t, ps).PMF()
+	for k := 0; k <= n; k++ {
+		want := binomialPMF(n, k, p)
+		if math.Abs(f[k]-want) > 1e-12 {
+			t.Errorf("PMF[%d] = %v, want %v", k, f[k], want)
+		}
+	}
+}
+
+func binomialPMF(n, k int, p float64) float64 {
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	pb := mustPB(t, []float64{0.1, 0.9, 0.5, 0.33, 0.67, 1, 0})
+	var s float64
+	for _, v := range pb.PMF() {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("PMF sums to %v", s)
+	}
+}
+
+func TestDeterministicVoters(t *testing.T) {
+	pb := mustPB(t, []float64{1, 1, 0})
+	f := pb.PMF()
+	if math.Abs(f[2]-1) > 1e-15 {
+		t.Fatalf("PMF should be a point mass at 2, got %v", f)
+	}
+	if got := pb.ProbMajority(); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("ProbMajority = %v, want 1", got)
+	}
+}
+
+func TestProbMajorityTieLoses(t *testing.T) {
+	// Two certain-correct and two certain-wrong voters: tie at 2 of 4, which
+	// must count as incorrect under the strict-majority rule.
+	pb := mustPB(t, []float64{1, 1, 0, 0})
+	if got := pb.ProbMajority(); got != 0 {
+		t.Fatalf("tie should lose, ProbMajority = %v", got)
+	}
+}
+
+func TestProbMajoritySingleVoter(t *testing.T) {
+	pb := mustPB(t, []float64{0.7})
+	if got := pb.ProbMajority(); math.Abs(got-0.7) > 1e-15 {
+		t.Fatalf("ProbMajority = %v, want 0.7", got)
+	}
+}
+
+func TestProbAtLeastEdges(t *testing.T) {
+	pb := mustPB(t, []float64{0.5, 0.5})
+	if pb.ProbAtLeast(0) != 1 {
+		t.Error("ProbAtLeast(0) should be 1")
+	}
+	if pb.ProbAtLeast(3) != 0 {
+		t.Error("ProbAtLeast(n+1) should be 0")
+	}
+	if got := pb.ProbAtLeast(1); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("ProbAtLeast(1) = %v, want 0.75", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	pb := mustPB(t, []float64{0.2, 0.8, 0.5})
+	if got, want := pb.Mean(), 1.5; math.Abs(got-want) > 1e-15 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	want := 0.2*0.8 + 0.8*0.2 + 0.25
+	if got := pb.Variance(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestMajorityMatchesMonteCarlo(t *testing.T) {
+	ps := []float64{0.9, 0.2, 0.55, 0.71, 0.33, 0.44, 0.66}
+	pb := mustPB(t, ps)
+	want := pb.ProbMajority()
+
+	s := rng.New(99)
+	const trials = 300000
+	wins := 0
+	for i := 0; i < trials; i++ {
+		correct := 0
+		for _, p := range ps {
+			if s.Bernoulli(p) {
+				correct++
+			}
+		}
+		if 2*correct > len(ps) {
+			wins++
+		}
+	}
+	got := float64(wins) / trials
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("Monte Carlo %v vs exact %v", got, want)
+	}
+}
+
+func TestQuickPMFValidDistribution(t *testing.T) {
+	f := func(raw []float64) bool {
+		ps := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				continue
+			}
+			ps = append(ps, math.Abs(math.Mod(r, 1)))
+		}
+		if len(ps) > 25 {
+			ps = ps[:25]
+		}
+		pb, err := NewPoissonBinomial(ps)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range pb.PMF() {
+			if v < -1e-15 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package prob
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"liquid/internal/rng"
+)
+
+func sampleMany(s Sampler, n int, seed uint64) []float64 {
+	st := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Sample(st)
+	}
+	return out
+}
+
+func TestUniformSamplerRange(t *testing.T) {
+	xs := sampleMany(UniformSampler{Lo: 2, Hi: 5}, 10000, 1)
+	for _, x := range xs {
+		if x < 2 || x >= 5 {
+			t.Fatalf("uniform sample %v out of [2,5)", x)
+		}
+	}
+	if m := Mean(xs); math.Abs(m-3.5) > 0.05 {
+		t.Fatalf("uniform mean %v, want ~3.5", m)
+	}
+}
+
+func TestConstantSampler(t *testing.T) {
+	xs := sampleMany(ConstantSampler{Value: 0.42}, 10, 1)
+	for _, x := range xs {
+		if x != 0.42 {
+			t.Fatalf("constant sampler returned %v", x)
+		}
+	}
+}
+
+func TestGammaSamplerMoments(t *testing.T) {
+	tests := []float64{0.5, 1, 2.5, 9}
+	for _, shape := range tests {
+		xs := sampleMany(GammaSampler{Shape: shape}, 100000, uint64(shape*100))
+		m := Mean(xs)
+		v := Variance(xs)
+		// Gamma(shape,1): mean = shape, var = shape.
+		if math.Abs(m-shape) > 0.15*shape+0.05 {
+			t.Errorf("shape %v: mean %v", shape, m)
+		}
+		if math.Abs(v-shape) > 0.25*shape+0.1 {
+			t.Errorf("shape %v: variance %v", shape, v)
+		}
+		for _, x := range xs[:100] {
+			if x < 0 {
+				t.Fatalf("negative gamma sample %v", x)
+			}
+		}
+	}
+}
+
+func TestGammaSamplerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape 0")
+		}
+	}()
+	GammaSampler{Shape: 0}.Sample(rng.New(1))
+}
+
+func TestBetaSamplerMoments(t *testing.T) {
+	a, b := 2.0, 5.0
+	xs := sampleMany(BetaSampler{Alpha: a, Beta: b}, 100000, 3)
+	wantMean := a / (a + b)
+	wantVar := a * b / ((a + b) * (a + b) * (a + b + 1))
+	if m := Mean(xs); math.Abs(m-wantMean) > 0.01 {
+		t.Errorf("beta mean %v, want %v", m, wantMean)
+	}
+	if v := Variance(xs); math.Abs(v-wantVar) > 0.01 {
+		t.Errorf("beta variance %v, want %v", v, wantVar)
+	}
+	for _, x := range xs {
+		if x < 0 || x > 1 {
+			t.Fatalf("beta sample %v out of [0,1]", x)
+		}
+	}
+}
+
+func TestTruncatedNormalRange(t *testing.T) {
+	s := TruncatedNormalSampler{Mu: 0.5, Sigma: 0.3, Lo: 0.2, Hi: 0.8}
+	xs := sampleMany(s, 20000, 5)
+	for _, x := range xs {
+		if x < 0.2 || x > 0.8 {
+			t.Fatalf("truncated normal sample %v out of range", x)
+		}
+	}
+}
+
+func TestTruncatedNormalFarTail(t *testing.T) {
+	// Interval with essentially no mass: must still terminate and return an
+	// in-range value.
+	s := TruncatedNormalSampler{Mu: 0, Sigma: 0.001, Lo: 100, Hi: 101}
+	x := s.Sample(rng.New(7))
+	if x < 100 || x > 101 {
+		t.Fatalf("fallback sample %v out of range", x)
+	}
+}
+
+func TestClampedSampler(t *testing.T) {
+	base := TruncatedNormalSampler{Mu: 0.5, Sigma: 3, Lo: -10, Hi: 10}
+	c := ClampedSampler{Base: base, Lo: 0.1, Hi: 0.9}
+	for _, x := range sampleMany(c, 5000, 9) {
+		if x < 0.1 || x > 0.9 {
+			t.Fatalf("clamped sample %v out of range", x)
+		}
+	}
+}
+
+func TestNewCompetencySampler(t *testing.T) {
+	tests := []struct {
+		name    string
+		lo, hi  float64
+		params  []float64
+		wantErr bool
+	}{
+		{name: "uniform", lo: 0.2, hi: 0.8},
+		{name: "beta", lo: 0.1, hi: 0.9, params: []float64{2, 3}},
+		{name: "beta", lo: 0.1, hi: 0.9}, // defaults
+		{name: "truncnorm", lo: 0.3, hi: 0.7, params: []float64{0.5, 0.1}},
+		{name: "truncnorm", lo: 0.3, hi: 0.7},
+		{name: "nope", lo: 0, hi: 1, wantErr: true},
+		{name: "uniform", lo: 0.8, hi: 0.2, wantErr: true},
+		{name: "beta", lo: 0, hi: 1, params: []float64{-1, 2}, wantErr: true},
+		{name: "truncnorm", lo: 0, hi: 1, params: []float64{0.5, -1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		s, err := NewCompetencySampler(tt.name, tt.lo, tt.hi, tt.params...)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("%s [%v,%v]: expected error", tt.name, tt.lo, tt.hi)
+			} else if !errors.Is(err, ErrInvalidParameter) {
+				t.Errorf("%s: error %v should wrap ErrInvalidParameter", tt.name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tt.name, err)
+			continue
+		}
+		for _, x := range sampleMany(s, 2000, 11) {
+			if x < tt.lo || x > tt.hi {
+				t.Errorf("%s sample %v outside [%v,%v]", tt.name, x, tt.lo, tt.hi)
+				break
+			}
+		}
+	}
+}

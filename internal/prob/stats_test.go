@@ -1,0 +1,203 @@
+package prob
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if got, want := s.Variance(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Error("empty summary should be all zeros")
+	}
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Variance() != 0 {
+		t.Error("single observation: mean 3.5, variance 0")
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Error("single observation min/max")
+	}
+}
+
+func TestSummaryCICoversMean(t *testing.T) {
+	var s Summary
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i % 10))
+	}
+	lo, hi := s.MeanCI(0.95)
+	if lo > s.Mean() || hi < s.Mean() {
+		t.Fatalf("CI [%v,%v] does not contain mean %v", lo, hi, s.Mean())
+	}
+	if hi <= lo {
+		t.Fatal("CI should have positive width")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty slice should be NaN")
+	}
+	// Input must not be modified.
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Error("Quantile modified its input")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100, 0.95)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("Wilson [%v,%v] should straddle 0.5", lo, hi)
+	}
+	// Zero successes must still give a positive-width interval touching 0.
+	lo, hi = WilsonInterval(0, 100, 0.95)
+	if lo != 0 {
+		t.Errorf("lo = %v, want 0", lo)
+	}
+	if hi <= 0 || hi > 0.1 {
+		t.Errorf("hi = %v for 0/100", hi)
+	}
+	// Degenerate trials.
+	lo, hi = WilsonInterval(0, 0, 0.95)
+	if lo != 0 || hi != 1 {
+		t.Errorf("no-trials interval = [%v,%v], want [0,1]", lo, hi)
+	}
+}
+
+func TestWilsonNarrowsWithTrials(t *testing.T) {
+	lo1, hi1 := WilsonInterval(30, 100, 0.95)
+	lo2, hi2 := WilsonInterval(300, 1000, 0.95)
+	if (hi2 - lo2) >= (hi1 - lo1) {
+		t.Fatal("interval should narrow with more trials")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.9999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("under/over = %d/%d", under, over)
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 0, 3)
+}
+
+func TestMeanVarianceHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of one point should be 0")
+	}
+	xs := []float64{1, 2, 3}
+	if got := Mean(xs); math.Abs(got-2) > 1e-15 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); math.Abs(got-1) > 1e-15 {
+		t.Errorf("Variance = %v", got)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if HoeffdingTwoSided(0, 10) != 1 {
+		t.Error("t=0 should give trivial bound")
+	}
+	if HoeffdingTwoSided(5, 0) != 0 {
+		t.Error("zero span should give 0")
+	}
+	got := HoeffdingTwoSided(10, 100)
+	want := 2 * math.Exp(-2.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Hoeffding = %v, want %v", got, want)
+	}
+	if ChernoffLowerTail(0.5, 0) != 1 {
+		t.Error("mu=0 should give trivial Chernoff bound")
+	}
+	if got := ChernoffLowerTail(0.5, 8); math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Errorf("Chernoff lower = %v", got)
+	}
+	if b := ChernoffUpperTail(1, 6); math.Abs(b-math.Exp(-2)) > 1e-12 {
+		t.Errorf("Chernoff upper = %v", b)
+	}
+}
+
+func TestFlipProbabilityBoundDecays(t *testing.T) {
+	// For a fair direct vote, the chance of being within sqrt(n)^(1-) votes
+	// of the threshold decays as n grows; this is the Lemma 3 mechanism.
+	prev := 1.0
+	for _, n := range []int{100, 10000, 1000000} {
+		sigma := math.Sqrt(float64(n) * 0.25)
+		margin := 2 * math.Pow(float64(n), 0.3)
+		got := FlipProbabilityBound(n, float64(n)/2, sigma, margin)
+		if got >= prev {
+			t.Fatalf("flip bound did not decay at n=%d: %v >= %v", n, got, prev)
+		}
+		prev = got
+	}
+	// margin/sigma ~ n^{-0.2}, so the decay is slow; just require real
+	// progress from the n=100 starting point.
+	if prev > 0.25 {
+		t.Fatalf("flip bound should be small at n=1e6, got %v", prev)
+	}
+}
+
+func TestHoeffdingSinkBound(t *testing.T) {
+	if HoeffdingSinkBound(0, 1, 5) != 1 {
+		t.Error("n=0 trivial")
+	}
+	// Larger max weight weakens the bound at fixed t.
+	loose := HoeffdingSinkBound(1000, 100, 50)
+	tight := HoeffdingSinkBound(1000, 1, 50)
+	if tight >= loose {
+		t.Fatalf("bound should tighten with smaller max weight: %v vs %v", tight, loose)
+	}
+}

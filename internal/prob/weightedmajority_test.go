@@ -1,0 +1,219 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"liquid/internal/rng"
+)
+
+func mustWM(t *testing.T, voters []WeightedVoter) *WeightedMajority {
+	t.Helper()
+	wm, err := NewWeightedMajority(voters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wm
+}
+
+func TestWeightedMajorityRejectsInvalid(t *testing.T) {
+	bad := [][]WeightedVoter{
+		{{Weight: 0, P: 0.5}},
+		{{Weight: -1, P: 0.5}},
+		{{Weight: 1, P: -0.2}},
+		{{Weight: 1, P: 1.2}},
+		{{Weight: 1, P: math.NaN()}},
+	}
+	for _, voters := range bad {
+		if _, err := NewWeightedMajority(voters); err == nil {
+			t.Errorf("expected error for %v", voters)
+		}
+	}
+}
+
+func TestWeightedReducesToPoissonBinomial(t *testing.T) {
+	ps := []float64{0.3, 0.8, 0.51, 0.49, 0.9}
+	voters := make([]WeightedVoter, len(ps))
+	for i, p := range ps {
+		voters[i] = WeightedVoter{Weight: 1, P: p}
+	}
+	wm := mustWM(t, voters)
+	pb := mustPB(t, ps)
+
+	fw, fp := wm.PMF(), pb.PMF()
+	for k := range fp {
+		if math.Abs(fw[k]-fp[k]) > 1e-12 {
+			t.Fatalf("PMF mismatch at %d: %v vs %v", k, fw[k], fp[k])
+		}
+	}
+	if math.Abs(wm.ProbCorrectDecision()-pb.ProbMajority()) > 1e-12 {
+		t.Fatal("majority probabilities differ for unit weights")
+	}
+}
+
+func TestDictatorWeight(t *testing.T) {
+	// One sink holding all n votes: correctness probability equals its p.
+	// This is exactly the Figure 1 star outcome.
+	wm := mustWM(t, []WeightedVoter{{Weight: 9, P: 2.0 / 3}})
+	if got := wm.ProbCorrectDecision(); math.Abs(got-2.0/3) > 1e-15 {
+		t.Fatalf("dictator ProbCorrectDecision = %v, want 2/3", got)
+	}
+	if wm.MaxWeight() != 9 {
+		t.Fatalf("MaxWeight = %d", wm.MaxWeight())
+	}
+}
+
+func TestWeightedTieLoses(t *testing.T) {
+	// Weight 2 certain-correct vs two weight-1 certain-wrong: 2 vs 2 tie.
+	wm := mustWM(t, []WeightedVoter{
+		{Weight: 2, P: 1},
+		{Weight: 1, P: 0},
+		{Weight: 1, P: 0},
+	})
+	if got := wm.ProbCorrectDecision(); got != 0 {
+		t.Fatalf("tie should lose, got %v", got)
+	}
+}
+
+func TestWeightedStrictWin(t *testing.T) {
+	wm := mustWM(t, []WeightedVoter{
+		{Weight: 3, P: 1},
+		{Weight: 2, P: 0},
+	})
+	if got := wm.ProbCorrectDecision(); got != 1 {
+		t.Fatalf("3 vs 2 should win, got %v", got)
+	}
+}
+
+func TestWeightedPMFSumsToOne(t *testing.T) {
+	wm := mustWM(t, []WeightedVoter{
+		{Weight: 3, P: 0.4},
+		{Weight: 5, P: 0.7},
+		{Weight: 1, P: 0.99},
+		{Weight: 2, P: 0.01},
+	})
+	var s float64
+	for _, v := range wm.PMF() {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("PMF sums to %v", s)
+	}
+}
+
+func TestWeightedMeanVariance(t *testing.T) {
+	wm := mustWM(t, []WeightedVoter{
+		{Weight: 2, P: 0.5},
+		{Weight: 3, P: 0.2},
+	})
+	if got, want := wm.Mean(), 2*0.5+3*0.2; math.Abs(got-want) > 1e-15 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	want := 4*0.25 + 9*0.16
+	if got := wm.Variance(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestWeightedMatchesMonteCarlo(t *testing.T) {
+	voters := []WeightedVoter{
+		{Weight: 4, P: 0.62},
+		{Weight: 1, P: 0.3},
+		{Weight: 2, P: 0.85},
+		{Weight: 3, P: 0.5},
+		{Weight: 1, P: 0.11},
+	}
+	wm := mustWM(t, voters)
+	want := wm.ProbCorrectDecision()
+
+	s := rng.New(7)
+	const trials = 300000
+	wins := 0
+	for i := 0; i < trials; i++ {
+		correct := 0
+		for _, v := range voters {
+			if s.Bernoulli(v.P) {
+				correct += v.Weight
+			}
+		}
+		if 2*correct > wm.TotalWeight() {
+			wins++
+		}
+	}
+	got := float64(wins) / trials
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("Monte Carlo %v vs exact %v", got, want)
+	}
+}
+
+func TestQuickWeightedPMFValid(t *testing.T) {
+	f := func(rawW []uint8, rawP []float64) bool {
+		m := len(rawW)
+		if len(rawP) < m {
+			m = len(rawP)
+		}
+		if m > 12 {
+			m = 12
+		}
+		if m == 0 {
+			return true
+		}
+		voters := make([]WeightedVoter, m)
+		for i := 0; i < m; i++ {
+			p := rawP[i]
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				p = 0.5
+			}
+			voters[i] = WeightedVoter{
+				Weight: int(rawW[i]%10) + 1,
+				P:      math.Abs(math.Mod(p, 1)),
+			}
+		}
+		wm, err := NewWeightedMajority(voters)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range wm.PMF() {
+			if v < -1e-15 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieRules(t *testing.T) {
+	// Two voters, p = 0.5 each: P(tie) = 0.5, P(win strictly) = 0.25.
+	wm := mustWM(t, []WeightedVoter{{Weight: 1, P: 0.5}, {Weight: 1, P: 0.5}})
+	if got := wm.ProbTie(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ProbTie = %v, want 0.5", got)
+	}
+	if got := wm.ProbCorrectDecisionRule(TiesLose); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("TiesLose = %v, want 0.25", got)
+	}
+	if got := wm.ProbCorrectDecisionRule(TiesWin); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("TiesWin = %v, want 0.75", got)
+	}
+	if got := wm.ProbCorrectDecisionRule(TiesCoin); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("TiesCoin = %v, want 0.5", got)
+	}
+}
+
+func TestTieRulesOddTotalCoincide(t *testing.T) {
+	wm := mustWM(t, []WeightedVoter{{Weight: 1, P: 0.6}, {Weight: 2, P: 0.4}})
+	if wm.ProbTie() != 0 {
+		t.Fatal("odd total cannot tie")
+	}
+	a := wm.ProbCorrectDecisionRule(TiesLose)
+	b := wm.ProbCorrectDecisionRule(TiesWin)
+	c := wm.ProbCorrectDecisionRule(TiesCoin)
+	if a != b || b != c {
+		t.Fatalf("rules should coincide for odd totals: %v %v %v", a, b, c)
+	}
+}

@@ -1,0 +1,31 @@
+package recycle_test
+
+import (
+	"fmt"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/recycle"
+)
+
+// Example maps a complete-graph delegation setting to its recycle sampling
+// graph (the Lemma 7 correspondence) and reads off the quantities used by
+// Lemma 2.
+func Example() {
+	p := []float64{0.9, 0.85, 0.6, 0.5, 0.4, 0.3}
+	in, err := core.NewInstance(graph.NewComplete(len(p)), p)
+	if err != nil {
+		panic(err)
+	}
+	g, err := recycle.FromCompleteDelegation(in, 0.1, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("fresh prefix j:", g.J)
+	fmt.Println("partition complexity c:", g.PartitionComplexity())
+	fmt.Printf("mu(X_n) = %.3f\n", g.MeanSum())
+	// Output:
+	// fresh prefix j: 2
+	// partition complexity c: 4
+	// mu(X_n) = 5.250
+}

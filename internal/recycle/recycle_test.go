@@ -1,0 +1,259 @@
+package recycle
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		j    int
+		z, p []float64
+		upTo []int
+	}{
+		{"length mismatch", 0, []float64{1}, []float64{0.5, 0.5}, []int{0, 0}},
+		{"bad j", 5, []float64{1}, []float64{0.5}, []int{0}},
+		{"negative j", -1, []float64{1}, []float64{0.5}, []int{0}},
+		{"bad p", 0, []float64{1}, []float64{1.5}, []int{0}},
+		{"bad z", 0, []float64{-0.1}, []float64{0.5}, []int{0}},
+		{"upTo beyond i", 0, []float64{1, 0}, []float64{0.5, 0.5}, []int{0, 2}},
+		{"copy before j", 2, []float64{0, 0}, []float64{0.5, 0.5}, []int{0, 1}},
+	}
+	for _, tt := range tests {
+		if _, err := New(tt.j, tt.z, tt.p, tt.upTo); !errors.Is(err, ErrInvalidGraph) {
+			t.Errorf("%s: err = %v", tt.name, err)
+		}
+	}
+}
+
+func TestIndependentMeansAndComplexity(t *testing.T) {
+	p := []float64{0.2, 0.5, 0.9}
+	g, err := NewIndependent(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Means()
+	for i := range p {
+		if m[i] != p[i] {
+			t.Fatalf("independent mean[%d] = %v", i, m[i])
+		}
+	}
+	if got := g.PartitionComplexity(); got != 0 {
+		t.Fatalf("independent complexity = %d", got)
+	}
+	if math.Abs(g.MeanSum()-1.6) > 1e-12 {
+		t.Fatalf("MeanSum = %v", g.MeanSum())
+	}
+}
+
+func TestPureCopyMean(t *testing.T) {
+	// Vertex 1 always copies vertex 0: E[x_1] = E[x_0] = p_0.
+	g, err := New(1, []float64{1, 0}, []float64{0.7, 0.1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Means()
+	if m[1] != 0.7 {
+		t.Fatalf("copy mean = %v, want 0.7", m[1])
+	}
+	if g.PartitionComplexity() != 1 {
+		t.Fatalf("complexity = %d", g.PartitionComplexity())
+	}
+}
+
+func TestChainComplexity(t *testing.T) {
+	// 0 fresh; 1 copies {0}; 2 copies {0,1}; 3 copies {0,1,2}: longest
+	// chain 3 -> 2 -> 1 -> 0 has 3 edges.
+	z := []float64{1, 0, 0, 0}
+	p := []float64{0.5, 0.5, 0.5, 0.5}
+	upTo := []int{0, 1, 2, 3}
+	g, err := New(1, z, p, upTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.PartitionComplexity(); got != 3 {
+		t.Fatalf("complexity = %d, want 3", got)
+	}
+}
+
+func TestComplexityIgnoresFreshVertices(t *testing.T) {
+	// Vertex 2 has copy edges but z = 1, so it never copies: no chain.
+	g, err := New(1, []float64{1, 1, 1}, []float64{0.5, 0.5, 0.5}, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.PartitionComplexity(); got != 0 {
+		t.Fatalf("complexity = %d, want 0", got)
+	}
+}
+
+func TestRealizeMatchesMeans(t *testing.T) {
+	// Mixed graph: empirical average of X_n must match MeanSum.
+	n := 60
+	z := make([]float64, n)
+	p := make([]float64, n)
+	upTo := make([]int, n)
+	for i := 0; i < n; i++ {
+		p[i] = 0.3 + 0.4*float64(i)/float64(n)
+		if i < 10 {
+			z[i] = 1
+		} else {
+			z[i] = 0.3
+			upTo[i] = i - 5
+		}
+	}
+	g, err := New(10, z, p, upTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(1)
+	const trials = 40000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += float64(g.RealizeSum(s))
+	}
+	got := sum / trials
+	want := g.MeanSum()
+	if math.Abs(got-want) > 0.15 {
+		t.Fatalf("empirical mean %v vs exact %v", got, want)
+	}
+}
+
+func TestRealizePrefixSumsConsistent(t *testing.T) {
+	g, err := NewIndependent([]float64{1, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := g.RealizePrefixSums(rng.New(2))
+	want := []int{1, 1, 2, 3}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("prefix sums %v, want %v", ps, want)
+		}
+	}
+}
+
+func TestMeanPrefixSums(t *testing.T) {
+	g, err := NewIndependent([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := g.MeanPrefixSums()
+	if mp[0] != 0.5 || mp[1] != 1.0 {
+		t.Fatalf("MeanPrefixSums = %v", mp)
+	}
+}
+
+func TestLemma2BoundBelowMean(t *testing.T) {
+	g, err := New(4,
+		[]float64{1, 1, 1, 1, 0, 0},
+		[]float64{0.6, 0.6, 0.6, 0.6, 0.2, 0.2},
+		[]int{0, 0, 0, 0, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := g.Lemma2Bound(0.1); b >= g.MeanSum() {
+		t.Fatalf("bound %v should sit below the mean %v", b, g.MeanSum())
+	}
+}
+
+func TestFromCompleteDelegation(t *testing.T) {
+	// 6 voters, alpha = 0.1, threshold 1. Competencies chosen so the top
+	// two voters cannot delegate.
+	p := []float64{0.9, 0.85, 0.6, 0.5, 0.4, 0.3}
+	in, err := core.NewInstance(graph.NewComplete(len(p)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromCompleteDelegation(in, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 6 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Descending order: 0.9, 0.85, 0.6, 0.5, 0.4, 0.3. Approval counts
+	// (strictly >= p+0.1 among earlier): 0, 0, 2, 3, 4, 5.
+	wantUpTo := []int{0, 0, 2, 3, 4, 5}
+	for i, want := range wantUpTo {
+		if g.UpTo[i] != want {
+			t.Fatalf("UpTo = %v, want %v", g.UpTo, wantUpTo)
+		}
+	}
+	if g.J != 2 {
+		t.Fatalf("J = %d, want 2", g.J)
+	}
+	// All copying vertices have z = 0 (Algorithm 1 delegates surely).
+	for i := 2; i < 6; i++ {
+		if g.Z[i] != 0 {
+			t.Fatalf("Z[%d] = %v", i, g.Z[i])
+		}
+	}
+	// Means of delegators must exceed their own competency by >= alpha
+	// (every delegate is at least alpha more competent).
+	m := g.Means()
+	for i := 2; i < 6; i++ {
+		if m[i] < g.P[i]+0.1 {
+			t.Fatalf("delegation should raise expectation: m[%d] = %v, p = %v", i, m[i], g.P[i])
+		}
+	}
+}
+
+func TestFromCompleteDelegationThresholdBlocks(t *testing.T) {
+	p := []float64{0.9, 0.5, 0.4}
+	in, err := core.NewInstance(graph.NewComplete(3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 3: nobody has 3 approved voters, so everyone is fresh.
+	g, err := FromCompleteDelegation(in, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.UpTo {
+		if g.UpTo[i] != 0 {
+			t.Fatalf("vertex %d should be fresh", i)
+		}
+	}
+	if g.PartitionComplexity() != 0 {
+		t.Fatal("complexity should be 0")
+	}
+}
+
+func TestQuickMeansAreProbabilities(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		s := rng.New(seed)
+		z := make([]float64, n)
+		p := make([]float64, n)
+		upTo := make([]int, n)
+		for i := 0; i < n; i++ {
+			z[i] = s.Float64()
+			p[i] = s.Float64()
+			if i > 0 && s.Bernoulli(0.7) {
+				upTo[i] = 1 + s.IntN(i)
+			}
+		}
+		g, err := New(0, z, p, upTo)
+		if err != nil {
+			return false
+		}
+		for _, m := range g.Means() {
+			if m < -1e-12 || m > 1+1e-12 {
+				return false
+			}
+		}
+		c := g.PartitionComplexity()
+		return c >= 0 && c < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package report renders experiment results as aligned text tables and CSV,
+// mirroring how the paper's results would be tabulated.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled rectangular result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. Short rows are padded with empty cells; long rows
+// are truncated to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes the table (headers + rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Itoa formats an int cell.
+func Itoa(v int) string { return strconv.Itoa(v) }
+
+// F formats a float cell with 4 decimal places.
+func F(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// F2 formats a float cell with 2 decimal places.
+func F2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// G formats a float cell compactly.
+func G(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
+
+// Interval formats a [lo, hi] confidence interval cell.
+func Interval(lo, hi float64) string {
+	return "[" + F(lo) + ", " + F(hi) + "]"
+}
+
+// RenderMarkdown writes the table as a GitHub-flavoured markdown table,
+// preceded by the title as a bold line when present.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeMDRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeMDRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeMDRow(sep)
+	for _, row := range t.Rows {
+		writeMDRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

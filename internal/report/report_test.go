@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tab := NewTable("Demo", "n", "gain")
+	tab.AddRow("10", "0.1234")
+	tab.AddRow("10000", "-0.0001")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Header and rows must align at the same columns.
+	if !strings.HasPrefix(lines[1], "n    ") {
+		t.Fatalf("header misaligned: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-----") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRow("1")
+	tab.AddRow("1", "2", "3", "4")
+	if len(tab.Rows[0]) != 3 || tab.Rows[0][1] != "" {
+		t.Fatalf("short row not padded: %v", tab.Rows[0])
+	}
+	if len(tab.Rows[1]) != 3 {
+		t.Fatalf("long row not truncated: %v", tab.Rows[1])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := NewTable("t", "x", "y")
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Itoa(42) != "42" {
+		t.Error("Itoa")
+	}
+	if F(0.5) != "0.5000" {
+		t.Errorf("F = %q", F(0.5))
+	}
+	if F2(1.005) == "" {
+		t.Error("F2 empty")
+	}
+	if G(0.000125) != "0.000125" {
+		t.Errorf("G = %q", G(0.000125))
+	}
+	if Interval(0.1, 0.2) != "[0.1000, 0.2000]" {
+		t.Errorf("Interval = %q", Interval(0.1, 0.2))
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tab := NewTable("MD", "a", "b")
+	tab.AddRow("1", "x|y")
+	var buf bytes.Buffer
+	if err := tab.RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**MD**", "| a | b |", "| --- | --- |", `x\|y`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

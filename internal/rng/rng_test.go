@@ -1,0 +1,234 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds produced %d equal draws", same)
+	}
+}
+
+func TestDeriveIsIndependentOfDrawOrder(t *testing.T) {
+	a := New(7)
+	_ = a.Uint64() // consume some randomness first
+	_ = a.Uint64()
+	da := a.Derive(3)
+
+	b := New(7)
+	db := b.Derive(3) // derive before any draws
+
+	for i := 0; i < 100; i++ {
+		if da.Uint64() != db.Uint64() {
+			t.Fatal("Derive must not depend on parent draw position")
+		}
+	}
+}
+
+func TestDeriveDistinctLabels(t *testing.T) {
+	s := New(9)
+	a := s.Derive(1)
+	b := s.Derive(2)
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("substreams with distinct labels should differ")
+	}
+}
+
+func TestDeriveStringStable(t *testing.T) {
+	a := New(5).DeriveString("graph")
+	b := New(5).DeriveString("graph")
+	c := New(5).DeriveString("votes")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("same string label must give same stream")
+	}
+	if New(5).DeriveString("graph").Uint64() == c.Uint64() {
+		t.Fatal("different string labels should give different streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(17)
+	const n = 200000
+	const p = 0.3
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	// 5-sigma band for a binomial proportion.
+	tol := 5 * math.Sqrt(p*(1-p)/n)
+	if math.Abs(got-p) > tol {
+		t.Fatalf("Bernoulli(%v) frequency %v outside tolerance %v", p, got, tol)
+	}
+}
+
+func TestSampleWithoutReplacementDistinct(t *testing.T) {
+	s := New(19)
+	tests := []struct {
+		n, k int
+	}{
+		{10, 0},
+		{10, 1},
+		{10, 10},
+		{100, 3},   // rejection path
+		{100, 50},  // shuffle path
+		{1000, 10}, // rejection path
+	}
+	for _, tt := range tests {
+		got := s.SampleWithoutReplacement(tt.n, tt.k)
+		if len(got) != tt.k {
+			t.Fatalf("n=%d k=%d: got %d samples", tt.n, tt.k, len(got))
+		}
+		seen := make(map[int]bool, tt.k)
+		for _, v := range got {
+			if v < 0 || v >= tt.n {
+				t.Fatalf("n=%d k=%d: sample %d out of range", tt.n, tt.k, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d k=%d: duplicate sample %d", tt.n, tt.k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	New(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Each element of [0,5) should appear in a 2-subset with probability 2/5.
+	s := New(23)
+	const trials = 50000
+	counts := make([]int, 5)
+	for i := 0; i < trials; i++ {
+		for _, v := range s.SampleWithoutReplacement(5, 2) {
+			counts[v]++
+		}
+	}
+	want := 2.0 / 5.0
+	for v, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("element %d frequency %v, want ~%v", v, got, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(29)
+	p := s.Perm(100)
+	sorted := append([]int(nil), p...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("Perm result is not a permutation at %d: %d", i, v)
+		}
+	}
+}
+
+func TestSplitMix64Properties(t *testing.T) {
+	// SplitMix64 must be deterministic and must not have trivial fixed points
+	// on small inputs.
+	if SplitMix64(0) != SplitMix64(0) {
+		t.Fatal("SplitMix64 not deterministic")
+	}
+	seen := make(map[uint64]uint64)
+	for x := uint64(0); x < 1000; x++ {
+		v := SplitMix64(x)
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("collision: SplitMix64(%d) == SplitMix64(%d)", x, prev)
+		}
+		seen[v] = x
+	}
+}
+
+func TestQuickDeriveDeterministic(t *testing.T) {
+	f := func(seed, label uint64) bool {
+		a := New(seed).Derive(label)
+		b := New(seed).Derive(label)
+		return a.Uint64() == b.Uint64() && a.Float64() == b.Float64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSampleBounds(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		got := New(seed).SampleWithoutReplacement(n, k)
+		if len(got) != k {
+			return false
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
