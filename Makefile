@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench reproduce reproduce-fast examples fmt
+.PHONY: all check build vet test test-short test-race bench reproduce reproduce-fast examples fmt
 
-all: build vet test
+all: check
+
+# check is the gate for a change: compile, static checks, tests, and the
+# race detector over the parallel engine and election sampling.
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -17,6 +21,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

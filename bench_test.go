@@ -8,10 +8,12 @@
 package liquid
 
 import (
+	"context"
 	"testing"
 
 	"liquid/internal/core"
 	"liquid/internal/election"
+	"liquid/internal/engine"
 	"liquid/internal/experiment"
 	"liquid/internal/graph"
 	"liquid/internal/localsim"
@@ -25,7 +27,7 @@ import (
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		out, err := experiment.Run(id, experiment.Config{Seed: uint64(i) + 1, Scale: 0.1})
+		out, err := experiment.Run(context.Background(), id, experiment.Config{Seed: uint64(i) + 1, Scale: 0.1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,6 +70,40 @@ func BenchmarkA3EngineComparison(b *testing.B)     { benchExperiment(b, "A3") }
 func BenchmarkA4Crossover(b *testing.B)            { benchExperiment(b, "A4") }
 func BenchmarkA5TieRules(b *testing.B)             { benchExperiment(b, "A5") }
 func BenchmarkA6PairedDuels(b *testing.B)          { benchExperiment(b, "A6") }
+
+// benchSuite runs a replication-heavy slice of the registry through the
+// engine at the given worker count. The subset leans on Monte-Carlo
+// experiments so the parallel speedup reflects real election workloads.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	var defs []experiment.Definition
+	for _, id := range []string{"F2", "L1", "L2", "L5", "T2", "T3", "X1", "X4"} {
+		def, err := experiment.Lookup(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defs = append(defs, def)
+	}
+	cfg := experiment.Config{Seed: 1, Scale: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := engine.New(engine.Options{Workers: workers}).Run(context.Background(), defs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunAllSequential and BenchmarkRunAllParallel compare one worker
+// against a pool of four on the same registry subset; the outcomes are
+// identical, only the wall clock differs.
+func BenchmarkRunAllSequential(b *testing.B) { benchSuite(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B)   { benchSuite(b, 4) }
 
 // --- micro-benchmarks for the primitives the experiments lean on ---
 
@@ -149,7 +185,7 @@ func BenchmarkEvaluateMechanismSmall(b *testing.B) {
 	mech := mechanism.ApprovalThreshold{Alpha: 0.05}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := election.EvaluateMechanism(in, mech, election.Options{
+		if _, err := election.EvaluateMechanism(context.Background(), in, mech, election.Options{
 			Replications: 8, Seed: uint64(i) + 1,
 		}); err != nil {
 			b.Fatal(err)
@@ -208,7 +244,7 @@ func BenchmarkLocalProtocol(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := localsim.RunThresholdDelegation(in, 0.05, nil, uint64(i)+1); err != nil {
+		if _, err := localsim.RunThresholdDelegation(context.Background(), in, 0.05, nil, uint64(i)+1); err != nil {
 			b.Fatal(err)
 		}
 	}

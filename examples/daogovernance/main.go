@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -73,7 +74,7 @@ func main() {
 		fmt.Sprintf("DAO proposal vote: %d members, BA graph, 10%% informed", members),
 		"mechanism", "P(correct)", "gain", "delegators", "sinks", "max weight")
 	for _, m := range mechanisms {
-		res, err := election.EvaluateMechanism(in, m, election.Options{
+		res, err := election.EvaluateMechanism(context.Background(), in, m, election.Options{
 			Replications: 32,
 			Seed:         seed,
 		})

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -43,7 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := localsim.RunDistributedElection(in, alpha, localsim.ThresholdRule(nil), seed, gossip)
+	res, err := localsim.RunDistributedElection(context.Background(), in, alpha, localsim.ThresholdRule(nil), seed, gossip)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -47,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	alg1, err := election.EvaluateMechanism(in, mechanism.ApprovalThreshold{Alpha: alpha}, election.Options{
+	alg1, err := election.EvaluateMechanism(context.Background(), in, mechanism.ApprovalThreshold{Alpha: alpha}, election.Options{
 		Replications: 64,
 		Seed:         seed,
 	})

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -43,7 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := localsim.RunThresholdDelegation(in, alpha, nil, seed)
+	res, err := localsim.RunThresholdDelegation(context.Background(), in, alpha, nil, seed)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 
 	// 4. Evaluate: P^M is averaged over mechanism randomness, each
 	//    realization scored by the exact weighted-majority DP.
-	res, err := election.EvaluateMechanism(in, mech, election.Options{
+	res, err := election.EvaluateMechanism(context.Background(), in, mech, election.Options{
 		Replications: 64,
 		Seed:         seed,
 	})

@@ -1,6 +1,7 @@
 package liquid
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 
 	// 2. The mechanism runs distributedly over a lossy network...
-	dist, err := localsim.RunReliableDelegation(in, alpha, localsim.ThresholdRule(nil), seed, 0.3)
+	dist, err := localsim.RunReliableDelegation(context.Background(), in, alpha, localsim.ThresholdRule(nil), seed, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc, err := election.ResolutionProbabilityMC(in, res, 60000, root.DeriveString("mc"))
+	mc, err := election.ResolutionProbabilityMC(context.Background(), in, res, 60000, root.DeriveString("mc"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestAdversarialMechanismsAreContained(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := election.EvaluateMechanism(in, mechanism.CycleForcing{}, election.Options{
+	if _, err := election.EvaluateMechanism(context.Background(), in, mechanism.CycleForcing{}, election.Options{
 		Replications: 2, Seed: 1,
 	}); err == nil {
 		t.Fatal("cycle-forcing mechanism not rejected")
@@ -204,7 +205,7 @@ func TestLargeScaleSmoke(t *testing.T) {
 	if total != n {
 		t.Fatalf("weights sum to %d, want %d", total, n)
 	}
-	pm, err := election.ResolutionProbabilityMC(in, res, 400, root.DeriveString("mc"))
+	pm, err := election.ResolutionProbabilityMC(context.Background(), in, res, 400, root.DeriveString("mc"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package dynamics
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -112,7 +113,7 @@ func TestBestResponseBeatsOrMatchesRandomMechanism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rnd, err := election.EvaluateMechanism(in, mechanism.ApprovalThreshold{Alpha: 0.05}, election.Options{
+	rnd, err := election.EvaluateMechanism(context.Background(), in, mechanism.ApprovalThreshold{Alpha: 0.05}, election.Options{
 		Replications: 32, Seed: 13,
 	})
 	if err != nil {

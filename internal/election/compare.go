@@ -1,6 +1,7 @@
 package election
 
 import (
+	"context"
 	"fmt"
 
 	"liquid/internal/core"
@@ -42,8 +43,9 @@ func (c *Comparison) Winner() string {
 
 // CompareMechanisms evaluates mechA against mechB on the instance with
 // paired replications. Each realization is scored exactly when the DP is
-// affordable, like EvaluateMechanism.
-func CompareMechanisms(in *core.Instance, mechA, mechB mechanism.Mechanism, opts Options) (*Comparison, error) {
+// affordable, like EvaluateMechanism. Cancelling ctx aborts the replication
+// loop with ctx's error.
+func CompareMechanisms(ctx context.Context, in *core.Instance, mechA, mechB mechanism.Mechanism, opts Options) (*Comparison, error) {
 	opts = opts.withDefaults()
 	if in.N() == 0 {
 		return nil, ErrNoVoters
@@ -62,12 +64,15 @@ func CompareMechanisms(in *core.Instance, mechA, mechB mechanism.Mechanism, opts
 		if resolutionCost(res) <= opts.ExactCostLimit {
 			return ResolutionProbabilityExact(in, res)
 		}
-		return ResolutionProbabilityMC(in, res, opts.VoteSamples, s.DeriveString("votes"))
+		return ResolutionProbabilityMC(ctx, in, res, opts.VoteSamples, s.DeriveString("votes"))
 	}
 
 	cmp := &Comparison{A: mechA.Name(), B: mechB.Name(), N: in.N()}
 	var diffs prob.Summary
 	for r := 0; r < opts.Replications; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := root.Derive(uint64(r) + 1)
 		// Common random numbers: both mechanisms consume the SAME stream
 		// state, so shared randomness (e.g. the same random delegate

@@ -1,6 +1,7 @@
 package election
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -22,7 +23,7 @@ func spgInstance(t *testing.T, n int, seed uint64) *core.Instance {
 
 func TestCompareThresholdBeatsDirect(t *testing.T) {
 	in := spgInstance(t, 301, 91)
-	cmp, err := CompareMechanisms(in,
+	cmp, err := CompareMechanisms(context.Background(), in,
 		mechanism.ApprovalThreshold{Alpha: 0.05},
 		mechanism.Direct{},
 		Options{Replications: 16, Seed: 3},
@@ -43,7 +44,7 @@ func TestCompareThresholdBeatsDirect(t *testing.T) {
 
 func TestCompareIdenticalMechanismsTie(t *testing.T) {
 	in := spgInstance(t, 101, 93)
-	cmp, err := CompareMechanisms(in,
+	cmp, err := CompareMechanisms(context.Background(), in,
 		mechanism.ApprovalThreshold{Alpha: 0.05},
 		mechanism.ApprovalThreshold{Alpha: 0.05},
 		Options{Replications: 8, Seed: 5},
@@ -59,7 +60,7 @@ func TestCompareIdenticalMechanismsTie(t *testing.T) {
 
 func TestCompareSymmetry(t *testing.T) {
 	in := spgInstance(t, 151, 95)
-	ab, err := CompareMechanisms(in,
+	ab, err := CompareMechanisms(context.Background(), in,
 		mechanism.ApprovalThreshold{Alpha: 0.02},
 		mechanism.ApprovalThreshold{Alpha: 0.15},
 		Options{Replications: 8, Seed: 7},
@@ -67,7 +68,7 @@ func TestCompareSymmetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ba, err := CompareMechanisms(in,
+	ba, err := CompareMechanisms(context.Background(), in,
 		mechanism.ApprovalThreshold{Alpha: 0.15},
 		mechanism.ApprovalThreshold{Alpha: 0.02},
 		Options{Replications: 8, Seed: 7},
@@ -82,11 +83,11 @@ func TestCompareSymmetry(t *testing.T) {
 
 func TestCompareErrors(t *testing.T) {
 	empty := mustInstance(t, graph.NewComplete(0), nil)
-	if _, err := CompareMechanisms(empty, mechanism.Direct{}, mechanism.Direct{}, Options{}); !errors.Is(err, ErrNoVoters) {
+	if _, err := CompareMechanisms(context.Background(), empty, mechanism.Direct{}, mechanism.Direct{}, Options{}); !errors.Is(err, ErrNoVoters) {
 		t.Fatalf("err = %v", err)
 	}
 	in := spgInstance(t, 21, 97)
-	if _, err := CompareMechanisms(in, mechanism.CycleForcing{}, mechanism.Direct{}, Options{Replications: 2, Seed: 1}); err == nil {
+	if _, err := CompareMechanisms(context.Background(), in, mechanism.CycleForcing{}, mechanism.Direct{}, Options{Replications: 2, Seed: 1}); err == nil {
 		t.Fatal("cycle-forcing mechanism accepted")
 	}
 }

@@ -11,6 +11,7 @@
 package election
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -88,7 +89,8 @@ type Result struct {
 // DirectProbability returns P^D(G) for the instance: the probability that a
 // strict majority of independent direct votes is correct. Exact for
 // n <= 4096, Monte Carlo (with the given stream and samples) above.
-func DirectProbability(in *core.Instance, samples int, s *rng.Stream) (float64, error) {
+// Cancelling ctx aborts the sampling loop with ctx's error.
+func DirectProbability(ctx context.Context, in *core.Instance, samples int, s *rng.Stream) (float64, error) {
 	n := in.N()
 	if n == 0 {
 		return 0, ErrNoVoters
@@ -102,6 +104,9 @@ func DirectProbability(in *core.Instance, samples int, s *rng.Stream) (float64, 
 	p := in.Competencies()
 	wins := 0
 	for t := 0; t < samples; t++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		correct := 0
 		for _, pi := range p {
 			if s.Bernoulli(pi) {
@@ -164,8 +169,8 @@ func ResolutionProbabilityExact(in *core.Instance, res *core.Resolution) (float6
 }
 
 // ResolutionProbabilityMC estimates the same probability by sampling sink
-// votes.
-func ResolutionProbabilityMC(in *core.Instance, res *core.Resolution, samples int, s *rng.Stream) (float64, error) {
+// votes. Cancelling ctx aborts the sampling loop with ctx's error.
+func ResolutionProbabilityMC(ctx context.Context, in *core.Instance, res *core.Resolution, samples int, s *rng.Stream) (float64, error) {
 	if in.N() == 0 {
 		return 0, ErrNoVoters
 	}
@@ -177,6 +182,9 @@ func ResolutionProbabilityMC(in *core.Instance, res *core.Resolution, samples in
 	}
 	wins := 0
 	for t := 0; t < samples; t++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		correct := 0
 		for _, sk := range res.Sinks {
 			if s.Bernoulli(in.Competency(sk)) {
@@ -195,68 +203,97 @@ func resolutionCost(res *core.Resolution) int64 {
 	return int64(len(res.Sinks)) * int64(res.TotalWeight)
 }
 
+// repOut is the per-replication result of one mechanism realization.
+type repOut struct {
+	pm           float64
+	delegators   int
+	sinks        int
+	maxWeight    int
+	longestChain int
+	err          error
+}
+
+// evaluateReplication scores one mechanism realization on its own stream.
+func evaluateReplication(ctx context.Context, in *core.Instance, mech mechanism.Mechanism, opts Options, s *rng.Stream) repOut {
+	if err := ctx.Err(); err != nil {
+		return repOut{err: err}
+	}
+	d, err := mech.Apply(in, s.DeriveString("mechanism"))
+	if err != nil {
+		return repOut{err: err}
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		return repOut{err: err}
+	}
+	var pm float64
+	if resolutionCost(res) <= opts.ExactCostLimit {
+		pm, err = ResolutionProbabilityExact(in, res)
+	} else {
+		pm, err = ResolutionProbabilityMC(ctx, in, res, opts.VoteSamples, s.DeriveString("votes"))
+	}
+	if err != nil {
+		return repOut{err: err}
+	}
+	return repOut{
+		pm:           pm,
+		delegators:   res.Delegators,
+		sinks:        len(res.Sinks),
+		maxWeight:    res.MaxWeight,
+		longestChain: res.LongestChain,
+	}
+}
+
 // EvaluateMechanism estimates P^M, P^D, and the gain of mech on in.
-// Replications run in parallel on independent RNG streams.
-func EvaluateMechanism(in *core.Instance, mech mechanism.Mechanism, opts Options) (*Result, error) {
+// Replications run in parallel on independent RNG streams; results are
+// deterministic for a fixed Options.Seed regardless of Workers. Cancelling
+// ctx stops scheduling new replications and aborts in-flight sampling loops,
+// returning ctx's error.
+func EvaluateMechanism(ctx context.Context, in *core.Instance, mech mechanism.Mechanism, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if in.N() == 0 {
 		return nil, ErrNoVoters
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	root := rng.New(opts.Seed)
-	pd, err := DirectProbability(in, opts.VoteSamples*4, root.DeriveString("direct"))
+	pd, err := DirectProbability(ctx, in, opts.VoteSamples*4, root.DeriveString("direct"))
 	if err != nil {
 		return nil, err
 	}
 
-	type repOut struct {
-		pm           float64
-		delegators   int
-		sinks        int
-		maxWeight    int
-		longestChain int
-		err          error
-	}
 	outs := make([]repOut, opts.Replications)
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for r := 0; r < opts.Replications; r++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(r int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			s := root.Derive(uint64(r) + 1)
-			d, err := mech.Apply(in, s.DeriveString("mechanism"))
-			if err != nil {
-				outs[r].err = err
-				return
-			}
-			res, err := d.Resolve()
-			if err != nil {
-				outs[r].err = err
-				return
-			}
-			var pm float64
-			if resolutionCost(res) <= opts.ExactCostLimit {
-				pm, err = ResolutionProbabilityExact(in, res)
-			} else {
-				pm, err = ResolutionProbabilityMC(in, res, opts.VoteSamples, s.DeriveString("votes"))
-			}
-			if err != nil {
-				outs[r].err = err
-				return
-			}
-			outs[r] = repOut{
-				pm:           pm,
-				delegators:   res.Delegators,
-				sinks:        len(res.Sinks),
-				maxWeight:    res.MaxWeight,
-				longestChain: res.LongestChain,
-			}
-		}(r)
+	workers := opts.Workers
+	if workers > opts.Replications {
+		workers = opts.Replications
 	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range work {
+				// Each replication draws from a stream derived only from
+				// (seed, r), so scheduling order cannot change the outcome.
+				outs[r] = evaluateReplication(ctx, in, mech, opts, root.Derive(uint64(r)+1))
+			}
+		}()
+	}
+feed:
+	for r := 0; r < opts.Replications; r++ {
+		select {
+		case <-ctx.Done():
+			break feed
+		case work <- r:
+		}
+	}
+	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	var pmSum prob.Summary
 	result := &Result{Mechanism: mech.Name(), N: in.N(), PD: pd}

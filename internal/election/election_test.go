@@ -1,6 +1,7 @@
 package election
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -45,7 +46,7 @@ func TestDirectProbabilityEmpty(t *testing.T) {
 	if _, err := DirectProbabilityExact(in); !errors.Is(err, ErrNoVoters) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := DirectProbability(in, 100, rng.New(1)); !errors.Is(err, ErrNoVoters) {
+	if _, err := DirectProbability(context.Background(), in, 100, rng.New(1)); !errors.Is(err, ErrNoVoters) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -60,7 +61,7 @@ func TestDirectProbabilityMCPathAgreesWithExact(t *testing.T) {
 	// normal approximation.
 	const n = 5001
 	in := mustInstance(t, graph.NewComplete(n), constComps(n, 0.51))
-	got, err := DirectProbability(in, 4000, rng.New(2))
+	got, err := DirectProbability(context.Background(), in, 4000, rng.New(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestResolutionProbabilityMCMatchesExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc, err := ResolutionProbabilityMC(in, res, 200000, rng.New(3))
+	mc, err := ResolutionProbabilityMC(context.Background(), in, res, 200000, rng.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestEvaluateMechanismStarLoss(t *testing.T) {
 	p[0] = 2.0 / 3
 	in := mustInstance(t, g, p)
 
-	res, err := EvaluateMechanism(in, mechanism.GreedyBest{Alpha: 0.01}, Options{
+	res, err := EvaluateMechanism(context.Background(), in, mechanism.GreedyBest{Alpha: 0.01}, Options{
 		Replications: 8, Seed: 7,
 	})
 	if err != nil {
@@ -215,7 +216,7 @@ func TestEvaluateMechanismCompleteGain(t *testing.T) {
 		p[i] = 0.3 + 0.35*s.Float64() // mean ~0.475 < 1/2
 	}
 	in := mustInstance(t, graph.NewComplete(n), p)
-	res, err := EvaluateMechanism(in, mechanism.ApprovalThreshold{Alpha: 0.05}, Options{
+	res, err := EvaluateMechanism(context.Background(), in, mechanism.ApprovalThreshold{Alpha: 0.05}, Options{
 		Replications: 16, Seed: 13,
 	})
 	if err != nil {
@@ -238,11 +239,11 @@ func TestEvaluateMechanismDeterministic(t *testing.T) {
 	}
 	in := mustInstance(t, graph.NewComplete(n), p)
 	opts := Options{Replications: 8, Seed: 99}
-	a, err := EvaluateMechanism(in, mechanism.ApprovalThreshold{Alpha: 0.02}, opts)
+	a, err := EvaluateMechanism(context.Background(), in, mechanism.ApprovalThreshold{Alpha: 0.02}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EvaluateMechanism(in, mechanism.ApprovalThreshold{Alpha: 0.02}, opts)
+	b, err := EvaluateMechanism(context.Background(), in, mechanism.ApprovalThreshold{Alpha: 0.02}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,14 +254,14 @@ func TestEvaluateMechanismDeterministic(t *testing.T) {
 
 func TestEvaluateMechanismEmpty(t *testing.T) {
 	in := mustInstance(t, graph.NewComplete(0), nil)
-	if _, err := EvaluateMechanism(in, mechanism.Direct{}, Options{}); !errors.Is(err, ErrNoVoters) {
+	if _, err := EvaluateMechanism(context.Background(), in, mechanism.Direct{}, Options{}); !errors.Is(err, ErrNoVoters) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestEvaluateDirectMechanismZeroGain(t *testing.T) {
 	in := mustInstance(t, graph.NewComplete(9), constComps(9, 0.55))
-	res, err := EvaluateMechanism(in, mechanism.Direct{}, Options{Replications: 4, Seed: 5})
+	res, err := EvaluateMechanism(context.Background(), in, mechanism.Direct{}, Options{Replications: 4, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestEvaluateDirectMechanismZeroGain(t *testing.T) {
 
 func TestEvaluateMechanismSurfacesCycleError(t *testing.T) {
 	in := mustInstance(t, graph.NewComplete(6), constComps(6, 0.5))
-	_, err := EvaluateMechanism(in, mechanism.CycleForcing{}, Options{Replications: 2, Seed: 1})
+	_, err := EvaluateMechanism(context.Background(), in, mechanism.CycleForcing{}, Options{Replications: 2, Seed: 1})
 	if !errors.Is(err, core.ErrCyclicDelegation) {
 		t.Fatalf("err = %v, want ErrCyclicDelegation", err)
 	}

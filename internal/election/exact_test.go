@@ -1,6 +1,7 @@
 package election
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -40,7 +41,7 @@ func TestExactMechanismMatchesSampling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := EvaluateMechanism(in, mech, Options{Replications: 3000, Seed: 17})
+	sampled, err := EvaluateMechanism(context.Background(), in, mech, Options{Replications: 3000, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestExactMechanismMatchesSamplingProbabilistic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := EvaluateMechanism(in, mech, Options{Replications: 4000, Seed: 19})
+	sampled, err := EvaluateMechanism(context.Background(), in, mech, Options{Replications: 4000, Seed: 19})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package election_test
 
 import (
+	"context"
 	"fmt"
 
 	"liquid/internal/core"
@@ -18,7 +19,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := election.EvaluateMechanism(in, mechanism.ApprovalThreshold{Alpha: 0.01}, election.Options{
+	res, err := election.EvaluateMechanism(context.Background(), in, mechanism.ApprovalThreshold{Alpha: 0.01}, election.Options{
 		Replications: 256,
 		Seed:         7,
 	})

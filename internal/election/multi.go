@@ -1,6 +1,7 @@
 package election
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -20,7 +21,7 @@ import (
 // Because voters only consult strictly more competent delegates (alpha >
 // 0), the consultation graph is acyclic and effective votes are computed
 // in one pass over voters in descending competency order.
-func MultiDelegationProbability(in *core.Instance, md *mechanism.MultiDelegation, samples int, s *rng.Stream) (float64, error) {
+func MultiDelegationProbability(ctx context.Context, in *core.Instance, md *mechanism.MultiDelegation, samples int, s *rng.Stream) (float64, error) {
 	n := in.N()
 	if n == 0 {
 		return 0, ErrNoVoters
@@ -63,6 +64,9 @@ func MultiDelegationProbability(in *core.Instance, md *mechanism.MultiDelegation
 	votes := make([]bool, n)
 	wins := 0
 	for t := 0; t < samples; t++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		correct := 0
 		for _, v := range order {
 			own := s.Bernoulli(in.Competency(v))
@@ -102,26 +106,30 @@ func MultiDelegationProbability(in *core.Instance, md *mechanism.MultiDelegation
 }
 
 // EvaluateMultiMechanism estimates the gain of a multi-delegate mechanism,
-// averaging over both mechanism randomness and vote randomness.
-func EvaluateMultiMechanism(in *core.Instance, mech mechanism.MultiMechanism, opts Options) (*Result, error) {
+// averaging over both mechanism randomness and vote randomness. Cancelling
+// ctx aborts the replication loop with ctx's error.
+func EvaluateMultiMechanism(ctx context.Context, in *core.Instance, mech mechanism.MultiMechanism, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if in.N() == 0 {
 		return nil, ErrNoVoters
 	}
 	root := rng.New(opts.Seed)
-	pd, err := DirectProbability(in, opts.VoteSamples*4, root.DeriveString("direct"))
+	pd, err := DirectProbability(ctx, in, opts.VoteSamples*4, root.DeriveString("direct"))
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Mechanism: mech.Name(), N: in.N(), PD: pd}
 	var pmSum prob.Summary
 	for r := 0; r < opts.Replications; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := root.Derive(uint64(r) + 1)
 		md, err := mech.ApplyMulti(in, s.DeriveString("mechanism"))
 		if err != nil {
 			return nil, err
 		}
-		pm, err := MultiDelegationProbability(in, md, opts.VoteSamples, s.DeriveString("votes"))
+		pm, err := MultiDelegationProbability(ctx, in, md, opts.VoteSamples, s.DeriveString("votes"))
 		if err != nil {
 			return nil, err
 		}

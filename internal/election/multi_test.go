@@ -1,6 +1,7 @@
 package election
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -15,7 +16,7 @@ func TestMultiDelegationAllDirectEqualsDirect(t *testing.T) {
 	p := []float64{0.4, 0.6, 0.7, 0.3, 0.55}
 	in := mustInstance(t, graph.NewComplete(5), p)
 	md := &mechanism.MultiDelegation{Delegates: make([][]int, 5)}
-	got, err := MultiDelegationProbability(in, md, 200000, rng.New(1))
+	got, err := MultiDelegationProbability(context.Background(), in, md, 200000, rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestMultiDelegationSingleDelegateMatchesChain(t *testing.T) {
 	p := []float64{0.2, 0.6, 0.9}
 	in := mustInstance(t, graph.NewComplete(3), p)
 	md := &mechanism.MultiDelegation{Delegates: [][]int{{2}, nil, nil}}
-	got, err := MultiDelegationProbability(in, md, 300000, rng.New(2))
+	got, err := MultiDelegationProbability(context.Background(), in, md, 300000, rng.New(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestMultiDelegationRejectsCycles(t *testing.T) {
 	p := []float64{0.5, 0.5}
 	in := mustInstance(t, graph.NewComplete(2), p)
 	md := &mechanism.MultiDelegation{Delegates: [][]int{{1}, {0}}}
-	if _, err := MultiDelegationProbability(in, md, 100, rng.New(3)); !errors.Is(err, core.ErrCyclicDelegation) {
+	if _, err := MultiDelegationProbability(context.Background(), in, md, 100, rng.New(3)); !errors.Is(err, core.ErrCyclicDelegation) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -72,7 +73,7 @@ func TestMultiDelegationRejectsBadIndices(t *testing.T) {
 		{{0}, nil}, // self
 	} {
 		md := &mechanism.MultiDelegation{Delegates: ds}
-		if _, err := MultiDelegationProbability(in, md, 100, rng.New(4)); err == nil {
+		if _, err := MultiDelegationProbability(context.Background(), in, md, 100, rng.New(4)); err == nil {
 			t.Fatalf("delegates %v accepted", ds)
 		}
 	}
@@ -81,7 +82,7 @@ func TestMultiDelegationRejectsBadIndices(t *testing.T) {
 func TestMultiDelegationSizeMismatch(t *testing.T) {
 	in := mustInstance(t, graph.NewComplete(3), []float64{0.4, 0.5, 0.6})
 	md := &mechanism.MultiDelegation{Delegates: make([][]int, 2)}
-	if _, err := MultiDelegationProbability(in, md, 100, rng.New(5)); err == nil {
+	if _, err := MultiDelegationProbability(context.Background(), in, md, 100, rng.New(5)); err == nil {
 		t.Fatal("size mismatch accepted")
 	}
 }
@@ -94,7 +95,7 @@ func TestEvaluateMultiMechanismGain(t *testing.T) {
 		p[i] = 0.3 + 0.35*s.Float64()
 	}
 	in := mustInstance(t, graph.NewComplete(n), p)
-	res, err := EvaluateMultiMechanism(in, mechanism.MultiDelegate{Alpha: 0.05, K: 3}, Options{
+	res, err := EvaluateMultiMechanism(context.Background(), in, mechanism.MultiDelegate{Alpha: 0.05, K: 3}, Options{
 		Replications: 8, VoteSamples: 2000, Seed: 7,
 	})
 	if err != nil {
@@ -110,7 +111,7 @@ func TestEvaluateMultiMechanismGain(t *testing.T) {
 
 func TestEvaluateMultiMechanismEmpty(t *testing.T) {
 	in := mustInstance(t, graph.NewComplete(0), nil)
-	if _, err := EvaluateMultiMechanism(in, mechanism.MultiDelegate{Alpha: 0.1, K: 2}, Options{}); !errors.Is(err, ErrNoVoters) {
+	if _, err := EvaluateMultiMechanism(context.Background(), in, mechanism.MultiDelegate{Alpha: 0.1, K: 2}, Options{}); !errors.Is(err, ErrNoVoters) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -125,7 +126,7 @@ func TestWeightedMultiDominantDelegate(t *testing.T) {
 		Delegates: [][]int{{1, 2}, nil, nil},
 		Weights:   [][]float64{{10, 1}, nil, nil},
 	}
-	got, err := MultiDelegationProbability(in, md, 300000, rng.New(21))
+	got, err := MultiDelegationProbability(context.Background(), in, md, 300000, rng.New(21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestWeightedMultiWeightLengthMismatch(t *testing.T) {
 		Delegates: [][]int{{1, 2}, nil, nil},
 		Weights:   [][]float64{{1}, nil, nil},
 	}
-	if _, err := MultiDelegationProbability(in, md, 100, rng.New(22)); err == nil {
+	if _, err := MultiDelegationProbability(context.Background(), in, md, 100, rng.New(22)); err == nil {
 		t.Fatal("weight length mismatch accepted")
 	}
 }
@@ -165,7 +166,7 @@ func TestEvaluateWeightedMultiMechanism(t *testing.T) {
 		p[i] = 0.3 + 0.19*s.Float64()
 	}
 	in := mustInstance(t, graph.NewComplete(n), p)
-	res, err := EvaluateMultiMechanism(in, mechanism.WeightedMultiDelegate{
+	res, err := EvaluateMultiMechanism(context.Background(), in, mechanism.WeightedMultiDelegate{
 		Alpha: 0.05, K: 3, Weights: mechanism.HarmonicWeights,
 	}, Options{Replications: 6, VoteSamples: 1500, Seed: 24})
 	if err != nil {

@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"liquid/internal/experiment"
+)
+
+// fastSubset picks registry experiments that are quick at Scale 0.25 but
+// still exercise the parallel election engine underneath.
+func fastSubset(t *testing.T, ids ...string) []experiment.Definition {
+	t.Helper()
+	defs := make([]experiment.Definition, 0, len(ids))
+	for _, id := range ids {
+		def, err := experiment.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defs = append(defs, def)
+	}
+	return defs
+}
+
+// stripElapsed zeroes the wall-clock fields so outcomes can be compared
+// structurally.
+func stripElapsed(results []Result) []*experiment.Outcome {
+	outs := make([]*experiment.Outcome, len(results))
+	for i, r := range results {
+		if r.Outcome == nil {
+			continue
+		}
+		cp := *r.Outcome
+		cp.Elapsed = 0
+		outs[i] = &cp
+	}
+	return outs
+}
+
+// TestRunDeterministicAcrossWorkers is the engine's core contract: the same
+// seed must give deep-equal outcomes whether experiments run sequentially or
+// on a wide pool, because no randomness depends on scheduling order.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	defs := fastSubset(t, "F2", "A5", "L4", "V1", "X6", "A3")
+	cfg := experiment.Config{Seed: 99, Scale: 0.25}
+
+	var baseline []*experiment.Outcome
+	for _, workers := range []int{1, 4, 16} {
+		results, err := New(Options{Workers: workers}).Run(context.Background(), defs, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, r := range results {
+			if r.Err != nil || r.Skipped {
+				t.Fatalf("workers=%d: %s err=%v skipped=%v", workers, r.Def.ID, r.Err, r.Skipped)
+			}
+		}
+		outs := stripElapsed(results)
+		if baseline == nil {
+			baseline = outs
+			continue
+		}
+		if !reflect.DeepEqual(baseline, outs) {
+			t.Fatalf("workers=%d produced different outcomes than workers=1", workers)
+		}
+	}
+}
+
+// TestRunResultsInInputOrder checks that results come back indexed by input
+// position even when completion order differs.
+func TestRunResultsInInputOrder(t *testing.T) {
+	defs := []experiment.Definition{
+		stubDef("SLOW", func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+			time.Sleep(30 * time.Millisecond)
+			return &experiment.Outcome{Tables: nil}, nil
+		}),
+		stubDef("FAST", func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+			return &experiment.Outcome{Tables: nil}, nil
+		}),
+	}
+	results, err := New(Options{Workers: 2}).Run(context.Background(), defs, experiment.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Def.ID != "SLOW" || results[1].Def.ID != "FAST" {
+		t.Fatalf("results out of order: %s, %s", results[0].Def.ID, results[1].Def.ID)
+	}
+}
+
+func stubDef(id string, run func(context.Context, experiment.Config) (*experiment.Outcome, error)) experiment.Definition {
+	return experiment.Definition{ID: id, Title: id, Run: run}
+}
+
+// TestRunCancellationPromptAndLeakFree cancels a suite mid-run: Run must
+// return ctx's error well under 500ms and leave no worker goroutines behind.
+func TestRunCancellationPromptAndLeakFree(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	started := make(chan struct{}, 16)
+	var defs []experiment.Definition
+	for i := 0; i < 12; i++ {
+		defs = append(defs, stubDef(fmt.Sprintf("HANG%d", i),
+			func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				// A cooperative replication loop: spin until cancelled.
+				for {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := New(Options{Workers: 4}).Run(ctx, defs, experiment.Config{Seed: 1})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("Run did not return within 500ms of cancellation")
+	}
+
+	// Workers must all be gone; allow the runtime a moment to reap.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestRunCancellationRealExperiment drives cancellation through the real
+// registry: the context is plumbed down into election sampling loops.
+func TestRunCancellationRealExperiment(t *testing.T) {
+	defs := fastSubset(t, "T2") // replication-heavy: exercises election ctx plumbing
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := New(Options{Workers: 2}).Run(ctx, defs, experiment.Config{Seed: 1, Scale: 0.25})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !results[0].Skipped {
+		t.Fatal("pre-cancelled run should skip scheduling")
+	}
+}
+
+// TestFailFastStopsScheduling runs a failing experiment first with one
+// worker: everything after the failure must be skipped, and without
+// FailFast everything runs.
+func TestFailFastStopsScheduling(t *testing.T) {
+	var ran atomic.Int32
+	mk := func(id string, fail bool) experiment.Definition {
+		return stubDef(id, func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+			ran.Add(1)
+			out := &experiment.Outcome{}
+			if fail {
+				out.Checks = []experiment.Check{{Name: "shape", Passed: false, Detail: "wrong"}}
+			}
+			return out, nil
+		})
+	}
+	defs := []experiment.Definition{mk("OK1", false), mk("BAD", true), mk("OK2", false), mk("OK3", false)}
+
+	results, err := New(Options{Workers: 1, FailFast: true}).Run(context.Background(), defs, experiment.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("ran %d experiments, want 2 (OK1 and BAD)", got)
+	}
+	if !results[1].Failed() {
+		t.Fatal("BAD should report failure")
+	}
+	if !results[2].Skipped || !results[3].Skipped {
+		t.Fatalf("later experiments should be skipped: %+v %+v", results[2], results[3])
+	}
+
+	ran.Store(0)
+	if _, err := New(Options{Workers: 1}).Run(context.Background(), defs, experiment.Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("without FailFast ran %d, want 4", got)
+	}
+}
+
+// TestPerExperimentTimeout bounds a hanging experiment.
+func TestPerExperimentTimeout(t *testing.T) {
+	defs := []experiment.Definition{stubDef("HANG",
+		func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})}
+	results, err := New(Options{Workers: 1, Timeout: 20 * time.Millisecond}).
+		Run(context.Background(), defs, experiment.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", results[0].Err)
+	}
+}
+
+// TestEventStream checks the emitted event sequence for one pass: started
+// and finished per experiment, check_failed for failing checks, one
+// suite_finished, and strictly increasing Seq.
+func TestEventStream(t *testing.T) {
+	var events []Event
+	opts := Options{Workers: 1, Events: func(ev Event) { events = append(events, ev) }}
+	defs := []experiment.Definition{
+		stubDef("GOOD", func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+			return &experiment.Outcome{Replications: 7,
+				Checks: []experiment.Check{{Name: "fine", Passed: true}}}, nil
+		}),
+		stubDef("BADCHECK", func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+			return &experiment.Outcome{Checks: []experiment.Check{
+				{Name: "broken", Passed: false, Detail: "off by one"}}}, nil
+		}),
+		stubDef("ERR", func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+			return nil, errors.New("boom")
+		}),
+	}
+	if _, err := New(opts).Run(context.Background(), defs, experiment.Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var kinds []string
+	for i, ev := range events {
+		kinds = append(kinds, string(ev.Kind))
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	want := []string{
+		"experiment_started", "experiment_finished",
+		"experiment_started", "experiment_finished", "check_failed",
+		"experiment_started", "experiment_finished",
+		"suite_finished",
+	}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	if events[1].Replications != 7 || events[1].Checks != 1 {
+		t.Fatalf("finished event = %+v", events[1])
+	}
+	if events[4].Check != "broken" || events[4].Detail != "off by one" {
+		t.Fatalf("check_failed event = %+v", events[4])
+	}
+	if events[6].Err == "" {
+		t.Fatalf("error run should carry Err: %+v", events[6])
+	}
+	last := events[len(events)-1]
+	if last.Experiments != 3 || last.Failed != 2 || last.Workers != 1 {
+		t.Fatalf("suite_finished = %+v", last)
+	}
+}
+
+// TestProgressWriter smoke-tests the human-readable consumer.
+func TestProgressWriter(t *testing.T) {
+	var sb strings.Builder
+	p := Progress(&sb)
+	p(Event{Kind: ExperimentStarted, ID: "T2", Title: "Theorem 2"})
+	p(Event{Kind: ExperimentFinished, ID: "T2", Checks: 4, ElapsedSeconds: 0.5, Replications: 32})
+	p(Event{Kind: CheckFailed, ID: "T2", Check: "gain", Detail: "0.001"})
+	p(Event{Kind: SuiteFinished, Experiments: 1, Workers: 2, ElapsedSeconds: 0.5})
+	out := sb.String()
+	for _, frag := range []string{"start T2", "ok    T2", "check failed: gain", "suite done"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("progress output missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,8 +1,9 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"math"
-	"time"
 
 	"liquid/internal/election"
 	"liquid/internal/graph"
@@ -15,7 +16,7 @@ import (
 // runA1 ablates the delegation threshold j(n) on the complete graph: small
 // thresholds maximize delegation and gain in the SPG regime; thresholds
 // near n suppress delegation entirely.
-func runA1(cfg Config) (*Outcome, error) {
+func runA1(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(1001, 301)
 	reps := cfg.scaleInt(32, 8)
 	root := rng.New(cfg.Seed)
@@ -45,8 +46,8 @@ func runA1(cfg Config) (*Outcome, error) {
 	delegs := make([]float64, 0, len(ths))
 	for _, th := range ths {
 		mech := mechanism.ApprovalThreshold{Alpha: 0.05, Threshold: mechanism.ConstantThreshold(th.j)}
-		res, err := election.EvaluateMechanism(in, mech, election.Options{
-			Replications: reps, Seed: cfg.Seed + uint64(th.j), Workers: cfg.Workers,
+		res, err := election.EvaluateMechanism(ctx, in, mech, election.Options{
+			Replications: reps, Seed: rng.Derive(cfg.Seed, "A1", fmt.Sprintf("j=%d", th.j)), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -58,7 +59,8 @@ func runA1(cfg Config) (*Outcome, error) {
 	}
 
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("small thresholds gain", gains[0] > 0 && gains[1] > 0, "gains %v", gains),
 			check("delegation count decreases with threshold", isNonIncreasing(delegs, 1), "delegators %v", delegs),
@@ -72,7 +74,7 @@ func runA1(cfg Config) (*Outcome, error) {
 // per-delegation expectation boost (each delegation gains >= alpha) but
 // shrinks approval sets; the partition complexity of the induced recycle
 // structure scales like 1/alpha.
-func runA2(cfg Config) (*Outcome, error) {
+func runA2(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(1001, 301)
 	reps := cfg.scaleInt(32, 8)
 	root := rng.New(cfg.Seed)
@@ -89,8 +91,8 @@ func runA2(cfg Config) (*Outcome, error) {
 	cs := make([]float64, 0, len(alphas))
 	for _, alpha := range alphas {
 		mech := mechanism.ApprovalThreshold{Alpha: alpha}
-		res, err := election.EvaluateMechanism(in, mech, election.Options{
-			Replications: reps, Seed: cfg.Seed + uint64(alpha*1000), Workers: cfg.Workers,
+		res, err := election.EvaluateMechanism(ctx, in, mech, election.Options{
+			Replications: reps, Seed: rng.Derive(cfg.Seed, "A2", fmt.Sprintf("alpha=%g", alpha)), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -115,7 +117,8 @@ func runA2(cfg Config) (*Outcome, error) {
 		}
 	}
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("partition complexity bounded by 1/alpha", cBounded, "c %v", cs),
 			check("complexity decreases with alpha", isNonIncreasing(cs, 0.5), "c %v", cs),
@@ -127,7 +130,7 @@ func runA2(cfg Config) (*Outcome, error) {
 // runA3 compares the exact DP engine with the Monte-Carlo engine on the
 // same resolved delegation graphs: probabilities must agree within
 // sampling error, and the exact engine's determinism is verified.
-func runA3(cfg Config) (*Outcome, error) {
+func runA3(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(801, 201)
 	votes := cfg.scaleInt(60000, 20000)
 	root := rng.New(cfg.Seed)
@@ -136,8 +139,11 @@ func runA3(cfg Config) (*Outcome, error) {
 		return nil, err
 	}
 
+	// Note: no wall-clock columns here — experiment tables must be
+	// byte-identical across runs and worker counts; the DP cost column is the
+	// deterministic proxy for engine effort.
 	tab := report.NewTable("Ablation A3: exact DP vs Monte-Carlo scoring of identical delegation graphs",
-		"realization", "sinks", "exact P^M", "MC P^M", "|diff|", "exact µs", "MC µs")
+		"realization", "sinks", "DP cost", "exact P^M", "MC P^M", "|diff|")
 
 	maxDiff := 0.0
 	deterministic := true
@@ -151,12 +157,10 @@ func runA3(cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		t0 := time.Now()
 		exact, err := election.ResolutionProbabilityExact(in, res)
 		if err != nil {
 			return nil, err
 		}
-		exactDur := time.Since(t0)
 		again, err := election.ResolutionProbabilityExact(in, res)
 		if err != nil {
 			return nil, err
@@ -164,24 +168,24 @@ func runA3(cfg Config) (*Outcome, error) {
 		if again != exact {
 			deterministic = false
 		}
-		t1 := time.Now()
-		mc, err := election.ResolutionProbabilityMC(in, res, votes, s.DeriveString("mc"))
+		mc, err := election.ResolutionProbabilityMC(ctx, in, res, votes, s.DeriveString("mc"))
 		if err != nil {
 			return nil, err
 		}
-		mcDur := time.Since(t1)
 		diff := math.Abs(exact - mc)
 		if diff > maxDiff {
 			maxDiff = diff
 		}
-		tab.AddRow(report.Itoa(r), report.Itoa(len(res.Sinks)), report.F(exact), report.F(mc),
-			report.F(diff), report.Itoa(int(exactDur.Microseconds())), report.Itoa(int(mcDur.Microseconds())))
+		cost := int64(len(res.Sinks)) * int64(res.TotalWeight)
+		tab.AddRow(report.Itoa(r), report.Itoa(len(res.Sinks)), report.Itoa(int(cost)),
+			report.F(exact), report.F(mc), report.F(diff))
 	}
 
 	// MC standard error at p ~ 0.5 is 0.5/sqrt(votes); allow 5 sigma.
 	tol := 5 * 0.5 / math.Sqrt(float64(votes))
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: 5,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("engines agree within sampling error", maxDiff <= tol, "max diff %v, tol %v", maxDiff, tol),
 			check("exact engine is deterministic", deterministic, ""),

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"liquid/internal/adaptive"
@@ -14,7 +15,7 @@ import (
 // at the direct-voting level (nothing is known about anyone), climbs as
 // track records sharpen, and misdelegation decays — liquid democracy
 // bootstrapping itself from observable information only.
-func runX9(cfg Config) (*Outcome, error) {
+func runX9(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(501, 151)
 	issues := cfg.scaleInt(200, 60)
 	const alpha = 0.05
@@ -79,7 +80,8 @@ func runX9(cfg Config) (*Outcome, error) {
 	misLate /= float64(len(tail))
 
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: issues,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("the community learns: late accuracy beats early accuracy",
 				late > early, "early %v late %v", early, late),

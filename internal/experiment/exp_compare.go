@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"liquid/internal/election"
@@ -14,7 +15,7 @@ import (
 // random-number) comparisons, which resolve orderings far smaller than the
 // independent-run confidence intervals could: randomized uniform delegation
 // vs greedy concentration vs weight caps, in both competency regimes.
-func runA6(cfg Config) (*Outcome, error) {
+func runA6(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(801, 301)
 	reps := cfg.scaleInt(24, 8)
 	root := rng.New(cfg.Seed)
@@ -46,9 +47,9 @@ func runA6(cfg Config) (*Outcome, error) {
 			return nil, err
 		}
 		outs := make(map[string]*election.Comparison, len(duels))
-		for i, d := range duels {
-			cmp, err := election.CompareMechanisms(in, d.a, d.b, election.Options{
-				Replications: reps, Seed: cfg.Seed + uint64(i)*17, Workers: cfg.Workers,
+		for _, d := range duels {
+			cmp, err := election.CompareMechanisms(ctx, in, d.a, d.b, election.Options{
+				Replications: reps, Seed: rng.Derive(cfg.Seed, "A6", label, d.name), Workers: cfg.Workers,
 			})
 			if err != nil {
 				return nil, err
@@ -70,7 +71,8 @@ func runA6(cfg Config) (*Outcome, error) {
 	}
 
 	return &Outcome{
-		Tables: []*report.Table{spgTab, dnhTab},
+		Replications: reps,
+		Tables:       []*report.Table{spgTab, dnhTab},
 		Checks: []Check{
 			check("SPG: threshold clearly beats direct", spg["threshold vs direct"].Winner() == "A",
 				"diff %v", spg["threshold vs direct"].MeanDiff),

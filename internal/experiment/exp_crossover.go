@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"liquid/internal/core"
@@ -18,7 +19,7 @@ import (
 // wins). The concentrating greedy mechanism on the star, in contrast,
 // flips from helpful to harmful as mu passes 1/2 — the Figure 1 phenomenon
 // as a function of competence rather than size.
-func runA4(cfg Config) (*Outcome, error) {
+func runA4(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(1001, 301)
 	reps := cfg.scaleInt(24, 8)
 	root := rng.New(cfg.Seed)
@@ -40,8 +41,8 @@ func runA4(cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		knRes, err := election.EvaluateMechanism(knIn, mechanism.ApprovalThreshold{Alpha: 0.05}, election.Options{
-			Replications: reps, Seed: cfg.Seed + uint64(i), Workers: cfg.Workers,
+		knRes, err := election.EvaluateMechanism(ctx, knIn, mechanism.ApprovalThreshold{Alpha: 0.05}, election.Options{
+			Replications: reps, Seed: rng.Derive(cfg.Seed, "A4", fmt.Sprintf("mu=%g", mu), "kn"), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -65,8 +66,8 @@ func runA4(cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		starRes, err := election.EvaluateMechanism(starIn, mechanism.GreedyBest{Alpha: 0.01}, election.Options{
-			Replications: 4, Seed: cfg.Seed + uint64(i) + 100, Workers: cfg.Workers,
+		starRes, err := election.EvaluateMechanism(ctx, starIn, mechanism.GreedyBest{Alpha: 0.01}, election.Options{
+			Replications: 4, Seed: rng.Derive(cfg.Seed, "A4", fmt.Sprintf("mu=%g", mu), "star"), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -89,7 +90,8 @@ func runA4(cfg Config) (*Outcome, error) {
 		}
 	}
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("K_n gain peaks just below 1/2", mus[peak] >= 0.40 && mus[peak] <= 0.49,
 				"peak gain %.4f at mu=%g", knGains[peak], mus[peak]),

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"liquid/internal/dynamics"
@@ -18,7 +19,7 @@ import (
 // equilibrium; started from all-direct voting, the equilibrium can only
 // improve on direct voting. We compare equilibrium quality with the
 // paper's randomized threshold mechanism on the same instances.
-func runX8(cfg Config) (*Outcome, error) {
+func runX8(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(60, 24)
 	trials := cfg.scaleInt(8, 4)
 	const alpha = 0.05
@@ -43,8 +44,8 @@ func runX8(cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		rnd, err := election.EvaluateMechanism(in, mechanism.ApprovalThreshold{Alpha: alpha}, election.Options{
-			Replications: 16, Seed: cfg.Seed + uint64(trial), Workers: cfg.Workers,
+		rnd, err := election.EvaluateMechanism(ctx, in, mechanism.ApprovalThreshold{Alpha: alpha}, election.Options{
+			Replications: 16, Seed: rng.Derive(cfg.Seed, "X8", fmt.Sprintf("trial=%d", trial)), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -65,7 +66,8 @@ func runX8(cfg Config) (*Outcome, error) {
 	}
 
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: trials,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("best response always converges (potential game)", allConverged, ""),
 			check("equilibria never fall below direct voting", neverHarms, ""),

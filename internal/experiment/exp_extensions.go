@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"liquid/internal/election"
@@ -13,7 +15,7 @@ import (
 // runX1 validates the Section 6 abstention extension: letting delegators
 // abstain (with probability q) keeps DNH intact and retains a, typically
 // smaller, positive gain.
-func runX1(cfg Config) (*Outcome, error) {
+func runX1(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(1001, 301)
 	reps := cfg.scaleInt(32, 8)
 	root := rng.New(cfg.Seed)
@@ -34,14 +36,14 @@ func runX1(cfg Config) (*Outcome, error) {
 	var spgGains, dnhLosses []float64
 	for _, q := range qs {
 		mech := mechanism.Abstaining{Inner: mechanism.ApprovalThreshold{Alpha: 0.05}, Q: q}
-		spg, err := election.EvaluateMechanism(spgIn, mech, election.Options{
-			Replications: reps, Seed: cfg.Seed + uint64(q*100), Workers: cfg.Workers,
+		spg, err := election.EvaluateMechanism(ctx, spgIn, mech, election.Options{
+			Replications: reps, Seed: rng.Derive(cfg.Seed, "X1", fmt.Sprintf("q=%g", q), "spg"), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
 		}
-		dnh, err := election.EvaluateMechanism(dnhIn, mech, election.Options{
-			Replications: reps, Seed: cfg.Seed + uint64(q*100) + 7, Workers: cfg.Workers,
+		dnh, err := election.EvaluateMechanism(ctx, dnhIn, mech, election.Options{
+			Replications: reps, Seed: rng.Derive(cfg.Seed, "X1", fmt.Sprintf("q=%g", q), "dnh"), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -57,7 +59,8 @@ func runX1(cfg Config) (*Outcome, error) {
 
 	worstLoss := maxAbs(dnhLosses)
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("no-abstention gain is positive", spgGains[0] > 0, "gain %v", spgGains[0]),
 			check("moderate abstention keeps positive gain", spgGains[1] > 0 && spgGains[2] > 0,
@@ -70,7 +73,7 @@ func runX1(cfg Config) (*Outcome, error) {
 // runX2 validates the Section 6 weighted-majority (multi-delegate)
 // extension: consulting k approved delegates should do at least as well as
 // consulting one.
-func runX2(cfg Config) (*Outcome, error) {
+func runX2(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(501, 201)
 	reps := cfg.scaleInt(16, 6)
 	votes := cfg.scaleInt(4000, 1500)
@@ -86,8 +89,8 @@ func runX2(cfg Config) (*Outcome, error) {
 	ks := []int{1, 3, 5, 9}
 	gains := make([]float64, 0, len(ks))
 	for _, k := range ks {
-		res, err := election.EvaluateMultiMechanism(in, mechanism.MultiDelegate{Alpha: 0.05, K: k},
-			election.Options{Replications: reps, VoteSamples: votes, Seed: cfg.Seed + uint64(k), Workers: cfg.Workers})
+		res, err := election.EvaluateMultiMechanism(ctx, in, mechanism.MultiDelegate{Alpha: 0.05, K: k},
+			election.Options{Replications: reps, VoteSamples: votes, Seed: rng.Derive(cfg.Seed, "X2", fmt.Sprintf("k=%d", k)), Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +100,8 @@ func runX2(cfg Config) (*Outcome, error) {
 	}
 
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("single delegate already gains", gains[0] > 0, "gain %v", gains[0]),
 			check("k=3 at least matches k=1 (within noise)", gains[1] >= gains[0]-0.02,
@@ -109,7 +113,7 @@ func runX2(cfg Config) (*Outcome, error) {
 
 // runX3 audits the Lemma 5 condition on real-world-like networks
 // (Section 6 future work): Barabasi-Albert and community graphs.
-func runX3(cfg Config) (*Outcome, error) {
+func runX3(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(2000, 500)
 	reps := cfg.scaleInt(16, 6)
 	root := rng.New(cfg.Seed)
@@ -149,8 +153,8 @@ func runX3(cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		spg, err := election.EvaluateMechanism(spgIn, mech, election.Options{
-			Replications: reps, Seed: cfg.Seed + uint64(i), Workers: cfg.Workers,
+		spg, err := election.EvaluateMechanism(ctx, spgIn, mech, election.Options{
+			Replications: reps, Seed: rng.Derive(cfg.Seed, "X3", nd.name, "spg"), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -159,8 +163,8 @@ func runX3(cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		dnh, err := election.EvaluateMechanism(dnhIn, mech, election.Options{
-			Replications: reps, Seed: cfg.Seed + uint64(i) + 13, Workers: cfg.Workers,
+		dnh, err := election.EvaluateMechanism(ctx, dnhIn, mech, election.Options{
+			Replications: reps, Seed: rng.Derive(cfg.Seed, "X3", nd.name, "dnh"), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -185,7 +189,8 @@ func runX3(cfg Config) (*Outcome, error) {
 		}
 	}
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("max sink weight stays well below n", worstNorm < 0.5, "worst w/n %v", worstNorm),
 			check("losses stay small on all models", worstLoss < 0.08, "worst loss %v", worstLoss),

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,7 +17,7 @@ import (
 // (p = 2/3) and slightly weaker leaves (p = 3/5). Direct voting tends to
 // certainty as n grows; any delegate-to-strictly-better mechanism funnels
 // every vote to the center, fixing P^M at exactly 2/3.
-func runF1(cfg Config) (*Outcome, error) {
+func runF1(ctx context.Context, cfg Config) (*Outcome, error) {
 	sizes := dedupeSizes([]int{9, 33, 101, 501, cfg.scaleInt(2001, 501)})
 	tab := newGainTable("Figure 1: star with center p=2/3, leaves p=3/5 (greedy delegation)")
 
@@ -40,7 +41,7 @@ func runF1(cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := election.EvaluateMechanism(in, mechanism.GreedyBest{Alpha: 0.01}, election.Options{
+		res, err := election.EvaluateMechanism(ctx, in, mechanism.GreedyBest{Alpha: 0.01}, election.Options{
 			Replications: 4, // the mechanism is deterministic here
 			Seed:         cfg.Seed,
 			Workers:      cfg.Workers,
@@ -57,7 +58,8 @@ func runF1(cfg Config) (*Outcome, error) {
 	}
 
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: 4,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("delegation fixes P^M at 2/3", checkPM, "last P^M = %.4f", lastPM),
 			check("direct voting tends to 1", lastPD > 0.99, "last P^D = %.4f", lastPD),
@@ -73,7 +75,7 @@ func runF1(cfg Config) (*Outcome, error) {
 // competencies, alpha = 0.01, Algorithm 1 with threshold j = 0, on the
 // complete graph. The output is one realized delegation graph plus its
 // resolution, with the structural facts the figure illustrates verified.
-func runF2(cfg Config) (*Outcome, error) {
+func runF2(ctx context.Context, cfg Config) (*Outcome, error) {
 	p := []float64{0.8, 0.6, 0.5, 0.4, 0.3, 0.3, 0.2, 0.2, 0.1}
 	const alpha = 0.01
 	in, err := core.NewInstance(graph.NewComplete(len(p)), p)
@@ -137,7 +139,8 @@ func runF2(cfg Config) (*Outcome, error) {
 	localErr := d.ValidateLocal(in, alpha)
 
 	return &Outcome{
-		Tables: []*report.Table{tab, summary},
+		Replications: 1,
+		Tables:       []*report.Table{tab, summary},
 		Checks: []Check{
 			check("delegation graph is acyclic", true, "longest chain %d", res.LongestChain),
 			check("all delegations approved and local", localErr == nil, "%v", localErr),

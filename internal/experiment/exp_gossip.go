@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,11 +17,14 @@ import (
 // decentralized tally spreads. We measure the spectral gap of each
 // topology and the push-sum rounds needed for every node to learn the
 // result within 1%: rounds should fall as the gap grows.
-func runX12(cfg Config) (*Outcome, error) {
+func runX12(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(400, 150)
 	if n%2 != 0 {
 		n++
 	}
+	// Average over several gossip runs: a single run's random routing is
+	// noisy at small n.
+	const gossipRuns = 3
 	root := rng.New(cfg.Seed)
 
 	type topDef struct {
@@ -70,13 +74,10 @@ func runX12(cfg Config) (*Outcome, error) {
 			return nil, err
 		}
 		gap := graph.SpectralGapEstimate(top, 400, root.Derive(uint64(i)*31+7))
-		// Average over several gossip runs: a single run's random routing is
-		// noisy at small n.
-		const gossipRuns = 3
 		total := 0
 		for g := 0; g < gossipRuns; g++ {
-			r, err := localsim.PushSumConvergenceRounds(top, values, weights, 0.01, 400000,
-				cfg.Seed+uint64(i)*100+uint64(g))
+			r, err := localsim.PushSumConvergenceRounds(ctx, top, values, weights, 0.01, 400000,
+				rng.Derive(cfg.Seed, "X12", td.name, fmt.Sprintf("run=%d", g)))
 			if err != nil {
 				return nil, err
 			}
@@ -101,7 +102,8 @@ func runX12(cfg Config) (*Outcome, error) {
 		}
 	}
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: gossipRuns,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("bigger spectral gap never needs more gossip rounds", monotone,
 				"gaps %v rounds %v", gaps, rounds),

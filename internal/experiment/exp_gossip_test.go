@@ -1,6 +1,9 @@
 package experiment
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestX12AcrossSeedsSmallScale guards against seed-sensitive gossip
 // convergence regressions (quantization noise once stalled rare seeds).
@@ -9,7 +12,7 @@ func TestX12AcrossSeedsSmallScale(t *testing.T) {
 		t.Skip("short mode")
 	}
 	for seed := uint64(1); seed <= 6; seed++ {
-		out, err := Run("X12", Config{Seed: seed, Scale: 0.1})
+		out, err := Run(context.Background(), "X12", Config{Seed: seed, Scale: 0.1})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"liquid/internal/election"
@@ -24,7 +25,7 @@ import (
 // manipulation). In the DNH regime, where direct voting already wins,
 // misdelegation is pure risk — the loss must stay small and shrink as the
 // history grows.
-func runX7(cfg Config) (*Outcome, error) {
+func runX7(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(1001, 301)
 	reps := cfg.scaleInt(24, 8)
 	const alpha = 0.05
@@ -41,7 +42,7 @@ func runX7(cfg Config) (*Outcome, error) {
 	mech := mechanism.ApprovalThreshold{Alpha: alpha}
 
 	// Perfect-information reference.
-	ref, err := election.EvaluateMechanism(in, mech, election.Options{
+	ref, err := election.EvaluateMechanism(ctx, in, mech, election.Options{
 		Replications: reps, Seed: cfg.Seed, Workers: cfg.Workers,
 	})
 	if err != nil {
@@ -59,6 +60,9 @@ func runX7(cfg Config) (*Outcome, error) {
 		var pmSum prob.Summary
 		var misSum prob.Summary
 		for r := 0; r < reps; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			s := root.Derive(uint64(t)*1000 + uint64(r))
 			tr, err := history.Simulate(in, t, s.DeriveString("record"))
 			if err != nil {
@@ -112,6 +116,9 @@ func runX7(cfg Config) (*Outcome, error) {
 	for _, t := range ts {
 		var pmSum, misSum prob.Summary
 		for r := 0; r < reps; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			s := root.Derive(uint64(t)*7777 + uint64(r))
 			tr, err := history.Simulate(dnhIn, t, s.DeriveString("record"))
 			if err != nil {
@@ -143,7 +150,8 @@ func runX7(cfg Config) (*Outcome, error) {
 
 	last := len(ts) - 1
 	return &Outcome{
-		Tables: []*report.Table{tab, dnhTab},
+		Replications: reps,
+		Tables:       []*report.Table{tab, dnhTab},
 		Checks: []Check{
 			check("misdelegation rate falls with history length",
 				misRates[last] < misRates[0], "rates %v", misRates),

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,7 +20,7 @@ import (
 // misinformation"), approval-based delegation routes around them, keeping
 // weight dispersed and the gain intact. Local approval filtering is the
 // defence mechanism.
-func runX10(cfg Config) (*Outcome, error) {
+func runX10(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(2000, 500)
 	reps := cfg.scaleInt(24, 8)
 	const alpha = 0.05
@@ -86,8 +87,8 @@ func runX10(cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := election.EvaluateMechanism(in, mechanism.ApprovalThreshold{Alpha: alpha}, election.Options{
-			Replications: reps, Seed: cfg.Seed + uint64(len(kind)), Workers: cfg.Workers,
+		res, err := election.EvaluateMechanism(ctx, in, mechanism.ApprovalThreshold{Alpha: alpha}, election.Options{
+			Replications: reps, Seed: rng.Derive(cfg.Seed, "X10", kind), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -103,7 +104,8 @@ func runX10(cfg Config) (*Outcome, error) {
 	}
 
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("delegation gains under every correlation structure",
 				results["hubs most competent"].gain > 0 &&

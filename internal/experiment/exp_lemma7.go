@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 
 	"liquid/internal/graph"
@@ -19,7 +20,7 @@ import (
 // realized sum concentrates: Y >= mu(X) + (n-k)alpha - eps*n/j^{1/3} w.h.p.
 // We compute mu(Y) exactly from the recycle-sampling correspondence and
 // measure the realization tail.
-func runL7(cfg Config) (*Outcome, error) {
+func runL7(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(4001, 1001)
 	reps := cfg.scaleInt(300, 60)
 	const eps = 1.0
@@ -103,7 +104,8 @@ func runL7(cfg Config) (*Outcome, error) {
 		}
 	}
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("mu(Y) >= mu(X) + (n-k)*alpha for every configuration", holds,
 				"gaps %v promised %v", gaps, promised),

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 
 	"liquid/internal/core"
@@ -16,7 +17,7 @@ import (
 // runL1 measures the Lemma 1 event empirically: for an independent
 // Bernoulli sequence, how often does some prefix sum X_i with i >= j fall
 // below (1 - eps/j^{1/3}) * mu(X_i)? The failure rate must decay in j.
-func runL1(cfg Config) (*Outcome, error) {
+func runL1(ctx context.Context, cfg Config) (*Outcome, error) {
 	const eps = 1.0
 	n := cfg.scaleInt(20000, 2000)
 	reps := cfg.scaleInt(400, 60)
@@ -41,6 +42,9 @@ func runL1(cfg Config) (*Outcome, error) {
 	// path to keep the comparison paired.
 	fails := make([]int, len(js))
 	for r := 0; r < reps; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := root.Derive(uint64(r) + 10)
 		prefix := g.RealizePrefixSums(s)
 		// firstBad: smallest index i where X_i dips below its j-dependent
@@ -69,7 +73,8 @@ func runL1(cfg Config) (*Outcome, error) {
 	}
 
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("failure rate non-increasing in j", isNonIncreasing(rates, 0.02), "rates %v", rates),
 			check("large-j failure rate near zero", rates[len(rates)-1] < 0.05, "rate %v", rates[len(rates)-1]),
@@ -83,7 +88,7 @@ func runL1(cfg Config) (*Outcome, error) {
 // and the worst observed normalized deviation, which should grow with c
 // (the dependency makes the lower tail fatter) while staying inside the
 // c-scaled envelope.
-func runL2(cfg Config) (*Outcome, error) {
+func runL2(ctx context.Context, cfg Config) (*Outcome, error) {
 	const eps = 0.5
 	n := cfg.scaleInt(10000, 1500)
 	reps := cfg.scaleInt(300, 50)
@@ -111,6 +116,9 @@ func runL2(cfg Config) (*Outcome, error) {
 		violations := 0
 		worst := 0.0
 		for r := 0; r < reps; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			s := root.Derive(uint64(c)*1000 + uint64(r) + 1)
 			x := float64(g.RealizeSum(s))
 			sum.Add(x)
@@ -135,7 +143,8 @@ func runL2(cfg Config) (*Outcome, error) {
 		}
 	}
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("Lemma 2 bound holds w.h.p. for every c", maxRate < 0.05, "max violation rate %v", maxRate),
 			check("dependency widens the spread (stddev grows with c)",
@@ -182,7 +191,7 @@ func layeredRecycleGraph(n, j, c int, s *rng.Stream) (*recycle.Graph, error) {
 // build the most harmful local delegation we can (k mid-tier voters
 // delegate onto the single best voter, concentrating exactly k+1 weight)
 // and measure the realized loss and the exact flip-window probability.
-func runL3(cfg Config) (*Outcome, error) {
+func runL3(ctx context.Context, cfg Config) (*Outcome, error) {
 	const (
 		beta = 0.2
 		eps  = 0.1
@@ -247,7 +256,7 @@ func runL3(cfg Config) (*Outcome, error) {
 
 // runL5 measures Lemma 5/6: with every sink weight at most w, deviations of
 // the realized correct weight from its mean stay inside sqrt(n^{1+eps} * w).
-func runL5(cfg Config) (*Outcome, error) {
+func runL5(ctx context.Context, cfg Config) (*Outcome, error) {
 	const eps = 0.1
 	n := cfg.scaleInt(4001, 801)
 	reps := cfg.scaleInt(400, 80)
@@ -288,6 +297,9 @@ func runL5(cfg Config) (*Outcome, error) {
 		maxDev, sumDev := 0.0, 0.0
 		voteStream := root.Derive(uint64(w) * 7919)
 		for r := 0; r < reps; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			var x float64
 			for _, sk := range res.Sinks {
 				if voteStream.Bernoulli(in.Competency(sk)) {
@@ -313,7 +325,8 @@ func runL5(cfg Config) (*Outcome, error) {
 	}
 
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("envelope holds w.h.p. (violation rate < 5%)", maxViolationRate < 0.05,
 				"max rate %v", maxViolationRate),

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,7 +18,7 @@ import (
 // paper): the direct-vote total with bounded competencies converges to a
 // normal distribution. We measure the Kolmogorov-Smirnov distance between
 // the exact Poisson-binomial law and its matching normal as n grows.
-func runL4(cfg Config) (*Outcome, error) {
+func runL4(ctx context.Context, cfg Config) (*Outcome, error) {
 	root := rng.New(cfg.Seed)
 	sizes := dedupeSizes([]int{25, 100, 400, 1600, cfg.scaleInt(4000, 1600)})
 
@@ -60,7 +61,7 @@ func runL4(cfg Config) (*Outcome, error) {
 // instance, and the desiderata become probabilistic — the fraction of
 // instance draws with positive gain should be high, the fraction with
 // nontrivial harm near zero, for distribution families centred below 1/2.
-func runX4(cfg Config) (*Outcome, error) {
+func runX4(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(501, 201)
 	instances := cfg.scaleInt(24, 8)
 	reps := cfg.scaleInt(16, 6)
@@ -92,9 +93,9 @@ func runX4(cfg Config) (*Outcome, error) {
 	)
 	mech := mechanism.ApprovalThreshold{Alpha: 0.05}
 	for i, pd := range pops {
-		v, err := popmodel.Evaluate(pd.pop, mech, popmodel.EvaluateOptions{
+		v, err := popmodel.Evaluate(ctx, pd.pop, mech, popmodel.EvaluateOptions{
 			N: n, Instances: instances, Replications: reps, HarmEps: 0.02,
-			Seed: cfg.Seed + uint64(i)*1000,
+			Seed: rng.Derive(cfg.Seed, "X4", pd.name),
 		})
 		if err != nil {
 			return nil, err
@@ -108,7 +109,8 @@ func runX4(cfg Config) (*Outcome, error) {
 	}
 
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("below-1/2 distributions gain on (almost) every draw",
 				minFloat(spgFracs) >= 0.9, "positive fractions %v", spgFracs),
@@ -122,7 +124,7 @@ func runX4(cfg Config) (*Outcome, error) {
 // good classes: on cycles, paths, and grids the approval sets are tiny, so
 // delegation barely moves the outcome — connectivity is what buys gain.
 // Small-world rewiring (Watts-Strogatz) restores some of it.
-func runX5(cfg Config) (*Outcome, error) {
+func runX5(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(1000, 300)
 	reps := cfg.scaleInt(24, 8)
 	root := rng.New(cfg.Seed)
@@ -161,8 +163,8 @@ func runX5(cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := election.EvaluateMechanism(in, mechanism.ApprovalThreshold{Alpha: 0.05}, election.Options{
-			Replications: reps, Seed: cfg.Seed + uint64(i), Workers: cfg.Workers,
+		res, err := election.EvaluateMechanism(ctx, in, mechanism.ApprovalThreshold{Alpha: 0.05}, election.Options{
+			Replications: reps, Seed: rng.Derive(cfg.Seed, "X5", td.name), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -173,7 +175,8 @@ func runX5(cfg Config) (*Outcome, error) {
 	}
 
 	return &Outcome{
-		Tables: []*report.Table{tab},
+		Replications: reps,
+		Tables:       []*report.Table{tab},
 		Checks: []Check{
 			check("complete graph dominates sparse rings/paths",
 				gains["complete"] > gains["cycle"] && gains["complete"] > gains["path"],

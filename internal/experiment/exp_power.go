@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,7 +19,7 @@ import (
 // Nakamoto coefficient, and effective holders of the delegated weight
 // distribution for a ladder of mechanisms, plus a token-weighted DAO
 // variant in which voters start with unequal voting power.
-func runX6(cfg Config) (*Outcome, error) {
+func runX6(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(2000, 500)
 	root := rng.New(cfg.Seed)
 

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"liquid/internal/core"
@@ -18,7 +19,7 @@ import (
 // defects on the target issue. The Lemma 5 weight cap is evaluated as the
 // defence: it bounds how much weight the coalition can capture, converting
 // a stolen election back into a narrow one.
-func runX11(cfg Config) (*Outcome, error) {
+func runX11(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(1001, 301) // honest voters
 	historyLen := 200
 	const alpha = 0.05

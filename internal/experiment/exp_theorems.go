@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,6 +22,7 @@ type sweepResult struct {
 	spgGains  []float64
 	dnhLosses []float64
 	delegates []float64
+	reps      int
 }
 
 // regimeBounds sets the competency ranges for the two regimes of a sweep.
@@ -36,6 +38,7 @@ func defaultRegimes() regimeBounds {
 }
 
 func runRegimeSweep(
+	ctx context.Context,
 	cfg Config,
 	title string,
 	sizes []int,
@@ -46,6 +49,7 @@ func runRegimeSweep(
 ) (*sweepResult, error) {
 	root := rng.New(cfg.Seed)
 	out := &sweepResult{
+		reps:     reps,
 		spgTable: newGainTable(fmt.Sprintf("%s — SPG regime (p in [%g, %g])", title, rb.spgLo, rb.spgHi)),
 		dnhTable: newGainTable(fmt.Sprintf("%s — DNH regime (p in [%g, %g])", title, rb.dnhLo, rb.dnhHi)),
 	}
@@ -60,8 +64,8 @@ func runRegimeSweep(
 		if err != nil {
 			return nil, err
 		}
-		spgRes, err := election.EvaluateMechanism(spgIn, mech, election.Options{
-			Replications: reps, Seed: cfg.Seed ^ uint64(n), Workers: cfg.Workers,
+		spgRes, err := election.EvaluateMechanism(ctx, spgIn, mech, election.Options{
+			Replications: reps, Seed: rng.Derive(cfg.Seed, title, fmt.Sprintf("n=%d", n), "spg"), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -74,8 +78,8 @@ func runRegimeSweep(
 		if err != nil {
 			return nil, err
 		}
-		dnhRes, err := election.EvaluateMechanism(dnhIn, mech, election.Options{
-			Replications: reps, Seed: cfg.Seed ^ (uint64(n) << 1), Workers: cfg.Workers,
+		dnhRes, err := election.EvaluateMechanism(ctx, dnhIn, mech, election.Options{
+			Replications: reps, Seed: rng.Derive(cfg.Seed, title, fmt.Sprintf("n=%d", n), "dnh"), Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -109,9 +113,9 @@ func spgDNHChecks(sw *sweepResult, gamma, lossCap float64) []Check {
 }
 
 // runT2 validates Theorem 2: Algorithm 1 on complete graphs.
-func runT2(cfg Config) (*Outcome, error) {
+func runT2(ctx context.Context, cfg Config) (*Outcome, error) {
 	sizes := dedupeSizes([]int{251, 501, 1001, cfg.scaleInt(2001, 1001)})
-	sw, err := runRegimeSweep(cfg,
+	sw, err := runRegimeSweep(ctx, cfg,
 		"Theorem 2: Algorithm 1 on K_n (alpha=0.05, threshold j(n)=ceil(n^{1/3}))",
 		sizes,
 		defaultRegimes(),
@@ -126,16 +130,17 @@ func runT2(cfg Config) (*Outcome, error) {
 		return nil, err
 	}
 	return &Outcome{
-		Tables: []*report.Table{sw.spgTable, sw.dnhTable},
-		Checks: spgDNHChecks(sw, 0.01, 0.05),
+		Replications: sw.reps,
+		Tables:       []*report.Table{sw.spgTable, sw.dnhTable},
+		Checks:       spgDNHChecks(sw, 0.01, 0.05),
 	}, nil
 }
 
 // runT3 validates Theorem 3: Algorithm 2 (random d-neighbour sampling).
-func runT3(cfg Config) (*Outcome, error) {
+func runT3(ctx context.Context, cfg Config) (*Outcome, error) {
 	sizes := dedupeSizes([]int{251, 501, 1001, cfg.scaleInt(2001, 1001)})
 	const d = 16
-	sw, err := runRegimeSweep(cfg,
+	sw, err := runRegimeSweep(ctx, cfg,
 		"Theorem 3: Algorithm 2, d=16 random neighbours, j(d)=d/8",
 		sizes,
 		defaultRegimes(),
@@ -149,15 +154,16 @@ func runT3(cfg Config) (*Outcome, error) {
 		return nil, err
 	}
 	return &Outcome{
-		Tables: []*report.Table{sw.spgTable, sw.dnhTable},
-		Checks: spgDNHChecks(sw, 0.01, 0.05),
+		Replications: sw.reps,
+		Tables:       []*report.Table{sw.spgTable, sw.dnhTable},
+		Checks:       spgDNHChecks(sw, 0.01, 0.05),
 	}, nil
 }
 
 // runT4 validates Theorem 4: bounded-degree graphs, Delta <= ~n^{1/2}.
-func runT4(cfg Config) (*Outcome, error) {
+func runT4(ctx context.Context, cfg Config) (*Outcome, error) {
 	sizes := dedupeSizes([]int{251, 501, 1001, cfg.scaleInt(2001, 1001)})
-	sw, err := runRegimeSweep(cfg,
+	sw, err := runRegimeSweep(ctx, cfg,
 		"Theorem 4: random graphs with Delta <= ceil(n^{0.45}), threshold mechanism",
 		sizes,
 		defaultRegimes(),
@@ -174,16 +180,17 @@ func runT4(cfg Config) (*Outcome, error) {
 		return nil, err
 	}
 	return &Outcome{
-		Tables: []*report.Table{sw.spgTable, sw.dnhTable},
-		Checks: spgDNHChecks(sw, 0.005, 0.05),
+		Replications: sw.reps,
+		Tables:       []*report.Table{sw.spgTable, sw.dnhTable},
+		Checks:       spgDNHChecks(sw, 0.005, 0.05),
 	}, nil
 }
 
 // runT5 validates Theorem 5: bounded minimum degree with the
 // half-neighbourhood rule.
-func runT5(cfg Config) (*Outcome, error) {
+func runT5(ctx context.Context, cfg Config) (*Outcome, error) {
 	sizes := dedupeSizes([]int{250, 500, 1000, cfg.scaleInt(2000, 1000)})
-	sw, err := runRegimeSweep(cfg,
+	sw, err := runRegimeSweep(ctx, cfg,
 		"Theorem 5: d-regular graphs with delta = ceil(n^{0.6}), half-neighbourhood rule",
 		sizes,
 		regimeBounds{spgLo: 0.45, spgHi: 0.53, dnhLo: 0.52, dnhHi: 0.80},
@@ -210,7 +217,8 @@ func runT5(cfg Config) (*Outcome, error) {
 		sw.delegates[len(sw.delegates)-1] >= math.Sqrt(lastN),
 		"delegators %.1f, sqrt(n) %.1f", sw.delegates[len(sw.delegates)-1], math.Sqrt(lastN)))
 	return &Outcome{
-		Tables: []*report.Table{sw.spgTable, sw.dnhTable},
-		Checks: checks,
+		Replications: sw.reps,
+		Tables:       []*report.Table{sw.spgTable, sw.dnhTable},
+		Checks:       checks,
 	}, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 
 	"liquid/internal/graph"
@@ -14,7 +15,7 @@ import (
 // tie probability, which shrinks like 1/sqrt(n) for direct voting — so the
 // modelling choice is asymptotically irrelevant, as the paper implicitly
 // assumes.
-func runA5(cfg Config) (*Outcome, error) {
+func runA5(ctx context.Context, cfg Config) (*Outcome, error) {
 	root := rng.New(cfg.Seed)
 	sizes := dedupeSizes([]int{10, 40, 160, 640, cfg.scaleInt(2560, 640)})
 

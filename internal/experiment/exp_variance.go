@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -20,7 +21,7 @@ import (
 // probability mass across the majority threshold. We tabulate the exact
 // mean fraction, the exact normalized standard deviation, and P[correct]
 // for a ladder of mechanisms from no delegation to heavy concentration.
-func runV1(cfg Config) (*Outcome, error) {
+func runV1(ctx context.Context, cfg Config) (*Outcome, error) {
 	n := cfg.scaleInt(2001, 501)
 	root := rng.New(cfg.Seed)
 

@@ -10,6 +10,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -71,6 +72,10 @@ type Outcome struct {
 	Tables  []*report.Table
 	Checks  []Check
 	Elapsed time.Duration
+	// Replications is the dominant Monte-Carlo replication count of the
+	// experiment (0 for purely analytic experiments); the execution engine
+	// reports it in ExperimentFinished events.
+	Replications int
 }
 
 // Failed returns the names of failed checks.
@@ -89,7 +94,7 @@ type Definition struct {
 	ID    string
 	Title string
 	Claim string
-	Run   func(Config) (*Outcome, error)
+	Run   func(context.Context, Config) (*Outcome, error)
 }
 
 // registry holds all experiments in presentation order.
@@ -153,16 +158,24 @@ func Lookup(id string) (Definition, error) {
 	return Definition{}, fmt.Errorf("%w: %q (known: %v)", ErrUnknownExperiment, id, IDs())
 }
 
-// Run executes one experiment by id.
-func Run(id string, cfg Config) (*Outcome, error) {
+// Run executes one experiment by id. Cancelling ctx aborts the experiment
+// between (and inside) its replication loops with ctx's error.
+func Run(ctx context.Context, id string, cfg Config) (*Outcome, error) {
 	def, err := Lookup(id)
 	if err != nil {
 		return nil, err
 	}
+	return RunDefinition(ctx, def, cfg)
+}
+
+// RunDefinition executes one definition directly, bypassing the registry
+// lookup. This is the entry point the execution engine uses, and it lets
+// tests schedule synthetic experiments.
+func RunDefinition(ctx context.Context, def Definition, cfg Config) (*Outcome, error) {
 	start := time.Now()
-	out, err := def.Run(cfg.withDefaults())
+	out, err := def.Run(ctx, cfg.withDefaults())
 	if err != nil {
-		return nil, fmt.Errorf("experiment %s: %w", id, err)
+		return nil, fmt.Errorf("experiment %s: %w", def.ID, err)
 	}
 	out.ID = def.ID
 	out.Title = def.Title
@@ -171,11 +184,12 @@ func Run(id string, cfg Config) (*Outcome, error) {
 	return out, nil
 }
 
-// RunAll executes every experiment in order.
-func RunAll(cfg Config) ([]*Outcome, error) {
+// RunAll executes every experiment in order. Cancelling ctx stops the
+// sequence and returns the outcomes completed so far along with ctx's error.
+func RunAll(ctx context.Context, cfg Config) ([]*Outcome, error) {
 	outs := make([]*Outcome, 0, len(registry))
 	for _, d := range registry {
-		o, err := Run(d.ID, cfg)
+		o, err := Run(ctx, d.ID, cfg)
 		if err != nil {
 			return outs, err
 		}

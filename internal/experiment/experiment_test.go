@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func TestRegistryLookup(t *testing.T) {
 	if _, err := Lookup("nope"); !errors.Is(err, ErrUnknownExperiment) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := Run("nope", testConfig()); !errors.Is(err, ErrUnknownExperiment) {
+	if _, err := Run(context.Background(), "nope", testConfig()); !errors.Is(err, ErrUnknownExperiment) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -43,7 +44,7 @@ func TestAllReturnsCopy(t *testing.T) {
 // pass.
 func runAndCheck(t *testing.T, id string) *Outcome {
 	t.Helper()
-	out, err := Run(id, testConfig())
+	out, err := Run(context.Background(), id, testConfig())
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
@@ -140,11 +141,11 @@ func TestOutcomeFailedNames(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, err := Run("F2", testConfig())
+	a, err := Run(context.Background(), "F2", testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run("F2", testConfig())
+	b, err := Run(context.Background(), "F2", testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

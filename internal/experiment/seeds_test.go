@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"liquid/internal/rng"
+)
+
+// TestSweepSeedsPairwiseDistinct is the regression guard for the retired
+// cfg.Seed arithmetic (Seed + uint64(alpha*1000), Seed ^ uint64(n), ...),
+// which collided across sweep points and even across experiments for small
+// parameter values. It reconstructs every labelled derivation the experiment
+// sweeps perform and asserts the seeds are pairwise distinct — within each
+// sweep AND globally across experiments sharing the same root seed.
+func TestSweepSeedsPairwiseDistinct(t *testing.T) {
+	const root = 1 // the default Config seed, the worst case for arithmetic
+
+	var seeds []uint64
+	var names []string
+	add := func(name string, labels ...string) {
+		seeds = append(seeds, rng.Derive(root, labels...))
+		names = append(names, name)
+	}
+
+	// A1: threshold sweep (j values for the scaled n=301 run).
+	for _, j := range []int{1, 6, 18, 75, 150, 270} {
+		add(fmt.Sprintf("A1 j=%d", j), "A1", fmt.Sprintf("j=%d", j))
+	}
+	// A2: the alpha sweep whose old derivation Seed+uint64(alpha*1000)
+	// collided with A1's Seed+uint64(j) at j in {10, 20, 50, 100, 150}.
+	for _, alpha := range []float64{0.01, 0.02, 0.05, 0.1, 0.15} {
+		add(fmt.Sprintf("A2 alpha=%g", alpha), "A2", fmt.Sprintf("alpha=%g", alpha))
+	}
+	// A4: mean-competency crossover, both topologies.
+	for _, mu := range []float64{0.35, 0.40, 0.45, 0.48, 0.52, 0.55, 0.60, 0.65} {
+		add(fmt.Sprintf("A4 mu=%g kn", mu), "A4", fmt.Sprintf("mu=%g", mu), "kn")
+		add(fmt.Sprintf("A4 mu=%g star", mu), "A4", fmt.Sprintf("mu=%g", mu), "star")
+	}
+	// A6: paired duels per regime.
+	for _, duel := range []string{"threshold vs direct", "threshold vs greedy",
+		"threshold vs capped w=8", "alpha 0.02 vs alpha 0.10"} {
+		for _, regime := range []string{"spg", "dnh"} {
+			add("A6 "+duel+" "+regime, "A6", regime, duel)
+		}
+	}
+	// T2-T5: size sweeps in both regimes. The old Seed^n (spg) vs
+	// Seed^(n<<1) (dnh) scheme collided whenever one size was double
+	// another — exactly the case for T5's 250/500/1000/2000 ladder.
+	for _, title := range []string{
+		"Theorem 2: Algorithm 1 on K_n (alpha=0.05, threshold j(n)=ceil(n^{1/3}))",
+		"Theorem 3: Algorithm 2, d=16 random neighbours, j(d)=d/8",
+		"Theorem 4: random graphs with Delta <= ceil(n^{0.45}), threshold mechanism",
+		"Theorem 5: d-regular graphs with delta = ceil(n^{0.6}), half-neighbourhood rule",
+	} {
+		for _, n := range []int{250, 251, 500, 501, 1000, 1001, 2000, 2001} {
+			for _, regime := range []string{"spg", "dnh"} {
+				add(fmt.Sprintf("%.9s n=%d %s", title, n, regime),
+					title, fmt.Sprintf("n=%d", n), regime)
+			}
+		}
+	}
+	// X1: abstention sweep, both regimes (old scheme: q*100 and q*100+7,
+	// colliding across regimes when q steps by 0.07).
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		add(fmt.Sprintf("X1 q=%g spg", q), "X1", fmt.Sprintf("q=%g", q), "spg")
+		add(fmt.Sprintf("X1 q=%g dnh", q), "X1", fmt.Sprintf("q=%g", q), "dnh")
+	}
+	// X2: multi-delegate k sweep.
+	for _, k := range []int{1, 3, 5, 9} {
+		add(fmt.Sprintf("X2 k=%d", k), "X2", fmt.Sprintf("k=%d", k))
+	}
+	// X3 / X5 / X12: named-topology sweeps.
+	for _, name := range []string{"BA m=2", "BA m=8", "community k=10", "ER dense"} {
+		add("X3 "+name+" spg", "X3", name, "spg")
+		add("X3 "+name+" dnh", "X3", name, "dnh")
+	}
+	for _, name := range []string{"cycle", "path", "grid",
+		"small-world k=8 beta=0.2", "random 8-regular", "complete"} {
+		add("X5 "+name, "X5", name)
+	}
+	for _, name := range []string{"ws k=6 beta=0.01", "ws k=6 beta=0.05",
+		"ws k=6 beta=0.3", "random 6-regular", "random 16-regular"} {
+		for g := 0; g < 3; g++ {
+			add(fmt.Sprintf("X12 %s run=%d", name, g), "X12", name, fmt.Sprintf("run=%d", g))
+		}
+	}
+	// X8: equilibrium trials (old scheme Seed+trial collided with A4's
+	// Seed+i and X5's Seed+i).
+	for trial := 0; trial < 8; trial++ {
+		add(fmt.Sprintf("X8 trial=%d", trial), "X8", fmt.Sprintf("trial=%d", trial))
+	}
+	// X10: assignment kinds. The old Seed+uint64(len(kind)) collided for
+	// any two kinds of equal length.
+	for _, kind := range []string{"hubs most competent", "hubs least competent", "uncorrelated"} {
+		add("X10 "+kind, "X10", kind)
+	}
+
+	seen := make(map[uint64]int, len(seeds))
+	for i, s := range seeds {
+		if j, dup := seen[s]; dup {
+			t.Errorf("seed collision between %q and %q (%#x)", names[j], names[i], s)
+		}
+		seen[s] = i
+	}
+	if len(seen) != len(seeds) {
+		t.Fatalf("%d distinct seeds from %d derivations", len(seen), len(seeds))
+	}
+}
+
+// TestNoSeedArithmeticRegression documents why the arithmetic scheme was
+// retired: the exact collisions it produced. Each pair below derived the SAME
+// stream under the old code and now must differ.
+func TestNoSeedArithmeticRegression(t *testing.T) {
+	pairs := [][2][]string{
+		// Old: Seed+uint64(0.05*1000)=Seed+50 (A2) vs Seed+uint64(50) (A1 j=50).
+		{{"A2", "alpha=0.05"}, {"A1", "j=50"}},
+		// Old: Seed^500<<1 (T5 dnh, n=500) vs Seed^1000 (T5 spg, n=1000).
+		{{"T5", "n=500", "dnh"}, {"T5", "n=1000", "spg"}},
+		// Old: Seed+uint64(len("hubs most competent")) vs len("hubs least competent").
+		{{"X10", "hubs most competent"}, {"X10", "hubs least competent"}},
+		// Old: X1 q=0 dnh (Seed+7) vs X3 i=0 +... cross-experiment overlap class.
+		{{"X1", "q=0", "dnh"}, {"X3", "BA m=2", "spg"}},
+	}
+	for _, pr := range pairs {
+		a := rng.Derive(1, pr[0]...)
+		b := rng.Derive(1, pr[1]...)
+		if a == b {
+			t.Errorf("Derive(1, %v) == Derive(1, %v) == %#x", pr[0], pr[1], a)
+		}
+	}
+}

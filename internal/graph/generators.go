@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 
 	"liquid/internal/rng"
 )
@@ -223,20 +224,20 @@ func BarabasiAlbert(n, m int, s *rng.Stream) (*Graph, error) {
 		}
 		targets = append(targets, 0, v)
 	}
-	chosen := make(map[int]struct{}, m)
+	// chosen is a slice, not a set: map iteration order is randomized per
+	// run, and the order edges enter targets feeds back into the sampling,
+	// so a map here makes the whole graph non-reproducible for a fixed seed.
+	chosen := make([]int, 0, m)
 	for v := m + 1; v < n; v++ {
-		clear(chosen)
+		chosen = chosen[:0]
 		for len(chosen) < m {
 			u := targets[s.IntN(len(targets))]
-			if u == v {
+			if u == v || slices.Contains(chosen, u) {
 				continue
 			}
-			if _, dup := chosen[u]; dup {
-				continue
-			}
-			chosen[u] = struct{}{}
+			chosen = append(chosen, u)
 		}
-		for u := range chosen {
+		for _, u := range chosen {
 			if err := g.AddEdge(v, u); err != nil {
 				return nil, err
 			}

@@ -1,0 +1,55 @@
+package localsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/rng"
+)
+
+// TestRunDelegationCancelled checks the cooperative-cancellation contract:
+// a pre-cancelled context aborts the protocol between rounds with the
+// context's error, and a background context leaves results unchanged.
+func TestRunDelegationCancelled(t *testing.T) {
+	top, err := graph.RandomRegular(200, 8, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, top.N())
+	s := rng.New(11)
+	for i := range p {
+		p[i] = 0.3 + 0.4*s.Float64()
+	}
+	in, err := core.NewInstance(top, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunDelegation(ctx, in, 0.05, ThresholdRule(nil), 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunDelegation returned %v, want context.Canceled", err)
+	}
+	if _, err := RunDistributedElection(ctx, in, 0.05, ThresholdRule(nil), 3, 50); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunDistributedElection returned %v, want context.Canceled", err)
+	}
+
+	// Cancellation must not perturb the uncancelled path: two background
+	// runs at the same seed still agree.
+	a, err := RunDelegation(context.Background(), in, 0.05, ThresholdRule(nil), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDelegation(context.Background(), in, 0.05, ThresholdRule(nil), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Weights {
+		if a.Weights[v] != b.Weights[v] {
+			t.Fatalf("determinism broken at node %d", v)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package localsim
 
 import (
+	"context"
 	"fmt"
 
 	"liquid/internal/core"
@@ -106,14 +107,14 @@ type Result struct {
 
 // RunThresholdDelegation executes the distributed threshold-delegation
 // protocol (Algorithm 1) on the instance. See RunDelegation for details.
-func RunThresholdDelegation(in *core.Instance, alpha float64, threshold mechanism.ThresholdFunc, seed uint64) (*Result, error) {
-	return RunDelegation(in, alpha, ThresholdRule(threshold), seed)
+func RunThresholdDelegation(ctx context.Context, in *core.Instance, alpha float64, threshold mechanism.ThresholdFunc, seed uint64) (*Result, error) {
+	return RunDelegation(ctx, in, alpha, ThresholdRule(threshold), seed)
 }
 
 // RunHalfNeighborhoodDelegation executes the distributed Theorem 5
 // mechanism. See RunDelegation for details.
-func RunHalfNeighborhoodDelegation(in *core.Instance, alpha float64, seed uint64) (*Result, error) {
-	return RunDelegation(in, alpha, HalfNeighborhoodRule(), seed)
+func RunHalfNeighborhoodDelegation(ctx context.Context, in *core.Instance, alpha float64, seed uint64) (*Result, error) {
+	return RunDelegation(ctx, in, alpha, HalfNeighborhoodRule(), seed)
 }
 
 // RunDelegation executes a distributed delegation protocol with the given
@@ -121,7 +122,7 @@ func RunHalfNeighborhoodDelegation(in *core.Instance, alpha float64, seed uint64
 // the node id, so the run is deterministic.
 //
 // The maximum round budget is n+2: a delegation chain has at most n-1 hops.
-func RunDelegation(in *core.Instance, alpha float64, decide DecisionRule, seed uint64) (*Result, error) {
+func RunDelegation(ctx context.Context, in *core.Instance, alpha float64, decide DecisionRule, seed uint64) (*Result, error) {
 	if alpha < 0 {
 		return nil, fmt.Errorf("%w: negative alpha %v", ErrProtocol, alpha)
 	}
@@ -150,7 +151,7 @@ func RunDelegation(in *core.Instance, alpha float64, decide DecisionRule, seed u
 	if err != nil {
 		return nil, err
 	}
-	if err := nw.Run(n + 2); err != nil {
+	if err := nw.Run(ctx, n+2); err != nil {
 		return nil, err
 	}
 

@@ -1,6 +1,7 @@
 package localsim_test
 
 import (
+	"context"
 	"fmt"
 
 	"liquid/internal/core"
@@ -27,7 +28,7 @@ func Example() {
 		panic(err)
 	}
 
-	res, err := localsim.RunReliableDelegation(in, 0.05, localsim.ThresholdRule(nil), 7, 0.3)
+	res, err := localsim.RunReliableDelegation(context.Background(), in, 0.05, localsim.ThresholdRule(nil), 7, 0.3)
 	if err != nil {
 		panic(err)
 	}

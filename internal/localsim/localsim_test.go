@@ -1,6 +1,7 @@
 package localsim
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -32,7 +33,7 @@ func TestDistributedMatchesCentralizedResolution(t *testing.T) {
 	}
 	in := mustInstance(t, g, p)
 
-	res, err := RunThresholdDelegation(in, 0.05, nil, 77)
+	res, err := RunThresholdDelegation(context.Background(), in, 0.05, nil, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestDistributedThresholdBlocksDelegation(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := mustInstance(t, expTop, p)
-	res, err := RunThresholdDelegation(in, 0.1, mechanism.ConstantThreshold(2), 3)
+	res, err := RunThresholdDelegation(context.Background(), in, 0.1, mechanism.ConstantThreshold(2), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestDistributedStarConcentration(t *testing.T) {
 		p[i] = 3.0 / 5
 	}
 	in := mustInstance(t, g, p)
-	res, err := RunThresholdDelegation(in, 0.01, nil, 9)
+	res, err := RunThresholdDelegation(context.Background(), in, 0.01, nil, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestDistributedStarConcentration(t *testing.T) {
 
 func TestDistributedNegativeAlpha(t *testing.T) {
 	in := mustInstance(t, graph.NewComplete(3), []float64{0.1, 0.5, 0.9})
-	if _, err := RunThresholdDelegation(in, -0.1, nil, 1); !errors.Is(err, ErrProtocol) {
+	if _, err := RunThresholdDelegation(context.Background(), in, -0.1, nil, 1); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -128,7 +129,7 @@ func TestNetworkRejectsNonNeighborSend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.Run(10); !errors.Is(err, ErrProtocol) {
+	if err := nw.Run(context.Background(), 10); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -143,7 +144,7 @@ func TestNetworkRejectsForgedSender(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.Run(10); !errors.Is(err, ErrProtocol) {
+	if err := nw.Run(context.Background(), 10); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -158,7 +159,7 @@ func TestNetworkRoundLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.Run(5); !errors.Is(err, ErrProtocol) {
+	if err := nw.Run(context.Background(), 5); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -185,7 +186,7 @@ func TestQuickDistributedWeightsMatchCentralized(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := RunThresholdDelegation(in, 0.03, nil, seed^0xBEEF)
+		res, err := RunThresholdDelegation(context.Background(), in, 0.03, nil, seed^0xBEEF)
 		if err != nil {
 			return false
 		}
@@ -254,7 +255,7 @@ func TestHalfNeighborhoodDistributedMatchesCentralized(t *testing.T) {
 		p[i] = 0.45 + 0.1*s.Float64()
 	}
 	in := mustInstance(t, g, p)
-	res, err := RunHalfNeighborhoodDelegation(in, 0.02, 41)
+	res, err := RunHalfNeighborhoodDelegation(context.Background(), in, 0.02, 41)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestHalfNeighborhoodDistributedMatchesCentralized(t *testing.T) {
 
 func TestRunDelegationNilRule(t *testing.T) {
 	in := mustInstance(t, graph.NewComplete(3), []float64{0.1, 0.5, 0.9})
-	if _, err := RunDelegation(in, 0.1, nil, 1); !errors.Is(err, ErrProtocol) {
+	if _, err := RunDelegation(context.Background(), in, 0.1, nil, 1); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("err = %v", err)
 	}
 }

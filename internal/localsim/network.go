@@ -12,6 +12,7 @@
 package localsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -125,7 +126,8 @@ func NewNetwork(contexts []*NodeContext, nodes []Node) (*Network, error) {
 // Run executes the protocol until quiescence or maxRounds, whichever comes
 // first. It returns an error if maxRounds is exhausted with messages still
 // in flight, or if any node addresses a message to a non-neighbour.
-func (nw *Network) Run(maxRounds int) error {
+// Cancelling ctx stops the simulation between rounds with ctx's error.
+func (nw *Network) Run(ctx context.Context, maxRounds int) error {
 	n := len(nw.nodes)
 	// wheel[k] holds messages due k rounds from now; wheel[0] is the next
 	// round's inbox batch.
@@ -179,6 +181,9 @@ func (nw *Network) Run(maxRounds int) error {
 
 	inbox := make([][]Message, n)
 	for round := 0; pending > 0 || anyBusy(); round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if round >= maxRounds {
 			return fmt.Errorf("%w: no quiescence after %d rounds", ErrProtocol, maxRounds)
 		}
@@ -214,8 +219,9 @@ func (nw *Network) isNeighbor(u, v int) bool {
 
 // RunRounds executes exactly `rounds` synchronous rounds regardless of
 // message backlog — for protocols (like gossip) that send every round and
-// never reach quiescence.
-func (nw *Network) RunRounds(rounds int) error {
+// never reach quiescence. Cancelling ctx stops the simulation between
+// rounds with ctx's error.
+func (nw *Network) RunRounds(ctx context.Context, rounds int) error {
 	n := len(nw.nodes)
 	inboxes := make([][]Message, n)
 	deliver := func(msgs []Message, sender int) error {
@@ -244,6 +250,9 @@ func (nw *Network) RunRounds(rounds int) error {
 		}
 	}
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		nw.rounds++
 		current := inboxes
 		inboxes = make([][]Message, n)

@@ -1,6 +1,7 @@
 package localsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -87,11 +88,11 @@ type ElectionResult struct {
 // RunDistributedElection runs the full pipeline: (1) distributed delegation
 // with the given rule, (2) weight convergecast, (3) sinks draw their votes,
 // (4) push-sum gossip spreads the tally so every node can decide locally.
-func RunDistributedElection(in *core.Instance, alpha float64, decide DecisionRule, seed uint64, gossipRounds int) (*ElectionResult, error) {
+func RunDistributedElection(ctx context.Context, in *core.Instance, alpha float64, decide DecisionRule, seed uint64, gossipRounds int) (*ElectionResult, error) {
 	if gossipRounds < 1 {
 		return nil, fmt.Errorf("%w: gossip rounds %d", ErrProtocol, gossipRounds)
 	}
-	deleg, err := RunDelegation(in, alpha, decide, seed)
+	deleg, err := RunDelegation(ctx, in, alpha, decide, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +136,7 @@ func RunDistributedElection(in *core.Instance, alpha float64, decide DecisionRul
 	if err != nil {
 		return nil, err
 	}
-	if err := nw.RunRounds(gossipRounds); err != nil {
+	if err := nw.RunRounds(ctx, gossipRounds); err != nil {
 		return nil, err
 	}
 
@@ -161,7 +162,7 @@ func RunDistributedElection(in *core.Instance, alpha float64, decide DecisionRul
 // until every node's estimate is within eps of the true ratio
 // sum(values)/sum(weights). It returns an error if maxRounds is exhausted
 // first. Convergence is checked every checkEvery rounds (10).
-func PushSumConvergenceRounds(top graph.Topology, values, weights []float64, eps float64, maxRounds int, seed uint64) (int, error) {
+func PushSumConvergenceRounds(ctx context.Context, top graph.Topology, values, weights []float64, eps float64, maxRounds int, seed uint64) (int, error) {
 	n := top.N()
 	if len(values) != n || len(weights) != n {
 		return 0, fmt.Errorf("%w: %d values / %d weights for %d nodes", ErrProtocol, len(values), len(weights), n)
@@ -201,7 +202,7 @@ func PushSumConvergenceRounds(top graph.Topology, values, weights []float64, eps
 		if done+step > maxRounds {
 			step = maxRounds - done
 		}
-		if err := nw.RunRounds(step); err != nil {
+		if err := nw.RunRounds(ctx, step); err != nil {
 			return 0, err
 		}
 		done += step

@@ -1,6 +1,7 @@
 package localsim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -34,7 +35,7 @@ func TestPushSumConvergesToFraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.RunRounds(120); err != nil {
+	if err := nw.RunRounds(context.Background(), 120); err != nil {
 		t.Fatal(err)
 	}
 	for v, node := range ps {
@@ -71,7 +72,7 @@ func TestPushSumMassConservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.RunRounds(50); err != nil {
+	if err := nw.RunRounds(context.Background(), 50); err != nil {
 		t.Fatal(err)
 	}
 	// After the final round, half of each node's mass is in flight; total
@@ -102,7 +103,7 @@ func TestRunDistributedElection(t *testing.T) {
 		p[i] = 0.55 + 0.3*s.Float64() // competent electorate: clear margin
 	}
 	in := mustInstance(t, g, p)
-	res, err := RunDistributedElection(in, 0.03, ThresholdRule(nil), 7, 150)
+	res, err := RunDistributedElection(context.Background(), in, 0.03, ThresholdRule(nil), 7, 150)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestRunDistributedElection(t *testing.T) {
 
 func TestRunDistributedElectionValidation(t *testing.T) {
 	in := mustInstance(t, graph.NewComplete(3), []float64{0.3, 0.5, 0.7})
-	if _, err := RunDistributedElection(in, 0.05, ThresholdRule(nil), 1, 0); !errors.Is(err, ErrProtocol) {
+	if _, err := RunDistributedElection(context.Background(), in, 0.05, ThresholdRule(nil), 1, 0); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -133,11 +134,11 @@ func TestRunDistributedElectionDeterministic(t *testing.T) {
 		p[i] = 0.3 + 0.4*s.Float64()
 	}
 	in := mustInstance(t, g, p)
-	a, err := RunDistributedElection(in, 0.05, ThresholdRule(nil), 9, 60)
+	a, err := RunDistributedElection(context.Background(), in, 0.05, ThresholdRule(nil), 9, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunDistributedElection(in, 0.05, ThresholdRule(nil), 9, 60)
+	b, err := RunDistributedElection(context.Background(), in, 0.05, ThresholdRule(nil), 9, 60)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,9 @@
 package localsim
 
 import (
+	"context"
 	"fmt"
+	"slices"
 
 	"liquid/internal/core"
 	"liquid/internal/rng"
@@ -83,9 +85,17 @@ func (r *reliableNode) Round(_ int, inbox []Message, ctx *NodeContext) []Message
 			r.enqueue(ctx.ID, received) // forwarded below with the resends
 		}
 	}
-	// Retransmit everything unacked (including any newly enqueued data).
-	for _, m := range r.outbox {
-		out = append(out, m)
+	// Retransmit everything unacked (including any newly enqueued data), in
+	// seq order: emission order decides which loss-stream draw hits which
+	// message, so ranging the map directly would make drop patterns (and
+	// convergence round counts) vary run to run.
+	seqs := make([]int, 0, len(r.outbox))
+	for seq := range r.outbox {
+		seqs = append(seqs, seq)
+	}
+	slices.Sort(seqs)
+	for _, seq := range seqs {
+		out = append(out, r.outbox[seq])
 	}
 	return out
 }
@@ -98,15 +108,15 @@ func (r *reliableNode) Busy() bool { return len(r.outbox) > 0 }
 // ack-based retransmission. The result matches the lossless protocol
 // exactly (same per-node decision streams), demonstrating fault tolerance
 // of the convergecast.
-func RunReliableDelegation(in *core.Instance, alpha float64, decide DecisionRule, seed uint64, lossRate float64) (*Result, error) {
-	return RunReliableDelegationAsync(in, alpha, decide, seed, lossRate, 0)
+func RunReliableDelegation(ctx context.Context, in *core.Instance, alpha float64, decide DecisionRule, seed uint64, lossRate float64) (*Result, error) {
+	return RunReliableDelegationAsync(ctx, in, alpha, decide, seed, lossRate, 0)
 }
 
 // RunReliableDelegationAsync additionally makes delivery asynchronous:
 // every message takes between 1 and 1+maxDelay rounds. Retransmission
 // absorbs both loss and reordering, so the result still matches the
 // synchronous lossless run.
-func RunReliableDelegationAsync(in *core.Instance, alpha float64, decide DecisionRule, seed uint64, lossRate float64, maxDelay int) (*Result, error) {
+func RunReliableDelegationAsync(ctx context.Context, in *core.Instance, alpha float64, decide DecisionRule, seed uint64, lossRate float64, maxDelay int) (*Result, error) {
 	if alpha < 0 {
 		return nil, fmt.Errorf("%w: negative alpha %v", ErrProtocol, alpha)
 	}
@@ -144,7 +154,7 @@ func RunReliableDelegationAsync(in *core.Instance, alpha float64, decide Decisio
 	// Budget: each hop needs ~(1+maxDelay)/(1-q)^2 expected rounds for
 	// data+ack; give generous headroom over the worst chain length.
 	budget := (200 + 40*n) * (maxDelay + 1)
-	if err := nw.Run(budget); err != nil {
+	if err := nw.Run(ctx, budget); err != nil {
 		return nil, err
 	}
 

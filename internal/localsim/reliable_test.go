@@ -1,6 +1,7 @@
 package localsim
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -26,7 +27,7 @@ func lossyTestInstance(t *testing.T, n int, seed uint64) *core.Instance {
 func TestReliableMatchesCentralizedUnderLoss(t *testing.T) {
 	in := lossyTestInstance(t, 60, 61)
 	for _, loss := range []float64{0, 0.1, 0.3, 0.5} {
-		res, err := RunReliableDelegation(in, 0.03, ThresholdRule(nil), 71, loss)
+		res, err := RunReliableDelegation(context.Background(), in, 0.03, ThresholdRule(nil), 71, loss)
 		if err != nil {
 			t.Fatalf("loss %v: %v", loss, err)
 		}
@@ -50,11 +51,11 @@ func TestReliableSameDecisionsAsUnreliable(t *testing.T) {
 	// Same seed => same per-node decision streams => identical delegation
 	// graphs, loss or no loss.
 	in := lossyTestInstance(t, 40, 62)
-	a, err := RunDelegation(in, 0.03, ThresholdRule(nil), 5)
+	a, err := RunDelegation(context.Background(), in, 0.03, ThresholdRule(nil), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunReliableDelegation(in, 0.03, ThresholdRule(nil), 5, 0.25)
+	b, err := RunReliableDelegation(context.Background(), in, 0.03, ThresholdRule(nil), 5, 0.25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +68,11 @@ func TestReliableSameDecisionsAsUnreliable(t *testing.T) {
 
 func TestReliableLossCostsMessages(t *testing.T) {
 	in := lossyTestInstance(t, 50, 63)
-	clean, err := RunReliableDelegation(in, 0.03, ThresholdRule(nil), 9, 0)
+	clean, err := RunReliableDelegation(context.Background(), in, 0.03, ThresholdRule(nil), 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lossy, err := RunReliableDelegation(in, 0.03, ThresholdRule(nil), 9, 0.4)
+	lossy, err := RunReliableDelegation(context.Background(), in, 0.03, ThresholdRule(nil), 9, 0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestUnreliableProtocolLosesWeightUnderLoss(t *testing.T) {
 	if err := nw.SetLoss(0.5, root.DeriveString("loss")); err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.Run(n + 2); err != nil {
+	if err := nw.Run(context.Background(), n+2); err != nil {
 		t.Fatal(err)
 	}
 	total := 0
@@ -143,13 +144,13 @@ func TestSetLossValidation(t *testing.T) {
 
 func TestReliableValidation(t *testing.T) {
 	in := mustInstance(t, graph.NewComplete(3), []float64{0.2, 0.5, 0.8})
-	if _, err := RunReliableDelegation(in, -1, ThresholdRule(nil), 1, 0); !errors.Is(err, ErrProtocol) {
+	if _, err := RunReliableDelegation(context.Background(), in, -1, ThresholdRule(nil), 1, 0); !errors.Is(err, ErrProtocol) {
 		t.Error("negative alpha accepted")
 	}
-	if _, err := RunReliableDelegation(in, 0.1, nil, 1, 0); !errors.Is(err, ErrProtocol) {
+	if _, err := RunReliableDelegation(context.Background(), in, 0.1, nil, 1, 0); !errors.Is(err, ErrProtocol) {
 		t.Error("nil rule accepted")
 	}
-	if _, err := RunReliableDelegation(in, 0.1, ThresholdRule(nil), 1, 1.5); !errors.Is(err, ErrProtocol) {
+	if _, err := RunReliableDelegation(context.Background(), in, 0.1, ThresholdRule(nil), 1, 1.5); !errors.Is(err, ErrProtocol) {
 		t.Error("bad loss rate accepted")
 	}
 }
@@ -164,7 +165,7 @@ func TestReliableSurvivesAsyncDelays(t *testing.T) {
 		{0.2, 2},
 		{0.4, 4},
 	} {
-		res, err := RunReliableDelegationAsync(in, 0.03, ThresholdRule(nil), 17, tt.loss, tt.delay)
+		res, err := RunReliableDelegationAsync(context.Background(), in, 0.03, ThresholdRule(nil), 17, tt.loss, tt.delay)
 		if err != nil {
 			t.Fatalf("loss %v delay %d: %v", tt.loss, tt.delay, err)
 		}

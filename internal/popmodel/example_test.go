@@ -1,6 +1,7 @@
 package popmodel_test
 
 import (
+	"context"
 	"fmt"
 
 	"liquid/internal/mechanism"
@@ -15,7 +16,7 @@ func Example() {
 	pop := popmodel.Population{
 		Competency: prob.UniformSampler{Lo: 0.30, Hi: 0.49},
 	}
-	v, err := popmodel.Evaluate(pop, mechanism.ApprovalThreshold{Alpha: 0.05}, popmodel.EvaluateOptions{
+	v, err := popmodel.Evaluate(context.Background(), pop, mechanism.ApprovalThreshold{Alpha: 0.05}, popmodel.EvaluateOptions{
 		N:            201,
 		Instances:    6,
 		Replications: 8,

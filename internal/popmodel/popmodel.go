@@ -6,6 +6,7 @@
 package popmodel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -101,8 +102,9 @@ type EvaluateOptions struct {
 }
 
 // Evaluate measures the probabilistic positive-gain / do-no-harm behaviour
-// of mech over the population.
-func Evaluate(pop Population, mech mechanism.Mechanism, opts EvaluateOptions) (*Verdict, error) {
+// of mech over the population. Cancelling ctx aborts the instance loop with
+// ctx's error.
+func Evaluate(ctx context.Context, pop Population, mech mechanism.Mechanism, opts EvaluateOptions) (*Verdict, error) {
 	if opts.N <= 0 {
 		return nil, fmt.Errorf("%w: instance size %d", ErrInvalidPopulation, opts.N)
 	}
@@ -126,13 +128,16 @@ func Evaluate(pop Population, mech mechanism.Mechanism, opts EvaluateOptions) (*
 	}
 	positive, harmful := 0, 0
 	for i := 0; i < opts.Instances; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		in, err := pop.Sample(opts.N, root.Derive(uint64(i)+1))
 		if err != nil {
 			return nil, err
 		}
-		res, err := election.EvaluateMechanism(in, mech, election.Options{
+		res, err := election.EvaluateMechanism(ctx, in, mech, election.Options{
 			Replications: opts.Replications,
-			Seed:         opts.Seed ^ (uint64(i) + 0x9E37),
+			Seed:         rng.Derive(opts.Seed, fmt.Sprintf("instance=%d", i)),
 		})
 		if err != nil {
 			return nil, err

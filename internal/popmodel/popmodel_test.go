@@ -1,6 +1,7 @@
 package popmodel
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -84,7 +85,7 @@ func TestEvaluateProbabilisticGain(t *testing.T) {
 	// Competencies centred below 1/2: delegation should gain on (almost)
 	// every instance draw.
 	pop := Population{Competency: prob.UniformSampler{Lo: 0.30, Hi: 0.49}}
-	v, err := Evaluate(pop, mechanism.ApprovalThreshold{Alpha: 0.05}, EvaluateOptions{
+	v, err := Evaluate(context.Background(), pop, mechanism.ApprovalThreshold{Alpha: 0.05}, EvaluateOptions{
 		N: 201, Instances: 8, Replications: 8, Seed: 5,
 	})
 	if err != nil {
@@ -106,7 +107,7 @@ func TestEvaluateProbabilisticGain(t *testing.T) {
 
 func TestEvaluateDirectNeverHarmsOrGains(t *testing.T) {
 	pop := Population{Competency: prob.UniformSampler{Lo: 0.4, Hi: 0.6}}
-	v, err := Evaluate(pop, mechanism.Direct{}, EvaluateOptions{
+	v, err := Evaluate(context.Background(), pop, mechanism.Direct{}, EvaluateOptions{
 		N: 101, Instances: 5, Replications: 2, Seed: 9,
 	})
 	if err != nil {
@@ -119,7 +120,7 @@ func TestEvaluateDirectNeverHarmsOrGains(t *testing.T) {
 
 func TestEvaluateValidation(t *testing.T) {
 	pop := Population{Competency: prob.UniformSampler{Lo: 0.4, Hi: 0.6}}
-	if _, err := Evaluate(pop, mechanism.Direct{}, EvaluateOptions{N: 0}); !errors.Is(err, ErrInvalidPopulation) {
+	if _, err := Evaluate(context.Background(), pop, mechanism.Direct{}, EvaluateOptions{N: 0}); !errors.Is(err, ErrInvalidPopulation) {
 		t.Fatalf("err = %v", err)
 	}
 }

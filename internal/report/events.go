@@ -1,0 +1,29 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLWriter appends one compact JSON object per line to an underlying
+// writer. It is safe for concurrent use, so a parallel scheduler can stream
+// events from several workers into one file. The value type is deliberately
+// generic: report cannot import the engine's event type without a cycle, and
+// any JSON-marshalable record works.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLWriter wraps w in a line-per-record JSON writer.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// Write marshals v and appends it as one line.
+func (j *JSONLWriter) Write(v any) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enc.Encode(v)
+}

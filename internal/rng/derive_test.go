@@ -1,0 +1,126 @@
+package rng
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+)
+
+// TestDeriveGolden pins the exact derivation outputs. These values are part
+// of the package's compatibility surface: every experiment seed in the
+// repository flows through Derive, so changing the mixing function silently
+// reseeds the whole reproduction suite. Update these constants only with a
+// deliberate, documented reseeding.
+func TestDeriveGolden(t *testing.T) {
+	golden := []struct {
+		root   uint64
+		labels []string
+		want   uint64
+	}{
+		{1, []string{"experiment"}, 0x478893f896d80d5e},
+		{1, []string{"experiment", "trial=0"}, 0x3993aa825f66ea9e},
+		{1, []string{"experiment", "trial=1"}, 0x2c379c05071245b5},
+		{42, []string{"T2", "n=1000", "spg"}, 0xe7410b3a15ec1383},
+		{0, []string{""}, 0x77f233a39f2b1f1b},
+		{0xDEADBEEF, []string{"A2", "alpha=0.05"}, 0x8170b9cbab07645e},
+	}
+	for _, g := range golden {
+		if got := Derive(g.root, g.labels...); got != g.want {
+			t.Errorf("Derive(%d, %q) = %#x, want %#x (derivation scheme changed!)",
+				g.root, g.labels, got, g.want)
+		}
+	}
+}
+
+func TestDeriveNoLabelsIsIdentity(t *testing.T) {
+	for _, root := range []uint64{0, 1, 42, ^uint64(0)} {
+		if got := Derive(root); got != root {
+			t.Fatalf("Derive(%d) = %d, want identity", root, got)
+		}
+	}
+}
+
+func TestDeriveHierarchical(t *testing.T) {
+	// Folding labels one at a time must equal deriving the full path at
+	// once: this is what lets a scheduler derive a per-experiment root and
+	// hand it down without changing any leaf seed.
+	root := uint64(7)
+	full := Derive(root, "T3", "n=500", "rep=12")
+	step := Derive(Derive(Derive(root, "T3"), "n=500"), "rep=12")
+	if full != step {
+		t.Fatalf("hierarchical derivation mismatch: %#x vs %#x", full, step)
+	}
+}
+
+func TestDeriveMatchesDeriveString(t *testing.T) {
+	// New(Derive(seed, label)) and New(seed).DeriveString(label) must be the
+	// same stream, so code can move between the two forms freely.
+	a := New(Derive(99, "votes"))
+	b := New(99).DeriveString("votes")
+	for i := 0; i < 32; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("package-level Derive diverged from Stream.DeriveString")
+		}
+	}
+}
+
+// TestDeriveAvalanche checks label sensitivity: changing one character of
+// one label should flip about half of the 64 output bits on average.
+func TestDeriveAvalanche(t *testing.T) {
+	const trials = 2000
+	totalFlipped := 0
+	for i := 0; i < trials; i++ {
+		root := uint64(i) * 0x9E3779B97F4A7C15
+		a := Derive(root, "sweep", fmt.Sprintf("alpha=%d", i))
+		b := Derive(root, "sweep", fmt.Sprintf("alphb=%d", i)) // one char changed
+		totalFlipped += bits.OnesCount64(a ^ b)
+	}
+	mean := float64(totalFlipped) / trials
+	// A well-mixed 64-bit function flips 32 bits on average with a per-trial
+	// standard deviation of 4; over 2000 trials the mean is tightly
+	// concentrated. [30, 34] is a ~22-sigma band.
+	if mean < 30 || mean > 34 {
+		t.Fatalf("avalanche mean bit flips = %.2f, want ~32", mean)
+	}
+}
+
+// TestDeriveNoCollisions checks that 10k (label, index) pairs — the shape of
+// every sweep in internal/experiment — give pairwise-distinct seeds. This is
+// the regression guard for the old cfg.Seed+i*17 / cfg.Seed^n arithmetic,
+// which collided across sweep points for small values.
+func TestDeriveNoCollisions(t *testing.T) {
+	seen := make(map[uint64][2]string, 10000)
+	labels := []string{"trial", "alpha", "n", "rep", "graph", "votes", "duel", "sweep", "issue", "round"}
+	for _, label := range labels {
+		for i := 0; i < 1000; i++ {
+			key := fmt.Sprintf("%s=%d", label, i)
+			v := Derive(1, label, key)
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("seed collision: (%s,%s) and (%s,%s) both derive %#x",
+					label, key, prev[0], prev[1], v)
+			}
+			seen[v] = [2]string{label, key}
+		}
+	}
+	if len(seen) != 10000 {
+		t.Fatalf("expected 10000 distinct seeds, got %d", len(seen))
+	}
+}
+
+// TestDeriveSmallValuesDistinct targets the exact collision class the old
+// arithmetic had: Seed+a and Seed+b coincide whenever the offsets collide,
+// and Seed^n vs Seed^(n<<1) coincide at n=0. Derived seeds must differ for
+// every pair of nearby roots and labels.
+func TestDeriveSmallValuesDistinct(t *testing.T) {
+	seen := make(map[uint64]string)
+	for root := uint64(0); root < 8; root++ {
+		for i := 0; i < 64; i++ {
+			key := fmt.Sprintf("root=%d,i=%d", root, i)
+			v := Derive(root, fmt.Sprintf("i=%d", i))
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("collision between %s and %s", key, prev)
+			}
+			seen[v] = key
+		}
+	}
+}

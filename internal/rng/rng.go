@@ -43,12 +43,43 @@ func (s *Stream) Derive(label uint64) *Stream {
 // DeriveString derives a substream from a string label. Useful for naming
 // experiment components ("graph", "votes", ...).
 func (s *Stream) DeriveString(label string) *Stream {
+	return s.Derive(fnv64(label))
+}
+
+// Derive derives a sub-seed from a root seed and an ordered list of string
+// labels. It is the canonical way to give every experiment, sweep point, and
+// trial its own independent stream: seeds derived with different label paths
+// are statistically independent, regardless of how numerically close the
+// roots or how similar the labels are.
+//
+// Derivation is hierarchical: labels fold left one at a time, so
+//
+//	Derive(root, "exp", "trial=3") == Derive(Derive(root, "exp"), "trial=3")
+//
+// and with no labels Derive returns root unchanged. This lets a scheduler
+// derive a per-experiment root once and hand it down, while leaf code derives
+// per-trial seeds from it — the result is identical to deriving the full path
+// in one call, so the seed a trial sees never depends on scheduling order.
+//
+// The mixing function (SplitMix64 over a FNV-64 label hash) is part of the
+// package's compatibility surface: changing it silently reseeds every
+// experiment. TestDeriveGolden pins it.
+func Derive(root uint64, labels ...string) uint64 {
+	h := root
+	for _, label := range labels {
+		h = mix(h, fnv64(label))
+	}
+	return h
+}
+
+// fnv64 hashes a label with FNV-64a-style folding.
+func fnv64(label string) uint64 {
 	h := uint64(14695981039346656037) // FNV-64 offset basis
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
 		h *= 1099511628211 // FNV-64 prime
 	}
-	return s.Derive(h)
+	return h
 }
 
 // Uint64 returns a uniformly distributed 64-bit value.
