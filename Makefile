@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race bench reproduce reproduce-fast examples fmt
+.PHONY: all check build vet test test-short test-race test-faults fuzz-smoke bench reproduce reproduce-fast examples fmt
 
 all: check
 
-# check is the gate for a change: compile, static checks, tests, and the
-# race detector over the parallel engine and election sampling.
-check: build vet test test-race
+# check is the gate for a change: compile, static checks, tests, the race
+# detector over the parallel engine and election sampling, and a short
+# fuzz pass over the simulator's message-validation invariants.
+check: build vet test test-race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +25,16 @@ test-short:
 
 test-race:
 	$(GO) test -race ./...
+
+# test-faults exercises just the fault-injection stack: the fault plans and
+# recovery policies, the crash-tolerant convergecast, and the engine's
+# panic/retry hardening.
+test-faults:
+	$(GO) test ./internal/fault/... ./internal/localsim/... ./internal/engine/...
+
+# fuzz-smoke is a short deterministic-budget fuzz pass (also part of check).
+fuzz-smoke:
+	$(GO) test ./internal/localsim -run='^$$' -fuzz=FuzzMessageValidation -fuzztime=5s
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

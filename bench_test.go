@@ -70,6 +70,8 @@ func BenchmarkA3EngineComparison(b *testing.B)     { benchExperiment(b, "A3") }
 func BenchmarkA4Crossover(b *testing.B)            { benchExperiment(b, "A4") }
 func BenchmarkA5TieRules(b *testing.B)             { benchExperiment(b, "A5") }
 func BenchmarkA6PairedDuels(b *testing.B)          { benchExperiment(b, "A6") }
+func BenchmarkR1AvailabilityFaults(b *testing.B)   { benchExperiment(b, "R1") }
+func BenchmarkR2ProtocolFaults(b *testing.B)       { benchExperiment(b, "R2") }
 
 // benchSuite runs a replication-heavy slice of the registry through the
 // engine at the given worker count. The subset leans on Monte-Carlo

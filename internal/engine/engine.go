@@ -12,6 +12,9 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -24,11 +27,35 @@ type EventKind string
 // The event kinds emitted by a Runner, in the order they can occur for one
 // experiment. SuiteFinished is emitted exactly once, after all workers drain.
 const (
-	ExperimentStarted  EventKind = "experiment_started"
+	ExperimentStarted EventKind = "experiment_started"
+	// ExperimentRetried reports a transient failure about to be retried
+	// (the experiment returned an error wrapping experiment.ErrTransient
+	// and attempts remain).
+	ExperimentRetried EventKind = "experiment_retried"
+	// ExperimentPanicked reports a panic recovered from an experiment; the
+	// experiment still finishes (with a *PanicError), the suite continues.
+	ExperimentPanicked EventKind = "experiment_panicked"
 	ExperimentFinished EventKind = "experiment_finished"
 	CheckFailed        EventKind = "check_failed"
 	SuiteFinished      EventKind = "suite_finished"
 )
+
+// PanicError is a panic recovered from an experiment run, preserving the
+// panic value and the goroutine stack. It surfaces as the experiment's
+// result error so one broken experiment cannot take down the whole suite.
+type PanicError struct {
+	// ID is the experiment that panicked.
+	ID string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiment %s panicked: %v", e.ID, e.Value)
+}
 
 // Event is one typed scheduler notification. Seq orders events as emitted;
 // with several workers the interleaving across experiments is
@@ -41,12 +68,17 @@ type Event struct {
 	ID    string `json:"id,omitempty"`
 	Title string `json:"title,omitempty"`
 
-	// Check/Detail describe a failed check (CheckFailed only).
+	// Check/Detail describe a failed check (CheckFailed), or the truncated
+	// stack of a recovered panic (ExperimentPanicked).
 	Check  string `json:"check,omitempty"`
 	Detail string `json:"detail,omitempty"`
 
-	// Err is the run error, if any (ExperimentFinished, SuiteFinished).
+	// Err is the run error, if any (ExperimentRetried, ExperimentPanicked,
+	// ExperimentFinished, SuiteFinished).
 	Err string `json:"err,omitempty"`
+
+	// Attempt is the failed attempt number (ExperimentRetried only).
+	Attempt int `json:"attempt,omitempty"`
 
 	// ElapsedSeconds, Replications, Checks and Failed summarize a finished
 	// experiment; on SuiteFinished, ElapsedSeconds covers the whole suite and
@@ -72,6 +104,15 @@ type Options struct {
 	// Timeout bounds each experiment's run (0 = none). A timed-out
 	// experiment reports context.DeadlineExceeded as its error.
 	Timeout time.Duration
+	// Retries is how many times an experiment whose error wraps
+	// experiment.ErrTransient is re-attempted (0 = never). Panics and
+	// permanent errors are never retried.
+	Retries int
+	// RetryBackoff is the wait before the first retry; it doubles per
+	// attempt, capped at RetryBackoffCap. Zero means 100ms.
+	RetryBackoff time.Duration
+	// RetryBackoffCap caps the doubling backoff. Zero means 2s.
+	RetryBackoffCap time.Duration
 	// Events, when non-nil, receives every scheduler event. Calls are
 	// serialized; the callback must not block for long.
 	Events func(Event)
@@ -195,6 +236,8 @@ feed:
 }
 
 // runOne executes a single definition, emitting its lifecycle events.
+// Transient errors are retried with capped exponential backoff; panics are
+// recovered into a *PanicError and never retried.
 func (r *Runner) runOne(ctx context.Context, def experiment.Definition, cfg experiment.Config) Result {
 	r.emit(Event{Kind: ExperimentStarted, ID: def.ID, Title: def.Title})
 	runCtx := ctx
@@ -203,7 +246,31 @@ func (r *Runner) runOne(ctx context.Context, def experiment.Definition, cfg expe
 		runCtx, cancel = context.WithTimeout(ctx, r.opts.Timeout)
 		defer cancel()
 	}
-	out, err := experiment.RunDefinition(runCtx, def, cfg)
+	backoff := r.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	maxBackoff := r.opts.RetryBackoffCap
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	var out *experiment.Outcome
+	var err error
+	for attempt := 1; ; attempt++ {
+		out, err = r.runAttempt(runCtx, def, cfg)
+		if err == nil || !errors.Is(err, experiment.ErrTransient) ||
+			attempt > r.opts.Retries || runCtx.Err() != nil {
+			break
+		}
+		r.emit(Event{Kind: ExperimentRetried, ID: def.ID, Title: def.Title, Err: err.Error(), Attempt: attempt})
+		select {
+		case <-runCtx.Done():
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
 	res := Result{Def: def, Outcome: out, Err: err}
 	ev := Event{Kind: ExperimentFinished, ID: def.ID, Title: def.Title}
 	if err != nil {
@@ -226,4 +293,26 @@ func (r *Runner) runOne(ctx context.Context, def experiment.Definition, cfg expe
 		}
 	}
 	return res
+}
+
+// panicStackLimit bounds how much of a recovered stack lands in the event
+// stream (the full stack stays on the PanicError).
+const panicStackLimit = 2048
+
+// runAttempt executes one attempt of a definition, converting panics into
+// a *PanicError and an ExperimentPanicked event instead of crashing the
+// worker pool.
+func (r *Runner) runAttempt(ctx context.Context, def experiment.Definition, cfg experiment.Config) (out *experiment.Outcome, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe := &PanicError{ID: def.ID, Value: v, Stack: debug.Stack()}
+			out, err = nil, pe
+			stack := string(pe.Stack)
+			if len(stack) > panicStackLimit {
+				stack = stack[:panicStackLimit] + "\n... (truncated)"
+			}
+			r.emit(Event{Kind: ExperimentPanicked, ID: def.ID, Title: def.Title, Err: pe.Error(), Detail: stack})
+		}
+	}()
+	return experiment.RunDefinition(ctx, def, cfg)
 }

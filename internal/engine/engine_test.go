@@ -276,16 +276,134 @@ func TestEventStream(t *testing.T) {
 	}
 }
 
+// TestPanicRecovery is the hardening contract: a deliberately panicking
+// experiment surfaces as a typed *PanicError and an experiment_panicked
+// event, while the rest of the suite completes and flushes normally.
+func TestPanicRecovery(t *testing.T) {
+	var events []Event
+	opts := Options{Workers: 1, Events: func(ev Event) { events = append(events, ev) }}
+	defs := []experiment.Definition{
+		stubDef("OK1", func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+			return &experiment.Outcome{Checks: []experiment.Check{{Name: "fine", Passed: true}}}, nil
+		}),
+		stubDef("BOOM", func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+			panic("deliberate test panic")
+		}),
+		stubDef("OK2", func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+			return &experiment.Outcome{Checks: []experiment.Check{{Name: "fine", Passed: true}}}, nil
+		}),
+	}
+	results, err := New(opts).Run(context.Background(), defs, experiment.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[1].Failed() {
+		t.Fatal("panicking experiment must count as failed")
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", results[1].Err, results[1].Err)
+	}
+	if pe.ID != "BOOM" || pe.Value != "deliberate test panic" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Failed() || results[i].Skipped {
+			t.Fatalf("experiment %s should have completed cleanly: %+v", results[i].Def.ID, results[i])
+		}
+	}
+	var panicked, finishedAfter, suite bool
+	for _, ev := range events {
+		switch {
+		case ev.Kind == ExperimentPanicked && ev.ID == "BOOM":
+			panicked = true
+			if ev.Err == "" || ev.Detail == "" {
+				t.Fatalf("panicked event missing err/stack: %+v", ev)
+			}
+		case ev.Kind == ExperimentFinished && ev.ID == "OK2":
+			finishedAfter = true
+		case ev.Kind == SuiteFinished:
+			suite = true
+			if ev.Failed != 1 {
+				t.Fatalf("suite_finished Failed = %d, want 1", ev.Failed)
+			}
+		}
+	}
+	if !panicked || !finishedAfter || !suite {
+		t.Fatalf("missing events: panicked=%v finishedAfter=%v suite=%v", panicked, finishedAfter, suite)
+	}
+}
+
+// TestTransientRetry checks the bounded-retry contract: transient errors
+// are retried with backoff up to the budget, permanent errors are not.
+func TestTransientRetry(t *testing.T) {
+	var attempts atomic.Int32
+	flaky := stubDef("FLAKY", func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+		if attempts.Add(1) < 3 {
+			return nil, fmt.Errorf("%w: simulated resource exhaustion", experiment.ErrTransient)
+		}
+		return &experiment.Outcome{Checks: []experiment.Check{{Name: "fine", Passed: true}}}, nil
+	})
+
+	var retries []Event
+	opts := Options{Workers: 1, Retries: 3, RetryBackoff: time.Millisecond, RetryBackoffCap: 2 * time.Millisecond,
+		Events: func(ev Event) {
+			if ev.Kind == ExperimentRetried {
+				retries = append(retries, ev)
+			}
+		}}
+	results, err := New(opts).Run(context.Background(), []experiment.Definition{flaky}, experiment.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Failed() {
+		t.Fatalf("flaky experiment should recover: %v", results[0].Err)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("ran %d attempts, want 3", attempts.Load())
+	}
+	if len(retries) != 2 || retries[0].Attempt != 1 || retries[1].Attempt != 2 {
+		t.Fatalf("retry events = %+v", retries)
+	}
+
+	// Exhausted budget: the transient error is returned as the result.
+	attempts.Store(-10)
+	results, err = New(Options{Workers: 1, Retries: 1, RetryBackoff: time.Millisecond}).
+		Run(context.Background(), []experiment.Definition{flaky}, experiment.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, experiment.ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient after exhausted retries", results[0].Err)
+	}
+
+	// Permanent errors are never retried, even with budget available.
+	var permRuns atomic.Int32
+	perm := stubDef("PERM", func(ctx context.Context, cfg experiment.Config) (*experiment.Outcome, error) {
+		permRuns.Add(1)
+		return nil, errors.New("permanent")
+	})
+	if _, err := New(Options{Workers: 1, Retries: 5, RetryBackoff: time.Millisecond}).
+		Run(context.Background(), []experiment.Definition{perm}, experiment.Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if permRuns.Load() != 1 {
+		t.Fatalf("permanent error ran %d times, want 1", permRuns.Load())
+	}
+}
+
 // TestProgressWriter smoke-tests the human-readable consumer.
 func TestProgressWriter(t *testing.T) {
 	var sb strings.Builder
 	p := Progress(&sb)
 	p(Event{Kind: ExperimentStarted, ID: "T2", Title: "Theorem 2"})
+	p(Event{Kind: ExperimentRetried, ID: "T2", Attempt: 1, Err: "transient"})
+	p(Event{Kind: ExperimentPanicked, ID: "T2", Err: "experiment T2 panicked: boom"})
 	p(Event{Kind: ExperimentFinished, ID: "T2", Checks: 4, ElapsedSeconds: 0.5, Replications: 32})
 	p(Event{Kind: CheckFailed, ID: "T2", Check: "gain", Detail: "0.001"})
 	p(Event{Kind: SuiteFinished, Experiments: 1, Workers: 2, ElapsedSeconds: 0.5})
 	out := sb.String()
-	for _, frag := range []string{"start T2", "ok    T2", "check failed: gain", "suite done"} {
+	for _, frag := range []string{"start T2", "retry T2", "panic T2", "ok    T2", "check failed: gain", "suite done"} {
 		if !strings.Contains(out, frag) {
 			t.Fatalf("progress output missing %q:\n%s", frag, out)
 		}

@@ -26,6 +26,14 @@ import (
 // ErrUnknownExperiment reports a lookup of an unregistered experiment id.
 var ErrUnknownExperiment = errors.New("experiment: unknown experiment")
 
+// ErrTransient marks an experiment failure as retryable: an experiment that
+// returns an error wrapping ErrTransient is re-attempted by the execution
+// engine (with capped backoff) up to its retry budget. Determinism note:
+// experiments derive all randomness from Config.Seed, so a retry re-runs
+// the identical computation — appropriate for environmental failures
+// (resource exhaustion), not for seed-dependent ones.
+var ErrTransient = errors.New("experiment: transient failure")
+
 // Config controls experiment size and determinism.
 type Config struct {
 	// Seed drives all randomness; equal configs give identical outputs.
@@ -130,6 +138,8 @@ var registry = []Definition{
 	{ID: "A5", Title: "Ablation: tie-breaking rule", Claim: "The ties-lose rule of Section 2.2 is asymptotically irrelevant: the three tie rules differ exactly by the tie probability, which vanishes as 1/sqrt(n).", Run: runA5},
 	{ID: "A4", Title: "Ablation: mean-competency crossover", Claim: "Delegation's advantage collapses as the electorate's mean competency crosses 1/2: on K_n the gain converges to zero (direct voting already wins), while concentrating mechanisms flip from helpful to harmful.", Run: runA4},
 	{ID: "A3", Title: "Ablation: exact DP vs Monte-Carlo engine", Claim: "The exact weighted-majority DP and the sampling engine agree within sampling error.", Run: runA3},
+	{ID: "R1", Title: "Robustness: availability faults and recovery policies", Claim: "When sinks go down or voters abstain, do-no-harm degrades gracefully: losing the stranded weight hurts measurably, while fallback-to-direct and redelegation recover most of it; with no faults the recovery machinery is bit-for-bit invisible.", Run: runR1},
+	{ID: "R2", Title: "Robustness: crash faults and partitions in the distributed protocol", Claim: "The crash-tolerant convergecast accounts for every weight unit under crash-stop faults, partitions, duplication and reordering (live + trapped == n), benign plans reproduce the fault-free run exactly, and the surviving election degrades only with the weight actually trapped at crashed nodes.", Run: runR2},
 }
 
 // All returns the experiment definitions in presentation order.

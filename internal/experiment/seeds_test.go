@@ -95,6 +95,30 @@ func TestSweepSeedsPairwiseDistinct(t *testing.T) {
 	for _, kind := range []string{"hubs most competent", "hubs least competent", "uncorrelated"} {
 		add("X10 "+kind, "X10", kind)
 	}
+	// R1: availability-fault sweep (seed shared across policies on purpose
+	// for paired comparisons, so only (regime, topology, rate) points are
+	// derived).
+	for _, reg := range []string{"coin-flip", "competent"} {
+		for _, topo := range []string{"K_n", "Rand(n,16)", "bounded-deg"} {
+			for _, q := range []float64{0, 0.10, 0.20, 0.30} {
+				add(fmt.Sprintf("R1 %s %s down=%g", reg, topo, q), "R1", reg, topo, fmt.Sprintf("down=%g", q))
+			}
+			add("R1 "+reg+" "+topo+" abstain point", "R1", reg, topo, "down=0.1+abstain")
+		}
+	}
+	// R2: protocol-level fault trials; the trial seed excludes the cell
+	// name on purpose (all fault cells degrade the same realization, so
+	// cell comparisons are paired), and each trial derives "plan" and
+	// "run" sub-seeds.
+	for _, topo := range []string{"K_n", "Rand(n,16)", "bounded-deg"} {
+		for trial := 0; trial < 4; trial++ {
+			trialSeed := rng.Derive(root, "R2", topo, fmt.Sprintf("trial=%d", trial))
+			seeds = append(seeds, rng.Derive(trialSeed, "plan"), rng.Derive(trialSeed, "run"))
+			names = append(names,
+				fmt.Sprintf("R2 %s trial=%d plan", topo, trial),
+				fmt.Sprintf("R2 %s trial=%d run", topo, trial))
+		}
+	}
 
 	seen := make(map[uint64]int, len(seeds))
 	for i, s := range seeds {

@@ -1,0 +1,44 @@
+package fault
+
+import (
+	"context"
+	"testing"
+
+	"liquid/internal/localsim"
+	"liquid/internal/rng"
+)
+
+// benchFaultyRun is the shared body: one crash-tolerant convergecast on a
+// random 8-regular graph of n nodes under the given plan parameters and
+// 20% message loss.
+func benchFaultyRun(b *testing.B, n int, params PlanParams) {
+	in := propertyInstance(b, n, 97)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := SamplePlan(n, params, rng.New(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := localsim.RunReliableDelegationFaulty(context.Background(), in, 0.03,
+			localsim.ThresholdRule(nil), uint64(i)+1,
+			localsim.ReliableFaultOptions{LossRate: 0.2, Faults: plan})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.LiveTotal+rep.TrappedTotal != n {
+			b.Fatalf("conservation broken: %d + %d != %d", rep.LiveTotal, rep.TrappedTotal, n)
+		}
+	}
+}
+
+// BenchmarkReliableUnderFaults measures the reliable delegation protocol
+// under the headline fault mix: 10% crash-stop nodes and 20% message loss.
+func BenchmarkReliableUnderFaults(b *testing.B) {
+	benchFaultyRun(b, 200, PlanParams{CrashRate: 0.10, CrashWindow: 20})
+}
+
+// BenchmarkReliableFaultFree is the baseline: same protocol and loss rate,
+// empty fault plan.
+func BenchmarkReliableFaultFree(b *testing.B) {
+	benchFaultyRun(b, 200, PlanParams{})
+}

@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"liquid/internal/localsim"
+	"liquid/internal/rng"
+)
+
+// countdownCtx is a context that reports cancellation after its Err method
+// has been polled n times — a deterministic way to cancel mid-simulation,
+// since the network polls Err exactly once per round.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining > 0 {
+		c.remaining--
+		return nil
+	}
+	return context.Canceled
+}
+
+func (c *countdownCtx) Done() <-chan struct{} { return nil }
+
+// TestFaultyConvergecastCancelledMidPlan cancels the context in the middle
+// of an active fault plan (crashes pending, partition unhealed) and checks
+// the simulation stops with the context's error instead of running the
+// plan to completion.
+func TestFaultyConvergecastCancelledMidPlan(t *testing.T) {
+	const n = 50
+	in := propertyInstance(t, n, 29)
+	plan, err := SamplePlan(n, PlanParams{
+		CrashRate:     0.2,
+		CrashWindow:   40,
+		PartitionSize: 10,
+		PartitionFrom: 2,
+		PartitionHeal: 60,
+	}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := localsim.ReliableFaultOptions{LossRate: 0.2, Faults: plan}
+
+	// The uncancelled run takes many rounds; cancel a few rounds in.
+	full, err := localsim.RunReliableDelegationFaulty(context.Background(), in, 0.03, localsim.ThresholdRule(nil), 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Rounds < 10 {
+		t.Fatalf("plan resolved in %d rounds; too fast to cancel mid-flight", full.Rounds)
+	}
+	ctx := &countdownCtx{Context: context.Background(), remaining: 5}
+	if _, err := localsim.RunReliableDelegationFaulty(ctx, in, 0.03, localsim.ThresholdRule(nil), 5, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-plan cancellation returned %v, want context.Canceled", err)
+	}
+
+	// A pre-cancelled context aborts immediately as well.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := localsim.RunReliableDelegationFaulty(pre, in, 0.03, localsim.ThresholdRule(nil), 5, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+
+	// Cancellation must not perturb a later uncancelled run at the same
+	// seed (the plan carries its own streams, so reuse a fresh plan).
+	plan2, err := SamplePlan(n, PlanParams{
+		CrashRate:     0.2,
+		CrashWindow:   40,
+		PartitionSize: 10,
+		PartitionFrom: 2,
+		PartitionHeal: 60,
+	}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := localsim.RunReliableDelegationFaulty(context.Background(), in, 0.03, localsim.ThresholdRule(nil), 5,
+		localsim.ReliableFaultOptions{LossRate: 0.2, Faults: plan2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.LiveTotal != full.LiveTotal || again.TrappedTotal != full.TrappedTotal || again.Rounds != full.Rounds {
+		t.Fatalf("determinism broken after cancellation: %+v vs %+v", again, full)
+	}
+}

@@ -1,0 +1,213 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/mechanism"
+	"liquid/internal/prob"
+	"liquid/internal/rng"
+)
+
+// ElectionOptions configures EvaluateUnderFaults. The embedded
+// election.Options carries Replications, VoteSamples, ExactCostLimit,
+// Workers, and Seed with the same defaults.
+type ElectionOptions struct {
+	election.Options
+	// DownRate marks each voter independently unavailable with this
+	// probability (sink-unavailability fault).
+	DownRate float64
+	// AbstainRate additionally withdraws each voter's own unit with this
+	// probability (abstention fault).
+	AbstainRate float64
+	// Policy is the recovery policy applied to the faulty graph.
+	Policy Policy
+	// Alpha is the approval margin used to validate Redelegate targets.
+	Alpha float64
+}
+
+// ElectionResult summarizes a mechanism evaluation under election-level
+// faults.
+type ElectionResult struct {
+	Mechanism string
+	Policy    Policy
+	N         int
+
+	// PM is the probability the faulty mechanism outcome decides correctly,
+	// averaged over mechanism and fault randomness (exact in the votes);
+	// PMStdErr is its standard error.
+	PM       float64
+	PMStdErr float64
+	// PD is the fault-free direct-voting baseline P^D(G), so
+	// Gain = PM - PD measures how much of do-no-harm survives the faults.
+	PD   float64
+	Gain float64
+
+	// MeanDown / MeanLost / MeanFellBack / MeanRedelegated average the
+	// fault footprint per replication.
+	MeanDown        float64
+	MeanLost        float64
+	MeanFellBack    float64
+	MeanRedelegated float64
+}
+
+// faultRep is the per-replication outcome.
+type faultRep struct {
+	pm          float64
+	down        int
+	lost        int
+	fellBack    int
+	redelegated int
+	err         error
+}
+
+// evaluateFaultReplication runs one mechanism realization, injects faults,
+// repairs with the policy, and scores the result.
+func evaluateFaultReplication(ctx context.Context, in *core.Instance, mech mechanism.Mechanism, opts ElectionOptions, s *rng.Stream) faultRep {
+	if err := ctx.Err(); err != nil {
+		return faultRep{err: err}
+	}
+	d, err := mech.Apply(in, s.DeriveString("mechanism"))
+	if err != nil {
+		return faultRep{err: err}
+	}
+	n := in.N()
+	var down, abstain []bool
+	downCount := 0
+	if opts.DownRate > 0 {
+		ds := s.DeriveString("down")
+		down = make([]bool, n)
+		for v := range down {
+			down[v] = ds.Bernoulli(opts.DownRate)
+			if down[v] {
+				downCount++
+			}
+		}
+	}
+	if opts.AbstainRate > 0 {
+		as := s.DeriveString("abstain")
+		abstain = make([]bool, n)
+		for v := range abstain {
+			abstain[v] = as.Bernoulli(opts.AbstainRate)
+		}
+	}
+	rec, err := ApplyPolicy(in, d, down, abstain, opts.Policy, opts.Alpha, s.DeriveString("redelegate"))
+	if err != nil {
+		return faultRep{err: err}
+	}
+	res, err := rec.Resolve()
+	if err != nil {
+		return faultRep{err: err}
+	}
+	var pm float64
+	if int64(len(res.Sinks))*int64(res.TotalWeight) <= opts.ExactCostLimit {
+		pm, err = election.ResolutionProbabilityExact(in, res)
+	} else {
+		pm, err = election.ResolutionProbabilityMC(ctx, in, res, opts.VoteSamples, s.DeriveString("votes"))
+	}
+	if err != nil {
+		return faultRep{err: err}
+	}
+	return faultRep{
+		pm:          pm,
+		down:        downCount,
+		lost:        rec.Lost,
+		fellBack:    rec.FellBack,
+		redelegated: rec.Redelegated,
+	}
+}
+
+// EvaluateUnderFaults estimates P^M(G) under sink-unavailability and
+// abstention faults repaired by the configured recovery policy, with the
+// fault-free P^D(G) as the do-no-harm baseline. Replications run in
+// parallel on independent streams derived only from (Seed, replication),
+// so results are bit-identical regardless of Workers.
+func EvaluateUnderFaults(ctx context.Context, in *core.Instance, mech mechanism.Mechanism, opts ElectionOptions) (*ElectionResult, error) {
+	if opts.Replications <= 0 {
+		opts.Replications = 64
+	}
+	if opts.VoteSamples <= 0 {
+		opts.VoteSamples = 2000
+	}
+	if opts.ExactCostLimit <= 0 {
+		opts.ExactCostLimit = 1 << 23
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if in.N() == 0 {
+		return nil, election.ErrNoVoters
+	}
+	if opts.DownRate < 0 || opts.DownRate >= 1 {
+		return nil, fmt.Errorf("fault: down rate %v not in [0, 1)", opts.DownRate)
+	}
+	if opts.AbstainRate < 0 || opts.AbstainRate >= 1 {
+		return nil, fmt.Errorf("fault: abstain rate %v not in [0, 1)", opts.AbstainRate)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	root := rng.New(opts.Seed)
+	pd, err := election.DirectProbability(ctx, in, opts.VoteSamples*4, root.DeriveString("direct"))
+	if err != nil {
+		return nil, err
+	}
+
+	outs := make([]faultRep, opts.Replications)
+	workers := opts.Workers
+	if workers > opts.Replications {
+		workers = opts.Replications
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range work {
+				// Streams depend only on (seed, r): scheduling order cannot
+				// change the outcome.
+				outs[r] = evaluateFaultReplication(ctx, in, mech, opts, root.Derive(uint64(r)+1))
+			}
+		}()
+	}
+feed:
+	for r := 0; r < opts.Replications; r++ {
+		select {
+		case <-ctx.Done():
+			break feed
+		case work <- r:
+		}
+	}
+	close(work)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var pmSum prob.Summary
+	result := &ElectionResult{Mechanism: mech.Name(), Policy: opts.Policy, N: in.N(), PD: pd}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		pmSum.Add(o.pm)
+		result.MeanDown += float64(o.down)
+		result.MeanLost += float64(o.lost)
+		result.MeanFellBack += float64(o.fellBack)
+		result.MeanRedelegated += float64(o.redelegated)
+	}
+	reps := float64(opts.Replications)
+	result.MeanDown /= reps
+	result.MeanLost /= reps
+	result.MeanFellBack /= reps
+	result.MeanRedelegated /= reps
+	result.PM = pmSum.Mean()
+	result.PMStdErr = pmSum.StdErr()
+	result.Gain = result.PM - pd
+	return result, nil
+}

@@ -1,0 +1,235 @@
+// Package fault is the deterministic fault-injection layer: scheduled
+// crash-stop failures, network partitions with heal rounds, message
+// duplication and reordering for the LOCAL simulator, plus election-level
+// sink-unavailability and abstention faults with pluggable recovery
+// policies.
+//
+// Everything is driven by rng streams derived from a root seed, so a fault
+// plan is a pure function of (seed, parameters): two runs with the same
+// seed inject byte-identical faults regardless of scheduling or worker
+// count.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"liquid/internal/localsim"
+	"liquid/internal/rng"
+)
+
+// Partition severs a node set from the rest of the network for a window of
+// rounds: messages crossing the boundary in either direction during
+// [From, Heal) are dropped at send time. Heal <= From means the partition
+// never heals.
+type Partition struct {
+	// Members lists the nodes on the minority side of the cut.
+	Members []int
+	// From is the first round the cut is active.
+	From int
+	// Heal is the first round the cut is no longer active; Heal <= From
+	// means the partition is permanent.
+	Heal int
+}
+
+// active reports whether the cut applies to messages sent during round.
+func (p *Partition) active(round int) bool {
+	if round < p.From {
+		return false
+	}
+	return p.Heal <= p.From || round < p.Heal
+}
+
+// Plan is a deterministic fault schedule implementing
+// localsim.FaultInjector. The zero value injects nothing; build plans with
+// NewPlan and the setters, or sample one with SamplePlan.
+type Plan struct {
+	// crashRound[v] is the round from which node v is crash-stopped, or -1.
+	crashRound []int
+	partitions []Partition
+	inside     []map[int]bool // inside[k][v]: v is a member of partition k
+
+	dupRate   float64
+	dupStream *rng.Stream
+
+	reorderRate   float64
+	reorderStream *rng.Stream
+}
+
+var _ localsim.FaultInjector = (*Plan)(nil)
+
+// NewPlan returns an empty fault plan for an n-node network.
+func NewPlan(n int) *Plan {
+	p := &Plan{crashRound: make([]int, n)}
+	for v := range p.crashRound {
+		p.crashRound[v] = -1
+	}
+	return p
+}
+
+// N returns the network size the plan was built for.
+func (p *Plan) N() int { return len(p.crashRound) }
+
+// CrashAt schedules node v to crash-stop at round r: from round r on it
+// executes no rounds, sends nothing, and receives nothing.
+func (p *Plan) CrashAt(v, r int) error {
+	if v < 0 || v >= len(p.crashRound) {
+		return fmt.Errorf("fault: crash node %d out of range [0,%d)", v, len(p.crashRound))
+	}
+	if r < 0 {
+		return fmt.Errorf("fault: negative crash round %d", r)
+	}
+	if cur := p.crashRound[v]; cur < 0 || r < cur {
+		p.crashRound[v] = r
+	}
+	return nil
+}
+
+// CrashedNodes returns the nodes with a scheduled crash, ascending.
+func (p *Plan) CrashedNodes() []int {
+	var out []int
+	for v, r := range p.crashRound {
+		if r >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// AddPartition schedules a partition.
+func (p *Plan) AddPartition(part Partition) error {
+	in := make(map[int]bool, len(part.Members))
+	for _, v := range part.Members {
+		if v < 0 || v >= len(p.crashRound) {
+			return fmt.Errorf("fault: partition member %d out of range [0,%d)", v, len(p.crashRound))
+		}
+		in[v] = true
+	}
+	p.partitions = append(p.partitions, part)
+	p.inside = append(p.inside, in)
+	return nil
+}
+
+// SetDuplication makes each delivered message independently duplicated with
+// probability rate, drawn from s.
+func (p *Plan) SetDuplication(rate float64, s *rng.Stream) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("fault: duplication rate %v not in [0, 1)", rate)
+	}
+	if rate > 0 && s == nil {
+		return fmt.Errorf("fault: duplication needs a random stream")
+	}
+	p.dupRate = rate
+	p.dupStream = s
+	return nil
+}
+
+// SetReordering makes each round's delivery batch independently shuffled
+// with probability rate, drawn from s.
+func (p *Plan) SetReordering(rate float64, s *rng.Stream) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("fault: reordering rate %v not in [0, 1]", rate)
+	}
+	if rate > 0 && s == nil {
+		return fmt.Errorf("fault: reordering needs a random stream")
+	}
+	p.reorderRate = rate
+	p.reorderStream = s
+	return nil
+}
+
+// Crashed implements localsim.FaultInjector.
+func (p *Plan) Crashed(node, round int) bool {
+	if node < 0 || node >= len(p.crashRound) {
+		return false
+	}
+	r := p.crashRound[node]
+	return r >= 0 && round >= r
+}
+
+// Cut implements localsim.FaultInjector.
+func (p *Plan) Cut(from, to, round int) bool {
+	for k := range p.partitions {
+		if p.partitions[k].active(round) && p.inside[k][from] != p.inside[k][to] {
+			return true
+		}
+	}
+	return false
+}
+
+// Duplicates implements localsim.FaultInjector.
+func (p *Plan) Duplicates(_, _, _ int) int {
+	if p.dupRate > 0 && p.dupStream.Bernoulli(p.dupRate) {
+		return 1
+	}
+	return 0
+}
+
+// Reorder implements localsim.FaultInjector.
+func (p *Plan) Reorder(_ int, batch []localsim.Message) {
+	if p.reorderRate == 0 || len(batch) < 2 {
+		return
+	}
+	if !p.reorderStream.Bernoulli(p.reorderRate) {
+		return
+	}
+	p.reorderStream.Shuffle(len(batch), func(i, j int) {
+		batch[i], batch[j] = batch[j], batch[i]
+	})
+}
+
+// PlanParams parameterizes SamplePlan.
+type PlanParams struct {
+	// CrashRate crashes each node independently with this probability, at a
+	// round uniform in [0, CrashWindow).
+	CrashRate float64
+	// CrashWindow bounds crash rounds; 0 means 50.
+	CrashWindow int
+	// PartitionSize is the number of nodes severed from the rest; 0 means
+	// no partition.
+	PartitionSize int
+	// PartitionFrom / PartitionHeal delimit the partition window
+	// (PartitionHeal <= PartitionFrom means permanent).
+	PartitionFrom, PartitionHeal int
+	// DupRate / ReorderRate enable message duplication and batch
+	// reordering.
+	DupRate, ReorderRate float64
+}
+
+// SamplePlan draws a random fault plan from s. The plan's own streams for
+// duplication and reordering are derived from s, so the plan is fully
+// determined by the stream's seed and the parameters.
+func SamplePlan(n int, params PlanParams, s *rng.Stream) (*Plan, error) {
+	p := NewPlan(n)
+	window := params.CrashWindow
+	if window <= 0 {
+		window = 50
+	}
+	if params.CrashRate > 0 {
+		for v := 0; v < n; v++ {
+			if s.Bernoulli(params.CrashRate) {
+				if err := p.CrashAt(v, s.IntN(window)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if params.PartitionSize > 0 {
+		size := params.PartitionSize
+		if size > n {
+			size = n
+		}
+		members := s.SampleWithoutReplacement(n, size)
+		sort.Ints(members)
+		if err := p.AddPartition(Partition{Members: members, From: params.PartitionFrom, Heal: params.PartitionHeal}); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.SetDuplication(params.DupRate, s.DeriveString("dup")); err != nil {
+		return nil, err
+	}
+	if err := p.SetReordering(params.ReorderRate, s.DeriveString("reorder")); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

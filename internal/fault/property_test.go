@@ -1,0 +1,173 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"liquid/internal/core"
+	"liquid/internal/graph"
+	"liquid/internal/localsim"
+	"liquid/internal/rng"
+)
+
+func propertyInstance(t testing.TB, n int, seed uint64) *core.Instance {
+	t.Helper()
+	s := rng.New(seed)
+	g, err := graph.RandomRegular(n, 8, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.3 + 0.4*s.Float64()
+	}
+	in, err := core.NewInstance(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestFaultyConvergecastProperty is the headline robustness property: for
+// any seeded random plan with crash rate < 1 and loss rate < 1, the
+// crash-tolerant convergecast terminates and accounts for every one of the
+// n weight units exactly — LiveTotal + TrappedTotal == n, weights are
+// non-negative, crashed nodes hold nothing, and every live non-sink ends
+// empty-handed.
+func TestFaultyConvergecastProperty(t *testing.T) {
+	const n = 50
+	in := propertyInstance(t, n, 17)
+	cases := []struct {
+		loss, crash float64
+		delay       int
+		params      PlanParams
+	}{
+		{loss: 0, crash: 0.1},
+		{loss: 0.2, crash: 0.1},
+		{loss: 0.4, crash: 0.3, delay: 2},
+		{loss: 0.2, crash: 0.05, params: PlanParams{PartitionSize: 10, PartitionFrom: 3, PartitionHeal: 20}},
+		{loss: 0.3, crash: 0.2, delay: 1, params: PlanParams{PartitionSize: 8, PartitionFrom: 0, PartitionHeal: 0, DupRate: 0.2, ReorderRate: 0.5}},
+		{loss: 0.5, crash: 0.5, delay: 1, params: PlanParams{DupRate: 0.3, ReorderRate: 1}},
+	}
+	for ci, c := range cases {
+		for seed := uint64(1); seed <= 4; seed++ {
+			name := fmt.Sprintf("case%d/seed%d", ci, seed)
+			params := c.params
+			params.CrashRate = c.crash
+			plan, err := SamplePlan(n, params, rng.New(1000+seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			report, err := localsim.RunReliableDelegationFaulty(context.Background(), in, 0.03,
+				localsim.ThresholdRule(nil), seed, localsim.ReliableFaultOptions{
+					LossRate: c.loss,
+					MaxDelay: c.delay,
+					Faults:   plan,
+				})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if report.LiveTotal+report.TrappedTotal != n {
+				t.Errorf("%s: conservation broken: live %d + trapped %d != %d",
+					name, report.LiveTotal, report.TrappedTotal, n)
+			}
+			for v, w := range report.Weights {
+				if w < 0 {
+					t.Errorf("%s: node %d has negative weight %d", name, v, w)
+				}
+				if report.Crashed[v] && w != 0 {
+					t.Errorf("%s: crashed node %d reported weight %d", name, v, w)
+				}
+			}
+			for _, v := range report.FellBack {
+				if report.Crashed[v] {
+					t.Errorf("%s: crashed node %d listed as fallen back", name, v)
+				}
+			}
+			// Live nodes that still delegate must hold no weight: their
+			// custody was transferred (or they fell back, which clears the
+			// edge in the report's delegation view).
+			for v := 0; v < n; v++ {
+				if !report.Crashed[v] && report.Delegation.Delegate[v] != core.NoDelegate && report.Weights[v] != 0 {
+					t.Errorf("%s: live delegator %d holds weight %d", name, v, report.Weights[v])
+				}
+			}
+		}
+	}
+}
+
+// TestFaultyConvergecastZeroFaultsMatchesReliable pins the compatibility
+// guarantee: with no injected faults the crash-tolerant runner reproduces
+// RunReliableDelegation bit for bit.
+func TestFaultyConvergecastZeroFaultsMatchesReliable(t *testing.T) {
+	in := propertyInstance(t, 60, 23)
+	for _, loss := range []float64{0, 0.25} {
+		want, err := localsim.RunReliableDelegation(context.Background(), in, 0.03, localsim.ThresholdRule(nil), 9, loss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := localsim.RunReliableDelegationFaulty(context.Background(), in, 0.03,
+			localsim.ThresholdRule(nil), 9, localsim.ReliableFaultOptions{LossRate: loss})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TrappedTotal != 0 || len(got.FellBack) != 0 || got.Reconciled != 0 {
+			t.Fatalf("loss %v: zero-fault run reports trapped %d, fellback %v, reconciled %d",
+				loss, got.TrappedTotal, got.FellBack, got.Reconciled)
+		}
+		if got.LiveTotal != in.N() {
+			t.Fatalf("loss %v: LiveTotal %d, want %d", loss, got.LiveTotal, in.N())
+		}
+		for v := 0; v < in.N(); v++ {
+			if want.Weights[v] != got.Weights[v] {
+				t.Fatalf("loss %v: node %d weight %d vs reliable %d", loss, v, got.Weights[v], want.Weights[v])
+			}
+			if want.Delegation.Delegate[v] != got.Delegation.Delegate[v] {
+				t.Fatalf("loss %v: node %d delegate %d vs reliable %d",
+					loss, v, got.Delegation.Delegate[v], want.Delegation.Delegate[v])
+			}
+		}
+	}
+}
+
+// TestFaultyConvergecastCrashedDelegateFallsBack checks the liveness
+// timeout end to end on a hand-built scenario: a two-node chain whose
+// delegate crashes before the handoff can be acknowledged.
+func TestFaultyConvergecastCrashedDelegateFallsBack(t *testing.T) {
+	in, err := core.NewInstance(graph.NewComplete(4), []float64{0.5, 0.6, 0.7, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone who delegates picks their best approved neighbour: with
+	// alpha 0.05 every voter approves 3, so the greedy rule would send all
+	// units there. Crash 3 at round 0: nothing it is sent is ever
+	// delivered, so all senders must time out and fall back.
+	plan := NewPlan(4)
+	if err := plan.CrashAt(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	report, err := localsim.RunReliableDelegationFaulty(context.Background(), in, 0.05,
+		localsim.ThresholdRule(nil), 3, localsim.ReliableFaultOptions{Faults: plan, SuspectAfter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.LiveTotal+report.TrappedTotal != 4 {
+		t.Fatalf("conservation broken: %d + %d != 4", report.LiveTotal, report.TrappedTotal)
+	}
+	if !report.Crashed[3] {
+		t.Fatal("node 3 not reported crashed")
+	}
+	// Node 3's own unit is trapped; every live delegator to 3 must have
+	// reclaimed its unit via fallback.
+	if report.TrappedTotal != 1 {
+		t.Fatalf("TrappedTotal = %d, want 1 (only the crashed node's own unit)", report.TrappedTotal)
+	}
+	live := 0
+	for v := 0; v < 3; v++ {
+		live += report.Weights[v]
+	}
+	if live != 3 {
+		t.Fatalf("live nodes hold %d units, want 3", live)
+	}
+}

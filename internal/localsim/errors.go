@@ -1,0 +1,101 @@
+package localsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrProtocol reports a protocol violation detected by the simulator. All
+// structured violations (ProtocolError) unwrap to it, so callers can use
+// errors.Is(err, ErrProtocol) regardless of which invariant tripped.
+var ErrProtocol = errors.New("localsim: protocol violation")
+
+// Violation classifies a protocol invariant breach.
+type Violation int
+
+// The violations the simulator detects.
+const (
+	// ViolationForgedSender: a node emitted a message whose From field is
+	// not its own id.
+	ViolationForgedSender Violation = iota
+	// ViolationUnknownRecipient: a message was addressed to an id outside
+	// [0, n).
+	ViolationUnknownRecipient
+	// ViolationNonNeighbor: a message was addressed to a node that is not a
+	// neighbour of the sender.
+	ViolationNonNeighbor
+	// ViolationNoQuiescence: the round budget was exhausted with messages
+	// still in flight or nodes still busy.
+	ViolationNoQuiescence
+	// ViolationConfigAfterStart: SetLoss/SetDelay/SetFaults was called
+	// after Run or RunRounds had started.
+	ViolationConfigAfterStart
+	// ViolationAlreadyStarted: Run or RunRounds was invoked twice on the
+	// same Network.
+	ViolationAlreadyStarted
+	// ViolationBadParameter: a configuration value was out of range.
+	ViolationBadParameter
+)
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	switch v {
+	case ViolationForgedSender:
+		return "forged sender"
+	case ViolationUnknownRecipient:
+		return "unknown recipient"
+	case ViolationNonNeighbor:
+		return "non-neighbour recipient"
+	case ViolationNoQuiescence:
+		return "no quiescence"
+	case ViolationConfigAfterStart:
+		return "configuration after start"
+	case ViolationAlreadyStarted:
+		return "already started"
+	case ViolationBadParameter:
+		return "bad parameter"
+	default:
+		return fmt.Sprintf("violation(%d)", int(v))
+	}
+}
+
+// ProtocolError is a structured protocol violation: which invariant broke,
+// who broke it, and when. It unwraps to ErrProtocol.
+type ProtocolError struct {
+	Violation Violation
+	// Node is the offending node id, or -1 when not node-specific.
+	Node int
+	// Target is the message addressee involved, or -1.
+	Target int
+	// Round is the simulation round of the violation, or -1 (e.g. during
+	// configuration).
+	Round int
+	// Detail is a free-form elaboration.
+	Detail string
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string {
+	msg := fmt.Sprintf("%v: %v", ErrProtocol, e.Violation)
+	if e.Node >= 0 {
+		msg += fmt.Sprintf(" by node %d", e.Node)
+	}
+	if e.Target >= 0 {
+		msg += fmt.Sprintf(" (target %d)", e.Target)
+	}
+	if e.Round >= 0 {
+		msg += fmt.Sprintf(" at round %d", e.Round)
+	}
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+// Unwrap makes errors.Is(err, ErrProtocol) hold for every ProtocolError.
+func (e *ProtocolError) Unwrap() error { return ErrProtocol }
+
+// violationf builds a ProtocolError with no node/round attribution.
+func violationf(v Violation, format string, args ...any) *ProtocolError {
+	return &ProtocolError{Violation: v, Node: -1, Target: -1, Round: -1, Detail: fmt.Sprintf(format, args...)}
+}

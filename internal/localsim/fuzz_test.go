@@ -1,0 +1,90 @@
+package localsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// fuzzEmitter sends one arbitrary, possibly malformed message from Init
+// and then stays quiet.
+type fuzzEmitter struct {
+	msg Message
+}
+
+func (e *fuzzEmitter) Init(*NodeContext) []Message                  { return []Message{e.msg} }
+func (e *fuzzEmitter) Round(int, []Message, *NodeContext) []Message { return nil }
+
+// FuzzMessageValidation throws adversarial messages at the network's
+// validation layer on a path topology: the simulator must reject forged
+// senders, out-of-range recipients, and non-neighbour sends with exactly
+// the right typed violation, accept everything well-formed, and never
+// panic regardless of input.
+func FuzzMessageValidation(f *testing.F) {
+	f.Add(5, 1, 1, 2, 0, 0, 0)
+	f.Add(5, 1, 0, 2, 1, -3, 9) // forged sender
+	f.Add(5, 1, 1, 99, 0, 0, 0) // unknown recipient
+	f.Add(5, 1, 1, -1, 0, 0, 0) // negative recipient
+	f.Add(6, 0, 0, 4, 2, 7, 1)  // non-neighbour send
+	f.Add(3, 2, 2, 2, 0, 0, 0)  // self-send (not a neighbour)
+	f.Fuzz(func(t *testing.T, nRaw, emitterRaw, from, to, kind, payload, seq int) {
+		n := 3 + int(uint(nRaw)%6) // path of 3..8 nodes
+		emitter := int(uint(emitterRaw) % uint(n))
+
+		contexts := make([]*NodeContext, n)
+		nodes := make([]Node, n)
+		for v := 0; v < n; v++ {
+			var nbrs []int
+			if v > 0 {
+				nbrs = append(nbrs, v-1)
+			}
+			if v < n-1 {
+				nbrs = append(nbrs, v+1)
+			}
+			contexts[v] = &NodeContext{ID: v, Neighbors: nbrs, Approved: make([]bool, len(nbrs))}
+			if v == emitter {
+				nodes[v] = &fuzzEmitter{msg: Message{From: from, To: to, Kind: kind, Payload: payload, Seq: seq}}
+			} else {
+				nodes[v] = &fuzzEmitter{msg: Message{From: v, To: contexts[v].Neighbors[0]}}
+			}
+		}
+		nw, err := NewNetwork(contexts, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = nw.Run(context.Background(), 16)
+
+		var want Violation
+		wellFormed := false
+		switch {
+		case from != emitter:
+			want = ViolationForgedSender
+		case to < 0 || to >= n:
+			want = ViolationUnknownRecipient
+		case to != emitter-1 && to != emitter+1:
+			want = ViolationNonNeighbor
+		default:
+			wellFormed = true
+		}
+
+		if wellFormed {
+			if err != nil {
+				t.Fatalf("well-formed message from %d to %d rejected: %v", emitter, to, err)
+			}
+			return
+		}
+		var pe *ProtocolError
+		if !errors.As(err, &pe) {
+			t.Fatalf("malformed message (from=%d claimed=%d to=%d, n=%d) accepted: err=%v", emitter, from, to, n, err)
+		}
+		if pe.Violation != want {
+			t.Fatalf("violation = %v, want %v (from=%d claimed=%d to=%d, n=%d)", pe.Violation, want, emitter, from, to, n)
+		}
+		if !errors.Is(err, ErrProtocol) {
+			t.Fatalf("ProtocolError does not unwrap to ErrProtocol: %v", err)
+		}
+		if pe.Node != emitter {
+			t.Fatalf("violation attributed to node %d, want %d", pe.Node, emitter)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package localsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"liquid/internal/rng"
+)
+
+// quietNode sends nothing and finishes immediately.
+type quietNode struct{}
+
+func (quietNode) Init(*NodeContext) []Message                  { return nil }
+func (quietNode) Round(int, []Message, *NodeContext) []Message { return nil }
+
+// busyNode claims to be Busy forever but never sends; under Run it would
+// spin until the budget errors, under RunRounds it must be ignored.
+type busyNode struct{ rounds int }
+
+func (b *busyNode) Init(*NodeContext) []Message { return nil }
+func (b *busyNode) Round(int, []Message, *NodeContext) []Message {
+	b.rounds++
+	return nil
+}
+func (b *busyNode) Busy() bool { return true }
+
+func pairNetwork(t *testing.T, a, b Node) *Network {
+	t.Helper()
+	contexts := []*NodeContext{
+		{ID: 0, Neighbors: []int{1}},
+		{ID: 1, Neighbors: []int{0}},
+	}
+	nw, err := NewNetwork(contexts, []Node{a, b})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	return nw
+}
+
+func TestConfigAfterStartRejected(t *testing.T) {
+	nw := pairNetwork(t, quietNode{}, quietNode{})
+	if err := nw.Run(context.Background(), 10); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s := rng.New(1)
+	for name, err := range map[string]error{
+		"SetLoss":   nw.SetLoss(0.1, s),
+		"SetDelay":  nw.SetDelay(2, s),
+		"SetFaults": nw.SetFaults(nil),
+	} {
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("%s after start: got %v, want ErrProtocol", name, err)
+		}
+		var pe *ProtocolError
+		if !errors.As(err, &pe) || pe.Violation != ViolationConfigAfterStart {
+			t.Errorf("%s after start: got %v, want ViolationConfigAfterStart", name, err)
+		}
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	nw := pairNetwork(t, quietNode{}, quietNode{})
+	if err := nw.Run(context.Background(), 10); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	err := nw.Run(context.Background(), 10)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Violation != ViolationAlreadyStarted {
+		t.Fatalf("second Run: got %v, want ViolationAlreadyStarted", err)
+	}
+}
+
+// TestRunRoundsIgnoresBusy pins the documented divergence from Run: a node
+// reporting Busy neither extends nor shortens a fixed schedule.
+func TestRunRoundsIgnoresBusy(t *testing.T) {
+	b := &busyNode{}
+	nw := pairNetwork(t, b, quietNode{})
+	if err := nw.RunRounds(context.Background(), 7); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	if b.rounds != 7 {
+		t.Fatalf("busy node ran %d rounds, want exactly 7", b.rounds)
+	}
+	// The same node under Run spins to the budget and errors, because Busy
+	// keeps the simulation alive with no messages in flight.
+	b2 := &busyNode{}
+	nw2 := pairNetwork(t, b2, quietNode{})
+	err := nw2.Run(context.Background(), 5)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Violation != ViolationNoQuiescence {
+		t.Fatalf("Run with eternally busy node: got %v, want ViolationNoQuiescence", err)
+	}
+}
+
+// TestRunRoundsResumes pins the resume contract push-sum relies on: repeated
+// RunRounds calls accumulate the round counter.
+func TestRunRoundsResumes(t *testing.T) {
+	b := &busyNode{}
+	nw := pairNetwork(t, b, quietNode{})
+	for i := 0; i < 3; i++ {
+		if err := nw.RunRounds(context.Background(), 4); err != nil {
+			t.Fatalf("RunRounds segment %d: %v", i, err)
+		}
+	}
+	if b.rounds != 12 {
+		t.Fatalf("node ran %d rounds across segments, want 12", b.rounds)
+	}
+	if nw.Rounds() != 12 {
+		t.Fatalf("network counted %d rounds, want 12", nw.Rounds())
+	}
+}
+
+func TestBadParameterRejected(t *testing.T) {
+	nw := pairNetwork(t, quietNode{}, quietNode{})
+	for _, err := range []error{
+		nw.SetLoss(-0.1, rng.New(1)),
+		nw.SetLoss(1.0, rng.New(1)),
+		nw.SetLoss(0.5, nil),
+		nw.SetDelay(3, nil),
+	} {
+		var pe *ProtocolError
+		if !errors.As(err, &pe) || pe.Violation != ViolationBadParameter {
+			t.Errorf("got %v, want ViolationBadParameter", err)
+		}
+	}
+}

@@ -164,6 +164,7 @@ func TestReliableSurvivesAsyncDelays(t *testing.T) {
 		{0, 3},
 		{0.2, 2},
 		{0.4, 4},
+		{0.5, 5}, // heavy loss and delay combined
 	} {
 		res, err := RunReliableDelegationAsync(context.Background(), in, 0.03, ThresholdRule(nil), 17, tt.loss, tt.delay)
 		if err != nil {
