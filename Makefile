@@ -2,20 +2,39 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race test-faults fuzz-smoke bench reproduce reproduce-fast examples fmt
+.PHONY: all check build vet lint test test-short test-race test-faults fuzz-smoke bench reproduce reproduce-fast examples fmt
 
 all: check
 
-# check is the gate for a change: compile, static checks, tests, the race
-# detector over the parallel engine and election sampling, and a short
-# fuzz pass over the simulator's message-validation invariants.
-check: build vet test test-race fuzz-smoke
+# check is the gate for a change, in order: compile, go vet, the repo's own
+# determinism analyzers (cmd/liquidlint — see DESIGN.md "Static invariants"),
+# tests, the race detector over the parallel engine and election sampling,
+# and a short fuzz pass over the simulator's message-validation invariants.
+# Lint sits between vet and test so cheap structural violations fail the
+# gate before the expensive suites run. The recipe runs every stage it can
+# reach, prints a one-line pass/fail summary, and exits nonzero on the
+# first failure (later stages report as skip).
+check:
+	@rc=0; summary=""; \
+	for stage in build vet lint test test-race fuzz-smoke; do \
+		if [ $$rc -ne 0 ]; then summary="$$summary $$stage:skip"; continue; fi; \
+		echo "== $$stage"; \
+		if $(MAKE) --no-print-directory $$stage; then summary="$$summary $$stage:ok"; \
+		else summary="$$summary $$stage:FAIL"; rc=1; fi; \
+	done; \
+	echo "check:$$summary"; exit $$rc
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the determinism multichecker over the module. Suppress an
+# individual finding with `//lint:ignore <analyzer> <reason>` on or above
+# the flagged line; disable a whole analyzer with -disable for triage.
+lint:
+	$(GO) run ./cmd/liquidlint ./...
 
 test:
 	$(GO) test ./...

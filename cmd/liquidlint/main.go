@@ -1,0 +1,158 @@
+// Command liquidlint is the repository's multichecker: it runs the custom
+// determinism and hygiene analyzers from internal/lint over the module and
+// fails the build on violations. It is part of `make check` (between vet and
+// test); see DESIGN.md "Static invariants" for what each analyzer guards.
+//
+// Usage:
+//
+//	liquidlint [-json] [-disable name,name] [-list] [packages]
+//
+// With no package arguments it analyzes ./... . Exit status: 0 clean,
+// 1 findings, 2 usage or load failure. Findings print as
+// file:line:col: analyzer: message, or as a JSON array with -json.
+// Suppress an individual finding with a justified annotation:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"liquid/internal/lint/analysis"
+	"liquid/internal/lint/ctxflow"
+	"liquid/internal/lint/floatacc"
+	"liquid/internal/lint/load"
+	"liquid/internal/lint/maporder"
+	"liquid/internal/lint/seedflow"
+	"liquid/internal/lint/walltime"
+)
+
+// analyzers is the full suite, in documentation order.
+var analyzers = []*analysis.Analyzer{
+	maporder.Analyzer,
+	seedflow.Analyzer,
+	walltime.Analyzer,
+	ctxflow.Analyzer,
+	floatacc.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the multichecker; split from main for testing.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("liquidlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
+		disable = fs.String("disable", "", "comma-separated analyzer names to skip")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: liquidlint [-json] [-disable name,name] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	active, err := selectAnalyzers(*disable)
+	if err != nil {
+		fmt.Fprintln(errOut, "liquidlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(errOut, "liquidlint:", err)
+		return 2
+	}
+	var targets []*analysis.Target
+	loadBroken := false
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			// A package that fails to type-check must not pass lint silently.
+			fmt.Fprintf(errOut, "liquidlint: %s: %v\n", p.ImportPath, te)
+			loadBroken = true
+		}
+		targets = append(targets, &analysis.Target{
+			Path: p.ImportPath, Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info,
+		})
+	}
+	if loadBroken {
+		return 2
+	}
+
+	diags, err := analysis.Run(targets, active)
+	if err != nil {
+		fmt.Fprintln(errOut, "liquidlint:", err)
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(errOut, "liquidlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(out, "liquidlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers filters the suite by the -disable flag.
+func selectAnalyzers(disable string) ([]*analysis.Analyzer, error) {
+	skip := make(map[string]bool)
+	for _, name := range strings.Split(disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			skip[name] = true
+		}
+	}
+	known := make(map[string]bool, len(analyzers))
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		known[a.Name] = true
+		if !skip[a.Name] {
+			active = append(active, a)
+		}
+	}
+	for name := range skip {
+		if !known[name] {
+			return nil, fmt.Errorf("unknown analyzer %q in -disable (have: maporder, seedflow, walltime, ctxflow, floatacc)", name)
+		}
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("-disable turned off every analyzer")
+	}
+	return active, nil
+}

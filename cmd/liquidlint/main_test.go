@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"liquid/internal/lint/analysis"
+)
+
+// TestRepoIsClean is the smoke test required by the lint gate: the full
+// analyzer suite over the whole module must report nothing. The test runs
+// from cmd/liquidlint, so name the module explicitly rather than ./... .
+func TestRepoIsClean(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"liquid/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("liquidlint liquid/... = exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run produced output:\n%s", out.String())
+	}
+}
+
+// TestFindingsExitOne drives the checker over a fixture module that is known
+// to contain violations and checks the findings path end to end.
+func TestFindingsExitOne(t *testing.T) {
+	t.Chdir("../../internal/lint/maporder/testdata")
+	var out, errOut bytes.Buffer
+	code := run([]string{"./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "maporder:") {
+		t.Fatalf("findings output missing maporder diagnostics:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "finding(s)") {
+		t.Fatalf("findings output missing summary line:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput checks that -json emits a decodable array of diagnostics.
+func TestJSONOutput(t *testing.T) {
+	t.Chdir("../../internal/lint/maporder/testdata")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json produced an empty array for a fixture with violations")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "maporder" {
+			t.Fatalf("unexpected analyzer %q in %v", d.Analyzer, d)
+		}
+	}
+}
+
+// TestDisable checks per-analyzer disable: turning maporder off silences the
+// fixture's only violations.
+func TestDisable(t *testing.T) {
+	t.Chdir("../../internal/lint/maporder/testdata")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-disable", "maporder", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0 with maporder disabled\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}
+
+// TestDisableValidation checks flag hygiene: unknown names and disabling
+// everything are usage errors, not silent successes.
+func TestDisableValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-disable", "nosuch", "liquid/..."}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown -disable name: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Fatalf("missing unknown-analyzer error:\n%s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-disable", "maporder,seedflow,walltime,ctxflow,floatacc", "liquid/..."}, &out, &errOut); code != 2 {
+		t.Fatalf("disabling every analyzer: exit %d, want 2", code)
+	}
+}
+
+// TestList checks that -list names all five analyzers.
+func TestList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	for _, name := range []string{"maporder", "seedflow", "walltime", "ctxflow", "floatacc"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -240,6 +240,11 @@ feed:
 // recovered into a *PanicError and never retried.
 func (r *Runner) runOne(ctx context.Context, def experiment.Definition, cfg experiment.Config) Result {
 	r.emit(Event{Kind: ExperimentStarted, ID: def.ID, Title: def.Title})
+	// Timing lives here, not in the experiment layer: outcomes carry only
+	// reproducible data, and elapsed time is engine telemetry. The measured
+	// span covers retries and backoff waits — it is "how long the slot was
+	// busy", which is the number the progress display wants.
+	start := time.Now()
 	runCtx := ctx
 	if r.opts.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -278,7 +283,7 @@ func (r *Runner) runOne(ctx context.Context, def experiment.Definition, cfg expe
 		r.emit(ev)
 		return res
 	}
-	ev.ElapsedSeconds = out.Elapsed.Seconds()
+	ev.ElapsedSeconds = time.Since(start).Seconds()
 	ev.Replications = out.Replications
 	ev.Checks = len(out.Checks)
 	for _, c := range out.Checks {

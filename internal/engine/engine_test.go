@@ -29,17 +29,13 @@ func fastSubset(t *testing.T, ids ...string) []experiment.Definition {
 	return defs
 }
 
-// stripElapsed zeroes the wall-clock fields so outcomes can be compared
-// structurally.
-func stripElapsed(results []Result) []*experiment.Outcome {
+// outcomes extracts the outcome from each result. Outcomes carry no
+// wall-clock fields (timing is engine telemetry only), so they can be
+// compared structurally as-is.
+func outcomes(results []Result) []*experiment.Outcome {
 	outs := make([]*experiment.Outcome, len(results))
 	for i, r := range results {
-		if r.Outcome == nil {
-			continue
-		}
-		cp := *r.Outcome
-		cp.Elapsed = 0
-		outs[i] = &cp
+		outs[i] = r.Outcome
 	}
 	return outs
 }
@@ -62,7 +58,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 				t.Fatalf("workers=%d: %s err=%v skipped=%v", workers, r.Def.ID, r.Err, r.Skipped)
 			}
 		}
-		outs := stripElapsed(results)
+		outs := outcomes(results)
 		if baseline == nil {
 			baseline = outs
 			continue

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"liquid/internal/core"
 	"liquid/internal/graph"
@@ -72,14 +71,17 @@ type Check struct {
 	Detail string
 }
 
-// Outcome is an experiment's full result.
+// Outcome is an experiment's full result. It deliberately carries no
+// wall-clock measurements: everything here feeds rendered tables, which must
+// be byte-identical across runs and worker counts. Timing is observed by the
+// execution engine around RunDefinition and reported on its telemetry-only
+// event stream (see internal/lint/walltime for the static gate).
 type Outcome struct {
-	ID      string
-	Title   string
-	Claim   string // the paper's qualitative claim being tested
-	Tables  []*report.Table
-	Checks  []Check
-	Elapsed time.Duration
+	ID     string
+	Title  string
+	Claim  string // the paper's qualitative claim being tested
+	Tables []*report.Table
+	Checks []Check
 	// Replications is the dominant Monte-Carlo replication count of the
 	// experiment (0 for purely analytic experiments); the execution engine
 	// reports it in ExperimentFinished events.
@@ -182,7 +184,6 @@ func Run(ctx context.Context, id string, cfg Config) (*Outcome, error) {
 // lookup. This is the entry point the execution engine uses, and it lets
 // tests schedule synthetic experiments.
 func RunDefinition(ctx context.Context, def Definition, cfg Config) (*Outcome, error) {
-	start := time.Now()
 	out, err := def.Run(ctx, cfg.withDefaults())
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", def.ID, err)
@@ -190,7 +191,6 @@ func RunDefinition(ctx context.Context, def Definition, cfg Config) (*Outcome, e
 	out.ID = def.ID
 	out.Title = def.Title
 	out.Claim = def.Claim
-	out.Elapsed = time.Since(start)
 	return out, nil
 }
 

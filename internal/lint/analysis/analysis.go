@@ -1,0 +1,260 @@
+// Package analysis is a small, dependency-free subset of the
+// golang.org/x/tools/go/analysis framework: just enough structure to write
+// the repository's custom static analyzers (see cmd/liquidlint) without
+// pulling x/tools into the module.
+//
+// An Analyzer inspects one type-checked package at a time through a Pass and
+// reports Diagnostics. Suppression is uniform across analyzers: a comment of
+// the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the flagged line, or on the line immediately above it, silences the
+// named analyzers there. The reason is mandatory; a bare directive is itself
+// reported as a violation so suppressions stay auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -disable flags, and
+	// lint:ignore directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects a package and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package's import path (e.g. "liquid/internal/graph").
+	Path string
+	Fset *token.FileSet
+	// Files holds the parsed non-test Go files of the package.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Diagnostic is one finding, locatable in the source tree.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Target bundles what a driver needs to analyze one package.
+type Target struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string // names, or ["all"]
+	hasReason bool
+	used      bool
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores extracts lint:ignore directives from a file's comments.
+func parseIgnores(fset *token.FileSet, f *ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			fields := strings.Fields(rest)
+			pos := fset.Position(c.Pos())
+			d := &ignoreDirective{file: pos.Filename, line: pos.Line}
+			if len(fields) > 0 {
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						d.analyzers = append(d.analyzers, name)
+					}
+				}
+			}
+			d.hasReason = len(fields) >= 2
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (d *ignoreDirective) matches(diag Diagnostic) bool {
+	if diag.Pos.Filename != d.file {
+		return false
+	}
+	// A directive covers its own line (inline comment) and the line
+	// immediately below (stand-alone comment above the flagged statement).
+	if diag.Pos.Line != d.line && diag.Pos.Line != d.line+1 {
+		return false
+	}
+	for _, name := range d.analyzers {
+		if name == "all" || name == diag.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies analyzers to targets and returns the surviving diagnostics
+// sorted by position. lint:ignore directives are honored; malformed or
+// unused directives produce their own diagnostics so dead suppressions get
+// cleaned up rather than rotting.
+func Run(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var directives []*ignoreDirective
+	for _, tgt := range targets {
+		for _, f := range tgt.Files {
+			directives = append(directives, parseIgnores(tgt.Fset, f)...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     tgt.Path,
+				Fset:     tgt.Fset,
+				Files:    tgt.Files,
+				Pkg:      tgt.Pkg,
+				Info:     tgt.Info,
+				report: func(d Diagnostic) {
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, tgt.Path, err)
+			}
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range directives {
+			if dir.hasReason && len(dir.analyzers) > 0 && dir.matches(d) {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	for _, dir := range directives {
+		if len(dir.analyzers) == 0 || !dir.hasReason {
+			kept = append(kept, Diagnostic{
+				Analyzer: "lintdirective",
+				Pos:      token.Position{Filename: dir.file, Line: dir.line, Column: 1},
+				Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+			})
+			continue
+		}
+		if dir.used {
+			continue
+		}
+		// Only call a directive dead when every analyzer it names actually
+		// ran: under -disable (or single-analyzer fixture runs) a directive
+		// for a skipped analyzer may simply not have had its chance.
+		ran := true
+		for _, name := range dir.analyzers {
+			if name != "all" && !active[name] {
+				ran = false
+				break
+			}
+		}
+		if ran {
+			kept = append(kept, Diagnostic{
+				Analyzer: "lintdirective",
+				Pos:      token.Position{Filename: dir.file, Line: dir.line, Column: 1},
+				Message:  fmt.Sprintf("unused lint:ignore directive (%s): nothing here is flagged; delete it", strings.Join(dir.analyzers, ",")),
+			})
+		}
+	}
+	for i := range kept {
+		kept[i].File = kept[i].Pos.Filename
+		kept[i].Line = kept[i].Pos.Line
+		kept[i].Column = kept[i].Pos.Column
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// PackageTail returns the path segment(s) after the last "internal/"
+// element, or "" when the path has no internal element. Analyzers use it to
+// scope themselves by package identity independent of the module name, so
+// the same scoping works for "liquid/internal/graph" and for fixture
+// modules in testdata.
+func PackageTail(path string) string {
+	const marker = "internal/"
+	i := strings.LastIndex(path, marker)
+	if i < 0 {
+		if path == "internal" {
+			return ""
+		}
+		return ""
+	}
+	return path[i+len(marker):]
+}
+
+// InInternal reports whether the import path is under an internal/ tree.
+func InInternal(path string) bool {
+	return strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/")
+}

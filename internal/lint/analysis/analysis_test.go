@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// fakeAnalyzer reports one diagnostic on every function declaration.
+var fakeAnalyzer = &Analyzer{
+	Name: "fake",
+	Doc:  "flags every function",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "function %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func parseTarget(t *testing.T, src string) *Target {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Target{Path: "liquid/internal/fake", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	tgt := parseTarget(t, `package fake
+
+//lint:ignore fake covered by an integration test
+func a() {}
+
+func b() {}
+
+func c() {} //lint:ignore fake inline justification
+`)
+	diags, err := Run([]*Target{tgt}, []*Analyzer{fakeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "function b") {
+		t.Fatalf("want exactly the diagnostic for b, got %v", diags)
+	}
+}
+
+func TestIgnoreDirectiveWrongAnalyzerKept(t *testing.T) {
+	tgt := parseTarget(t, `package fake
+
+//lint:ignore other not this analyzer
+func a() {}
+`)
+	diags, err := Run([]*Target{tgt}, []*Analyzer{fakeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("directive for another analyzer must not suppress, got %v", diags)
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	tgt := parseTarget(t, `package fake
+
+//lint:ignore fake
+func a() {}
+`)
+	diags, err := Run([]*Target{tgt}, []*Analyzer{fakeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reasonless directive does not suppress, and is itself flagged.
+	var sawMalformed, sawFunc bool
+	for _, d := range diags {
+		if d.Analyzer == "lintdirective" {
+			sawMalformed = true
+		}
+		if strings.Contains(d.Message, "function a") {
+			sawFunc = true
+		}
+	}
+	if !sawMalformed || !sawFunc {
+		t.Fatalf("want malformed-directive and function diagnostics, got %v", diags)
+	}
+}
+
+func TestUnusedDirectiveReported(t *testing.T) {
+	tgt := parseTarget(t, `package fake
+
+//lint:ignore fake this suppresses nothing
+var x = 1
+`)
+	diags, err := Run([]*Target{tgt}, []*Analyzer{fakeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "lintdirective" || !strings.Contains(diags[0].Message, "unused") {
+		t.Fatalf("want one unused-directive diagnostic, got %v", diags)
+	}
+}
+
+func TestUnusedDirectiveForInactiveAnalyzerSilent(t *testing.T) {
+	// A directive naming an analyzer that did not run must not be called
+	// dead — under -disable it simply never had its chance to match.
+	tgt := parseTarget(t, `package fake
+
+//lint:ignore other the other analyzer is disabled in this run
+var x = 1
+`)
+	diags, err := Run([]*Target{tgt}, []*Analyzer{fakeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("directive for inactive analyzer must be silent, got %v", diags)
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	tgt := parseTarget(t, `package fake
+
+func b() {}
+
+func a() {}
+`)
+	diags, err := Run([]*Target{tgt}, []*Analyzer{fakeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 || diags[0].Line >= diags[1].Line {
+		t.Fatalf("diagnostics not sorted by line: %v", diags)
+	}
+}
+
+func TestPackageTail(t *testing.T) {
+	cases := []struct{ path, want string }{
+		{"liquid/internal/graph", "graph"},
+		{"liquid/internal/lint/maporder", "lint/maporder"},
+		{"internal/graph", "graph"},
+		{"liquid/cmd/reproduce", ""},
+		{"fmt", ""},
+	}
+	for _, c := range cases {
+		if got := PackageTail(c.path); got != c.want {
+			t.Errorf("PackageTail(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}
+
+func TestInInternal(t *testing.T) {
+	if !InInternal("liquid/internal/graph") || InInternal("liquid/cmd/reproduce") {
+		t.Fatal("InInternal misclassifies")
+	}
+}

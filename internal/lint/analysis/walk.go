@@ -1,0 +1,36 @@
+package analysis
+
+import "go/ast"
+
+// WithStack walks the AST rooted at root, calling fn for every node with the
+// stack of its ancestors (outermost first, excluding n itself). Returning
+// false prunes the subtree below n.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// EnclosingFunc returns the innermost function body on the stack: the body
+// of a FuncDecl or FuncLit ancestor, or nil when the node is not inside a
+// function.
+func EnclosingFunc(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}

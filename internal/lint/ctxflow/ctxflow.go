@@ -1,0 +1,238 @@
+// Package ctxflow enforces cooperative cancellation in the long-running
+// layers. The engine's SIGINT story — drain in-flight experiments, still
+// flush partial output — only works if every replication/round loop between
+// cmd/ and the leaf samplers accepts a context and actually consults it.
+// A single exported entry point that spins trials without a ctx reintroduces
+// the unkillable half-hour run.
+//
+// Two rules, scoped to internal/{engine,experiment,localsim,fault}:
+//
+//  1. An exported function whose body loops over trials, rounds,
+//     replications, or iterations must accept a context.Context, and a
+//     declared ctx parameter must be used (checked or forwarded) somewhere
+//     in the body.
+//  2. context.Background()/context.TODO() must not be created in any
+//     internal package — contexts are born in cmd/ (or tests) and flow down.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"liquid/internal/lint/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags trial/round loops in exported functions without context plumbing, and context.Background below cmd/",
+	Run:  run,
+}
+
+// loopScope lists the packages whose exported functions run long loops on
+// behalf of cmd/.
+var loopScope = map[string]bool{
+	"engine":     true,
+	"experiment": true,
+	"localsim":   true,
+	"fault":      true,
+}
+
+func inLoopScope(path string) bool {
+	tail := analysis.PackageTail(path)
+	if i := strings.IndexByte(tail, '/'); i >= 0 {
+		tail = tail[:i]
+	}
+	return loopScope[tail]
+}
+
+// loopWords are the identifier fragments that mark a replication loop.
+var loopWords = []string{"trial", "round", "replic", "iter", "sweep", "epoch"}
+
+func run(pass *analysis.Pass) error {
+	internal := analysis.InInternal(pass.Path)
+	for _, f := range pass.Files {
+		if internal {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.ObjectOf(sel.Sel).(*types.Func)
+				if ok && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+					(fn.Name() == "Background" || fn.Name() == "TODO") {
+					pass.Reportf(call.Pos(), "context.%s() created below cmd/: accept a context.Context parameter and thread it down instead", fn.Name())
+				}
+				return true
+			})
+		}
+		if inLoopScope(pass.Path) {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ctxParam := contextParam(pass, fd)
+	loop := findReplicationLoop(pass, fd.Body)
+	if loop == nil {
+		return
+	}
+	if ctxParam == nil {
+		pass.Reportf(loop.Pos(), "exported %s loops over %s without accepting a context.Context: plumb ctx through and check ctx.Err() so long runs stay cancellable", fd.Name.Name, loopLabel(loop))
+		return
+	}
+	if !usesObject(pass, fd.Body, ctxParam) {
+		pass.Reportf(fd.Name.Pos(), "exported %s declares a context.Context but never checks or forwards it; dead ctx parameters hide uncancellable loops", fd.Name.Name)
+	}
+}
+
+// contextParam returns the object of the first context.Context parameter.
+func contextParam(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || !isContext(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Info.ObjectOf(name); obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// findReplicationLoop returns the first for/range statement that counts up
+// to a trial/round/replication-like integer bound. Ranging over a *slice*
+// whose name merely mentions rounds (a per-node crash-round table, say) is
+// not a replication loop; the bound must itself be an integer count.
+func findReplicationLoop(pass *analysis.Pass, body *ast.BlockStmt) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures are checked through their caller's signature.
+			return false
+		case *ast.ForStmt:
+			if bound := condBound(n.Cond); bound != nil &&
+				isInteger(pass.TypeOf(bound)) && mentionsLoopWord(bound) {
+				found = n
+			}
+		case *ast.RangeStmt:
+			// Only range-over-int (`for r := range rounds`) counts.
+			if isInteger(pass.TypeOf(n.X)) && mentionsLoopWord(n.X) {
+				found = n
+			}
+		}
+		return found == nil
+	})
+	return found
+}
+
+// condBound extracts the bound side of a loop condition: Y of i < bound,
+// X of bound > i; otherwise the whole condition.
+func condBound(cond ast.Expr) ast.Expr {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return cond
+	}
+	switch be.Op {
+	case token.LSS, token.LEQ:
+		return be.Y
+	case token.GTR, token.GEQ:
+		return be.X
+	}
+	return cond
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func loopLabel(s ast.Stmt) string {
+	var e ast.Expr
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		e = s.Cond
+	case *ast.RangeStmt:
+		e = s.X
+	}
+	if name := firstLoopWordIdent(e); name != "" {
+		return name
+	}
+	return "replications"
+}
+
+func mentionsLoopWord(e ast.Expr) bool {
+	return firstLoopWordIdent(e) != ""
+}
+
+func firstLoopWordIdent(e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lower := strings.ToLower(id.Name)
+		for _, w := range loopWords {
+			if strings.Contains(lower, w) {
+				found = id.Name
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// usesObject reports whether obj is referenced anywhere in body.
+func usesObject(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"liquid/internal/lint/ctxflow"
+	"liquid/internal/lint/lintest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	lintest.Run(t, "testdata", ctxflow.Analyzer)
+}

@@ -1,0 +1,64 @@
+// Package fault is a ctxflow fixture: exported replication loops need a
+// live context, and contexts are never born below cmd/.
+package fault
+
+import "context"
+
+// RunTrials spins replications with no way to cancel them.
+func RunTrials(trials int) int {
+	total := 0
+	for t := 0; t < trials; t++ { // want `without accepting a context.Context`
+		total += t
+	}
+	return total
+}
+
+// RunTrialsCtx accepts and checks a context.
+func RunTrialsCtx(ctx context.Context, trials int) (int, error) {
+	total := 0
+	for t := 0; t < trials; t++ {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total += t
+	}
+	return total, nil
+}
+
+// DeadCtx declares a context and then ignores it.
+func DeadCtx(ctx context.Context, rounds int) int { // want `never checks or forwards`
+	total := 0
+	for r := 0; r < rounds; r++ {
+		total += r
+	}
+	return total
+}
+
+// Detached conjures a root context below cmd/.
+func Detached() context.Context {
+	return context.Background() // want `context.Background\(\) created below cmd/`
+}
+
+// runTrials is unexported: callers inside the package own the ctx story.
+func runTrials(trials int) int {
+	total := 0
+	for t := 0; t < trials; t++ {
+		total += t
+	}
+	return total
+}
+
+// CrashTable ranges a slice that merely mentions rounds in its name; that
+// is a per-node table, not a replication loop.
+func CrashTable(crashRound []int) int {
+	n := 0
+	for _, r := range crashRound {
+		if r >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Keep runTrials referenced so the fixture compiles vet-clean.
+var _ = runTrials

@@ -1,0 +1,91 @@
+// Package floatacc polices float64 accumulation in the numeric kernels.
+// The probability stack sums thousands of per-voter masses and per-trial
+// outcomes; naive `s += x` in a loop loses low-order bits in
+// magnitude-dependent, refactor-sensitive ways. The repository keeps its
+// numerics stable by funneling reductions through the compensated kernels —
+// prob.Sum / prob.Accumulator (Kahan–Babuška–Neumaier) for plain sums,
+// prob.Summary (Welford) for moments — so a reordering refactor can never
+// shift a reported table value.
+//
+// The analyzer flags `+=` and `-=` on float operands inside any for/range
+// loop in internal/prob and internal/recycle. Single compensated updates
+// outside loops (Welford's own interior, the Neumaier correction term) are
+// not accumulation and stay unflagged.
+package floatacc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"liquid/internal/lint/analysis"
+)
+
+// Analyzer is the floatacc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatacc",
+	Doc:  "flags naive float64 += accumulation loops in internal/prob and internal/recycle",
+	Run:  run,
+}
+
+var scope = map[string]bool{
+	"prob":    true,
+	"recycle": true,
+}
+
+func inScope(path string) bool {
+	tail := analysis.PackageTail(path)
+	if i := strings.IndexByte(tail, '/'); i >= 0 {
+		tail = tail[:i]
+	}
+	return scope[tail]
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			s, ok := n.(*ast.AssignStmt)
+			if !ok || (s.Tok != token.ADD_ASSIGN && s.Tok != token.SUB_ASSIGN) {
+				return true
+			}
+			if !insideLoop(stack) {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				if isFloat(pass.TypeOf(lhs)) {
+					pass.Reportf(s.TokPos, "naive float accumulation in a loop drifts with evaluation order; reduce through prob.Sum / prob.Accumulator (compensated) or prob.Summary (Welford), or annotate with //lint:ignore floatacc <reason>")
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// insideLoop reports whether the innermost function on the stack contains a
+// loop enclosing the node: a += beneath a for/range that belongs to the same
+// function literal/declaration.
+func insideLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

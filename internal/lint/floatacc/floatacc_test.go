@@ -1,0 +1,12 @@
+package floatacc_test
+
+import (
+	"testing"
+
+	"liquid/internal/lint/floatacc"
+	"liquid/internal/lint/lintest"
+)
+
+func TestFloatAcc(t *testing.T) {
+	lintest.Run(t, "testdata", floatacc.Analyzer)
+}

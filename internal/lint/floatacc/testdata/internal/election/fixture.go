@@ -1,0 +1,12 @@
+// Package election is outside floatacc's scope; its reductions answer to
+// maporder/walltime instead.
+package election
+
+// Naive would be flagged in internal/prob or internal/recycle.
+func Naive(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,63 @@
+// Package prob is a floatacc fixture: naive float accumulation in loops is
+// flagged; integer sums and single compensated updates are not.
+package prob
+
+// Naive is the classic drifting reduction.
+func Naive(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x // want `naive float accumulation`
+	}
+	return s
+}
+
+// NaiveSub drifts the same way in the other direction.
+func NaiveSub(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s -= x // want `naive float accumulation`
+	}
+	return s
+}
+
+// IntSum commutes exactly; integers are fine.
+func IntSum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// welford mimics prob.Summary: the interior updates are not loop
+// accumulation and must stay unflagged.
+type welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add is a single compensated update outside any loop.
+func (w *welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// AddAll loops but accumulates through the kernel, not with +=.
+func AddAll(w *welford, xs []float64) {
+	for _, x := range xs {
+		w.Add(x)
+	}
+}
+
+// Ignored shows the justified-suppression escape hatch.
+func Ignored(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		//lint:ignore floatacc two-element sums cannot drift
+		s += x
+	}
+	return s
+}

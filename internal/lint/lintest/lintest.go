@@ -1,0 +1,124 @@
+// Package lintest runs an analyzer over a fixture module and checks its
+// diagnostics against // want comments, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest (which the module deliberately
+// does not depend on).
+//
+// A fixture is a self-contained Go module rooted at <analyzer>/testdata,
+// conventionally named `module liquid` so that packages placed under
+// testdata/internal/... land in the analyzers' scope exactly like the real
+// tree. Expectations are written on the offending line:
+//
+//	for k := range m { // want `scheduling-dependent`
+//
+// The quoted text (backquotes or double quotes) is a regexp matched against
+// the diagnostic message; several expectations may share a line. The run
+// fails on any unexpected diagnostic and on any unmatched expectation, so a
+// fixture fails both when the analyzer goes quiet and when it over-reports.
+package lintest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"liquid/internal/lint/analysis"
+	"liquid/internal/lint/load"
+)
+
+// expectation is one parsed // want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads the fixture module at dir and applies a, comparing diagnostics
+// with // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := load.Packages(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+	var targets []*analysis.Target
+	var wants []*expectation
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", p.ImportPath, e)
+		}
+		targets = append(targets, &analysis.Target{
+			Path: p.ImportPath, Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info,
+		})
+		for _, f := range p.Files {
+			ws, err := parseWants(p.Fset, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+	diags, err := analysis.Run(targets, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, dir, err)
+	}
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func consume(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// parseWants extracts // want expectations from a file's comments.
+func parseWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := c.Text[idx+len("// want "):]
+			ms := wantRE.FindAllStringSubmatch(rest, -1)
+			if len(ms) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed // want: no quoted pattern in %q", pos.Filename, pos.Line, rest)
+			}
+			for _, m := range ms {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad // want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+// Package load builds type-checked package targets for the lint analyzers
+// using only the standard library: package discovery and dependency export
+// data come from `go list -deps -export -json`, source files are parsed with
+// go/parser, and type checking uses the gc importer fed with the export data
+// the go command already produced. This is a deliberately small stand-in for
+// golang.org/x/tools/go/packages, which the module does not depend on.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked root package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds non-fatal type-checker complaints (missing export
+	// data for an import, for example). Analyzers still run; the driver
+	// surfaces these so a broken load is never mistaken for a clean lint.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads and type-checks the packages matching patterns, resolved
+// relative to dir (any directory inside the target module).
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(listed))
+	var roots []*listedPackage
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			if lp.Error != nil {
+				return nil, fmt.Errorf("load: package %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			roots = append(roots, lp)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range roots {
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -e -deps -export -json` and decodes the stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %v in %s: %w\n%s", patterns, dir, err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// typeCheck parses and type-checks one listed package from source.
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir, Fset: fset}
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: parse %s: %w", path, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Type-check errors are collected, not fatal: analyzers degrade
+	// gracefully on partial information.
+	tpkg, _ := conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// exportImporter resolves imports from the export-data files `go list
+// -export` reported, falling back through the gc importer's binary
+// export-data reader.
+type exportImporter struct {
+	gc      types.Importer
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{exports: exports}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ei.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ei.gc.Import(path)
+}

@@ -1,0 +1,383 @@
+// Package maporder flags `for … range` loops over map types whose bodies can
+// observe Go's randomized map iteration order. This is the repository's most
+// expensive latent-bug class: two independent nondeterminism bugs (the
+// BarabasiAlbert edge-insertion order and the reliable-convergecast
+// retransmission order) were each introduced through an innocent-looking map
+// range and only surfaced as byte-level divergence between worker counts.
+//
+// A map range is accepted without complaint when its body is provably
+// order-insensitive:
+//
+//   - it only builds other maps/sets (m2[k] = v, delete(m2, k)),
+//   - it only counts or flags (integer ++/+=, boolean |=),
+//   - it writes distinct slots of a slice indexed by the range key,
+//   - it tracks an extremum via the `if x > best { best = x }` idiom,
+//   - it early-exits with constant results (the any/all idiom), or
+//   - it collects keys/values into a slice that is explicitly sorted after
+//     the loop (the sort.Slice-after-collect idiom).
+//
+// Everything else is reported. Intentional exceptions carry
+// //lint:ignore maporder <reason>.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"liquid/internal/lint/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags range-over-map loops whose bodies depend on map iteration order",
+	Run:  run,
+}
+
+// scope lists the internal packages whose determinism feeds
+// reproduce_output.txt; map-order nondeterminism anywhere here can diverge
+// the suite across worker counts.
+var scope = map[string]bool{
+	"graph":      true,
+	"election":   true,
+	"localsim":   true,
+	"fault":      true,
+	"experiment": true,
+	"recycle":    true,
+	"dynamics":   true,
+	"adaptive":   true,
+}
+
+func inScope(path string) bool {
+	tail := analysis.PackageTail(path)
+	if tail == "" {
+		return false
+	}
+	if i := strings.IndexByte(tail, '/'); i >= 0 {
+		tail = tail[:i]
+	}
+	return scope[tail]
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			check(pass, rs, analysis.EnclosingFunc(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+// check reports rs unless its body is order-insensitive.
+func check(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	c := &checker{pass: pass}
+	if !c.stmtsOK(rs.Body.List) {
+		pass.Reportf(rs.For, "range over map has scheduling-dependent iteration order; sort the keys before use, restructure onto a slice, or annotate with //lint:ignore maporder <reason>")
+		return
+	}
+	for _, target := range c.collected {
+		if fnBody == nil || !sortedAfter(pass, fnBody, rs, target) {
+			pass.Reportf(rs.For, "slice %s collected from map range is used without sorting; call sort/slices on it after the loop (collect-then-sort) or annotate with //lint:ignore maporder <reason>", target.Name)
+		}
+	}
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// collected holds slices appended to inside the loop; each must be
+	// sorted after the loop for the range to count as order-insensitive.
+	collected []*ast.Ident
+}
+
+func (c *checker) stmtsOK(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !c.stmtOK(s, nil) {
+			return false
+		}
+	}
+	return true
+}
+
+// stmtOK reports whether s cannot observe iteration order. extremum carries
+// the identifiers mentioned by an enclosing if-condition, enabling the
+// `if x > best { best = x }` idiom.
+func (c *checker) stmtOK(s ast.Stmt, extremum map[types.Object]bool) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+	case *ast.AssignStmt:
+		return c.assignOK(s, extremum)
+	case *ast.IncDecStmt:
+		return isIntegral(c.pass.TypeOf(s.X))
+	case *ast.DeclStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.ReturnStmt:
+		// Early exit is order-insensitive only when the results carry no
+		// information about which key was reached first (any/all idiom).
+		for _, r := range s.Results {
+			if !isConstExpr(r) {
+				return false
+			}
+		}
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+			return true
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil && !c.stmtOK(s.Init, extremum) {
+			return false
+		}
+		ext := condIdents(c.pass, s.Cond)
+		for o := range extremum {
+			ext[o] = true
+		}
+		if !c.blockOK(s.Body, ext) {
+			return false
+		}
+		return c.stmtOK(s.Else, extremum)
+	case *ast.BlockStmt:
+		return c.blockOK(s, extremum)
+	case *ast.RangeStmt:
+		return c.blockOK(s.Body, extremum)
+	case *ast.ForStmt:
+		if !c.stmtOK(s.Init, extremum) || !c.stmtOK(s.Post, extremum) {
+			return false
+		}
+		return c.blockOK(s.Body, extremum)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, cs := range cl.Body {
+					if !c.stmtOK(cs, extremum) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *checker) blockOK(b *ast.BlockStmt, extremum map[types.Object]bool) bool {
+	for _, s := range b.List {
+		if !c.stmtOK(s, extremum) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) assignOK(s *ast.AssignStmt, extremum map[types.Object]bool) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		// New locals only feed later statements, which are checked on their
+		// own; defining them observes nothing.
+		return true
+	case token.ASSIGN:
+		// xs = append(xs, …) starts the collect-then-sort idiom.
+		if id, ok := appendTarget(s); ok {
+			c.collected = append(c.collected, id)
+			return true
+		}
+		for _, lhs := range s.Lhs {
+			if !c.lvalueOK(lhs, extremum) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative accumulation is order-insensitive for integers and
+		// booleans; float rounding is not.
+		for _, lhs := range s.Lhs {
+			t := c.pass.TypeOf(lhs)
+			if !isIntegral(t) && !isBool(t) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// lvalueOK reports whether assigning through lhs is order-insensitive: a
+// blank, a map slot, a slice slot keyed by something (distinct-slot write),
+// or an extremum variable named in the guarding condition.
+func (c *checker) lvalueOK(lhs ast.Expr, extremum map[types.Object]bool) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return true
+		}
+		if obj := c.pass.Info.ObjectOf(lhs); obj != nil && extremum[obj] {
+			return true
+		}
+		return false
+	case *ast.IndexExpr:
+		if t := c.pass.TypeOf(lhs.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return true
+			}
+		}
+		// Writing out[k] for the range key k touches a distinct slot per
+		// iteration; the final contents are order-independent.
+		return true
+	default:
+		return false
+	}
+}
+
+// appendTarget matches `xs = append(xs, …)` and returns xs.
+func appendTarget(s *ast.AssignStmt) (*ast.Ident, bool) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil, false
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return nil, false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != id.Name {
+		return nil, false
+	}
+	return id, true
+}
+
+// condIdents collects the objects of plain identifiers mentioned in cond.
+func condIdents(pass *analysis.Pass, cond ast.Expr) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if cond == nil {
+		return out
+	}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether target is passed to a sorting call after rs
+// within fnBody.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, target *ast.Ident) bool {
+	obj := pass.Info.ObjectOf(target)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ok := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, isID := an.(*ast.Ident); isID && pass.Info.ObjectOf(id) == obj {
+					ok = true
+				}
+				return !ok
+			})
+			if ok {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes sort.*, slices.Sort*, and local helpers whose name
+// mentions sorting.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok {
+			if pn, isPkg := pass.Info.ObjectOf(x).(*types.PkgName); isPkg {
+				p := pn.Imported().Path()
+				return p == "sort" || p == "slices"
+			}
+		}
+		return strings.Contains(strings.ToLower(fn.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fn.Name), "sort")
+	}
+	return false
+}
+
+func isIntegral(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if t == nil {
+			return false
+		}
+		b, ok = t.Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+	}
+	return b.Info()&types.IsInteger != 0
+}
+
+func isBool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsBoolean != 0
+}
+
+// isConstExpr reports whether e is a literal or true/false/nil.
+func isConstExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "true" || e.Name == "false" || e.Name == "nil"
+	case *ast.UnaryExpr:
+		return isConstExpr(e.X)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"liquid/internal/lint/lintest"
+	"liquid/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	lintest.Run(t, "testdata", maporder.Analyzer)
+}

@@ -1,0 +1,129 @@
+// Package graph is a maporder fixture: each function isolates one accepted
+// idiom or one violation. The package path mirrors the real tree so the
+// analyzer's scoping applies.
+package graph
+
+import "sort"
+
+// CollectNoSort leaks map iteration order into its result.
+func CollectNoSort(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `collected from map range is used without sorting`
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectSort is the blessed collect-then-sort idiom.
+func CollectSort(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CollectSortSlice uses sort.Slice with the collected slice in a closure arg.
+func CollectSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// BuildSet only writes another map; order cannot be observed.
+func BuildSet(m map[int]int) map[int]bool {
+	set := make(map[int]bool, len(m))
+	for k := range m {
+		set[k] = true
+	}
+	return set
+}
+
+// Count only counts; integer addition commutes.
+func Count(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FloatSum accumulates floats, whose rounding depends on iteration order.
+func FloatSum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `scheduling-dependent iteration order`
+		s += v
+	}
+	return s
+}
+
+// FirstKey returns whichever key the runtime happens to yield first.
+func FirstKey(m map[int]int) int {
+	for k := range m { // want `scheduling-dependent iteration order`
+		return k
+	}
+	return -1
+}
+
+// HasNegative is the any-idiom: constant results carry no order information.
+func HasNegative(m map[int]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxValue tracks an extremum guarded by its own comparison.
+func MaxValue(m map[int]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// ArgMax remembers *which* key achieved the extremum: ties break by order.
+func ArgMax(m map[int]int) int {
+	best, arg := 0, -1
+	for k, v := range m { // want `scheduling-dependent iteration order`
+		if v > best {
+			best = v
+			arg = k
+		}
+	}
+	return arg
+}
+
+// Fill writes one distinct slot per key; final contents are order-free.
+func Fill(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// Drain deletes from another map, which commutes.
+func Drain(m map[int]int, other map[int]int) {
+	for k := range m {
+		delete(other, k)
+	}
+}
+
+// Ignored shows the justified-suppression escape hatch.
+func Ignored(m map[int]int) []int {
+	var out []int
+	//lint:ignore maporder order is re-established by the caller before use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package mechanism is outside maporder's scope: identical code to a
+// violation draws no diagnostic here.
+package mechanism
+
+// CollectNoSort would be flagged in a scoped package.
+func CollectNoSort(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

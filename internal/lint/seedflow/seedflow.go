@@ -1,0 +1,111 @@
+// Package seedflow enforces the repository's single-origin rule for
+// randomness: every stream starts at rng.New and splits with
+// rng.Derive/Stream.Derive. Ad-hoc seed arithmetic (seed+i, seed^k) was the
+// bug class behind the correlated-sweep seeds retired in the engine PR — two
+// sweep points one apart produced overlapping streams — and direct
+// math/rand construction bypasses the SplitMix64 mixing that makes derived
+// streams pairwise independent.
+//
+// The analyzer reports, everywhere outside internal/rng:
+//
+//   - imports of math/rand (v1) and math/rand/v2 — all generator
+//     construction belongs behind rng.New;
+//   - arithmetic whose operands mention a seed (ident or field named
+//     *seed*): +, -, *, /, %, ^, |, &, &^, <<, >> in expressions, compound
+//     assignments, and ++/--. Comparisons are fine; so is passing a seed
+//     verbatim to rng.New/rng.Derive.
+package seedflow
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"liquid/internal/lint/analysis"
+)
+
+// Analyzer is the seedflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc:  "flags raw seed arithmetic and math/rand use outside internal/rng",
+	Run:  run,
+}
+
+func inScope(path string) bool {
+	tail := analysis.PackageTail(path)
+	return tail != "rng" && !strings.HasPrefix(tail, "rng/")
+}
+
+var arithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.XOR: true, token.OR: true, token.AND: true,
+	token.AND_NOT: true, token.SHL: true, token.SHR: true,
+}
+
+var arithAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true, token.XOR_ASSIGN: true,
+	token.OR_ASSIGN: true, token.AND_ASSIGN: true, token.AND_NOT_ASSIGN: true,
+	token.SHL_ASSIGN: true, token.SHR_ASSIGN: true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand":
+				pass.Reportf(imp.Pos(), "import of math/rand (v1): construct streams with rng.New and split with rng.Derive")
+			case "math/rand/v2":
+				pass.Reportf(imp.Pos(), "import of math/rand/v2 outside internal/rng: construct streams with rng.New and split with rng.Derive")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if arithOps[n.Op] && (mentionsSeed(n.X) || mentionsSeed(n.Y)) {
+					pass.Reportf(n.OpPos, "raw seed arithmetic (%s) breaks stream independence: derive substreams with rng.Derive(root, labels...) or Stream.Derive", n.Op)
+				}
+			case *ast.AssignStmt:
+				if arithAssignOps[n.Tok] {
+					for _, lhs := range n.Lhs {
+						if mentionsSeed(lhs) {
+							pass.Reportf(n.TokPos, "raw seed arithmetic (%s) breaks stream independence: derive substreams with rng.Derive(root, labels...) or Stream.Derive", n.Tok)
+							break
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if mentionsSeed(n.X) {
+					pass.Reportf(n.TokPos, "raw seed arithmetic (%s) breaks stream independence: derive substreams with rng.Derive(root, labels...) or Stream.Derive", n.Tok)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// mentionsSeed reports whether e is an identifier or selector whose name
+// contains "seed". Deliberately shallow: `seed + 1` and `cfg.Seed ^ k` are
+// flagged, but `f(seed) + 1` is not — the seed there already went through a
+// call that can mix it properly.
+func mentionsSeed(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(e.Name), "seed")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(e.Sel.Name), "seed") || mentionsSeed(e.X)
+	case *ast.ParenExpr:
+		return mentionsSeed(e.X)
+	case *ast.UnaryExpr:
+		return mentionsSeed(e.X)
+	case *ast.StarExpr:
+		return mentionsSeed(e.X)
+	case *ast.BinaryExpr:
+		return mentionsSeed(e.X) || mentionsSeed(e.Y)
+	}
+	return false
+}

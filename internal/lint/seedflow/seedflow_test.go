@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"liquid/internal/lint/lintest"
+	"liquid/internal/lint/seedflow"
+)
+
+func TestSeedFlow(t *testing.T) {
+	lintest.Run(t, "testdata", seedflow.Analyzer)
+}

@@ -1,0 +1,36 @@
+// Package experiment is a seedflow fixture: rand/v2 use and seed arithmetic
+// outside internal/rng are violations.
+package experiment
+
+import "math/rand/v2" // want `math/rand/v2 outside internal/rng`
+
+// Streams builds a generator directly and offsets the seed by hand.
+func Streams(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed+1)) // want `raw seed arithmetic \(\+\)`
+}
+
+// TrialSeed is the exact bug class the engine PR retired: adjacent sweep
+// points got overlapping streams from seed+i.
+func TrialSeed(seed uint64, i int) uint64 {
+	return seed + uint64(i) // want `raw seed arithmetic \(\+\)`
+}
+
+// XorSeed hides the arithmetic in a xor.
+func XorSeed(cfg struct{ Seed uint64 }, k uint64) uint64 {
+	return cfg.Seed ^ k // want `raw seed arithmetic \(\^\)`
+}
+
+// BumpSeed mutates a seed in place.
+func BumpSeed(seed *uint64) {
+	*seed++ // want `raw seed arithmetic \(\+\+\)`
+}
+
+// CompareSeed only compares; comparisons carry no derivation.
+func CompareSeed(seed uint64) bool {
+	return seed == 0
+}
+
+// PassThrough hands the seed to a function that can mix it properly.
+func PassThrough(seed uint64, mix func(uint64) uint64) uint64 {
+	return mix(seed)
+}

@@ -1,0 +1,9 @@
+// Package localsim exercises the math/rand (v1) import rule.
+package localsim
+
+import mrand "math/rand" // want `math/rand \(v1\)`
+
+// Legacy draws from the v1 global-ish API.
+func Legacy(n int) int {
+	return mrand.Intn(n)
+}

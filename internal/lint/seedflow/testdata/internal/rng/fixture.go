@@ -1,0 +1,15 @@
+// Package rng is exempt from seedflow: it is the one place allowed to do
+// seed arithmetic and construct math/rand/v2 generators.
+package rng
+
+import "math/rand/v2"
+
+// Mix does raw seed arithmetic, legally.
+func Mix(seed uint64) uint64 {
+	return seed*0x9E3779B97F4A7C15 + 1
+}
+
+// New constructs the underlying generator, legally.
+func New(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(Mix(seed), Mix(seed+1)))
+}

@@ -1,0 +1,25 @@
+// Package election is a walltime fixture: a result-bearing package must not
+// read the clock, but may carry durations as data.
+package election
+
+import "time"
+
+// Timed reads the wall clock twice.
+func Timed() time.Duration {
+	start := time.Now() // want `wall-clock read \(time\.Now\)`
+	work()
+	return time.Since(start) // want `wall-clock read \(time\.Since\)`
+}
+
+// Budget treats a duration as plain data, which is fine anywhere.
+func Budget(timeout time.Duration) bool {
+	return timeout > time.Second
+}
+
+// Ignored shows the justified-suppression escape hatch.
+func Ignored() time.Time {
+	//lint:ignore walltime debug-only stamp, never rendered into results
+	return time.Now()
+}
+
+func work() {}

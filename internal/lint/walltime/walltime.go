@@ -1,0 +1,72 @@
+// Package walltime keeps wall-clock reads out of result-bearing packages.
+// reproduce_output.txt is byte-identical across runs and worker counts only
+// because nothing in the experiment/election/simulation stack observes real
+// time; timing lives in the engine's telemetry events and in cmd/, which
+// render to stderr. A time.Now in a result path is how "byte-identical"
+// silently becomes "almost identical".
+//
+// The analyzer flags time.Now and time.Since in every internal package
+// except the allowlist (internal/engine, whose events are telemetry by
+// construction). cmd/ and examples/ are out of scope: entry points own the
+// clock. Durations as *data* (time.Duration values, timeouts, backoff
+// arithmetic) are fine everywhere; only reading the clock is restricted.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"liquid/internal/lint/analysis"
+)
+
+// Analyzer is the walltime check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "flags time.Now/time.Since in result-bearing internal packages",
+	Run:  run,
+}
+
+// allowed lists internal packages that may read the clock: the engine emits
+// elapsed-time telemetry on its event stream, which never reaches stdout or
+// reproduce_output.txt.
+var allowed = map[string]bool{
+	"engine": true,
+	// The lint tooling itself may time its own runs.
+	"lint": true,
+}
+
+func inScope(path string) bool {
+	if !analysis.InInternal(path) {
+		return false
+	}
+	tail := analysis.PackageTail(path)
+	if i := strings.IndexByte(tail, '/'); i >= 0 {
+		tail = tail[:i]
+	}
+	return !allowed[tail]
+}
+
+// restricted are the clock-reading functions of package time.
+var restricted = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !restricted[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "wall-clock read (time.%s) in a result-bearing package: byte-identical reproduction forbids observing real time here; emit timing from internal/engine telemetry or cmd/ instead", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"liquid/internal/lint/lintest"
+	"liquid/internal/lint/walltime"
+)
+
+func TestWallTime(t *testing.T) {
+	lintest.Run(t, "testdata", walltime.Analyzer)
+}

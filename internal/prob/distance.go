@@ -12,12 +12,12 @@ import "math"
 // 0 and 1.
 func KolmogorovDistanceToNormal(pmf []float64, nrm Normal) float64 {
 	var (
-		cdf  float64
+		cdf  Accumulator
 		dist float64
 	)
 	for k, mass := range pmf {
-		cdf += mass
-		d := math.Abs(cdf - nrm.CDF(float64(k)+0.5))
+		cdf.Add(mass)
+		d := math.Abs(cdf.Sum() - nrm.CDF(float64(k)+0.5))
 		if d > dist {
 			dist = d
 		}
@@ -33,7 +33,7 @@ func TotalVariation(p, q []float64) float64 {
 	if len(q) > n {
 		n = len(q)
 	}
-	var s float64
+	var s Accumulator
 	for k := 0; k < n; k++ {
 		var pv, qv float64
 		if k < len(p) {
@@ -42,7 +42,7 @@ func TotalVariation(p, q []float64) float64 {
 		if k < len(q) {
 			qv = q[k]
 		}
-		s += math.Abs(pv - qv)
+		s.Add(math.Abs(pv - qv))
 	}
-	return s / 2
+	return s.Sum() / 2
 }

@@ -29,20 +29,16 @@ func (pb *PoissonBinomial) N() int { return len(pb.ps) }
 
 // Mean returns the expected value of the sum.
 func (pb *PoissonBinomial) Mean() float64 {
-	var m float64
-	for _, p := range pb.ps {
-		m += p
-	}
-	return m
+	return Sum(pb.ps)
 }
 
 // Variance returns the variance of the sum.
 func (pb *PoissonBinomial) Variance() float64 {
-	var v float64
+	var v Accumulator
 	for _, p := range pb.ps {
-		v += p * (1 - p)
+		v.Add(p * (1 - p))
 	}
-	return v
+	return v.Sum()
 }
 
 // PMF returns the full probability mass function f where f[k] = P[sum = k]
@@ -70,11 +66,7 @@ func (pb *PoissonBinomial) ProbAtLeast(k int) float64 {
 		return 0
 	}
 	f := pb.PMF()
-	var tail float64
-	for i := k; i <= n; i++ {
-		tail += f[i]
-	}
-	return clamp01(tail)
+	return clamp01(Sum(f[k : n+1]))
 }
 
 // ProbMajority returns the probability that strictly more than half of the

@@ -183,11 +183,7 @@ func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	var s float64
-	for _, x := range xs {
-		s += x
-	}
-	return s / float64(len(xs))
+	return Sum(xs) / float64(len(xs))
 }
 
 // Variance returns the unbiased sample variance of xs (0 for len < 2).
@@ -196,10 +192,10 @@ func Variance(xs []float64) float64 {
 		return 0
 	}
 	m := Mean(xs)
-	var s float64
+	var s Accumulator
 	for _, x := range xs {
 		d := x - m
-		s += d * d
+		s.Add(d * d)
 	}
-	return s / float64(len(xs)-1)
+	return s.Sum() / float64(len(xs)-1)
 }

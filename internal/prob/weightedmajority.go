@@ -44,21 +44,21 @@ func (wm *WeightedMajority) TotalWeight() int { return wm.total }
 
 // Mean returns E[W], the expected correct weight.
 func (wm *WeightedMajority) Mean() float64 {
-	var m float64
+	var m Accumulator
 	for _, v := range wm.voters {
-		m += float64(v.Weight) * v.P
+		m.Add(float64(v.Weight) * v.P)
 	}
-	return m
+	return m.Sum()
 }
 
 // Variance returns Var[W].
 func (wm *WeightedMajority) Variance() float64 {
-	var s float64
+	var s Accumulator
 	for _, v := range wm.voters {
 		w := float64(v.Weight)
-		s += w * w * v.P * (1 - v.P)
+		s.Add(w * w * v.P * (1 - v.P))
 	}
-	return s
+	return s.Sum()
 }
 
 // PMF returns f with f[t] = P[W = t] for t in [0, TotalWeight], computed by
@@ -88,11 +88,7 @@ func (wm *WeightedMajority) ProbAbove(threshold int) float64 {
 		return 0
 	}
 	f := wm.PMF()
-	var tail float64
-	for t := threshold + 1; t <= wm.total; t++ {
-		tail += f[t]
-	}
-	return clamp01(tail)
+	return clamp01(Sum(f[threshold+1 : wm.total+1]))
 }
 
 // ProbCorrectDecision returns the probability that the weighted-majority

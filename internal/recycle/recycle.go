@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"liquid/internal/core"
+	"liquid/internal/prob"
 	"liquid/internal/rng"
 )
 
@@ -154,21 +155,17 @@ func (g *Graph) Means() []float64 {
 
 // MeanSum returns mu(X_n) = sum_i E[x_i].
 func (g *Graph) MeanSum() float64 {
-	var s float64
-	for _, v := range g.Means() {
-		s += v
-	}
-	return s
+	return prob.Sum(g.Means())
 }
 
 // MeanPrefixSums returns mu(X_i) for every prefix.
 func (g *Graph) MeanPrefixSums() []float64 {
 	m := g.Means()
 	out := make([]float64, len(m))
-	var s float64
+	var s prob.Accumulator
 	for i, v := range m {
-		s += v
-		out[i] = s
+		s.Add(v)
+		out[i] = s.Sum()
 	}
 	return out
 }
