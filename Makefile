@@ -2,21 +2,23 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short test-race test-faults fuzz-smoke bench reproduce reproduce-fast examples fmt
+.PHONY: all check build vet lint test test-short test-race test-faults fuzz-smoke bench bench-smoke bench-json reproduce reproduce-fast examples fmt
 
 all: check
 
 # check is the gate for a change, in order: compile, go vet, the repo's own
 # determinism analyzers (cmd/liquidlint — see DESIGN.md "Static invariants"),
 # tests, the race detector over the parallel engine and election sampling,
-# and a short fuzz pass over the simulator's message-validation invariants.
+# a short fuzz pass over the simulator's message-validation invariants and
+# the convolution kernels, and a one-iteration smoke run of the kernel
+# benchmarks (catches crashes in benchmark-only code paths, not timings).
 # Lint sits between vet and test so cheap structural violations fail the
 # gate before the expensive suites run. The recipe runs every stage it can
 # reach, prints a one-line pass/fail summary, and exits nonzero on the
 # first failure (later stages report as skip).
 check:
 	@rc=0; summary=""; \
-	for stage in build vet lint test test-race fuzz-smoke; do \
+	for stage in build vet lint test test-race fuzz-smoke bench-smoke; do \
 		if [ $$rc -ne 0 ]; then summary="$$summary $$stage:skip"; continue; fi; \
 		echo "== $$stage"; \
 		if $(MAKE) --no-print-directory $$stage; then summary="$$summary $$stage:ok"; \
@@ -51,12 +53,28 @@ test-race:
 test-faults:
 	$(GO) test ./internal/fault/... ./internal/localsim/... ./internal/engine/...
 
-# fuzz-smoke is a short deterministic-budget fuzz pass (also part of check).
+# fuzz-smoke is a short deterministic-budget fuzz pass (also part of check):
+# the simulator's message validation, then the divide-and-conquer
+# convolution kernels against the naive DP reference.
 fuzz-smoke:
 	$(GO) test ./internal/localsim -run='^$$' -fuzz=FuzzMessageValidation -fuzztime=5s
+	$(GO) test ./internal/prob -run='^$$' -fuzz=FuzzConvolutionEquivalence -fuzztime=5s
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke runs the exact-engine kernel benchmarks for a single
+# iteration each: a crash check over benchmark-only code, cheap enough for
+# the check gate. Timings from one iteration are meaningless; use
+# bench/bench-json for numbers.
+bench-smoke:
+	$(GO) test -run='^$$' -benchtime=1x -bench='^(BenchmarkPoissonBinomialPMF|BenchmarkWeightedMajorityDP|BenchmarkResolutionScoreCached|BenchmarkEvaluateMechanismSmall)$$' .
+
+# bench-json runs the full benchmark suite and appends a schema-stable
+# snapshot BENCH_<n>.json (next free index) for trajectory tracking across
+# PRs; see cmd/benchjson and README "Benchmark trajectory".
+bench-json:
+	$(GO) run ./cmd/benchjson
 
 # Regenerate every paper experiment at full scale (deterministic, seed 1).
 reproduce:

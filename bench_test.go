@@ -123,7 +123,29 @@ func benchInstance(b *testing.B, n int) *core.Instance {
 	return in
 }
 
+// BenchmarkPoissonBinomialPMF measures the exact P^D kernel (n=2000)
+// through the workspace API: construct the distribution (borrowing, no
+// copy) and resolve the majority probability from its PMF.
+// BenchmarkPoissonBinomialPMFNaive is the same workload on the plain
+// O(n^2) DP with allocating construction — the pre-overhaul engine, kept
+// for trajectory comparison (see BENCH_*.json).
 func BenchmarkPoissonBinomialPMF(b *testing.B) {
+	in := benchInstance(b, 2000)
+	ps := in.Competencies()
+	ws := prob.NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb, err := ws.PoissonBinomial(ps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pb.ProbMajorityWS(ws) < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkPoissonBinomialPMFNaive(b *testing.B) {
 	in := benchInstance(b, 2000)
 	ps := in.Competencies()
 	b.ResetTimer()
@@ -132,26 +154,73 @@ func BenchmarkPoissonBinomialPMF(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if pb.ProbMajority() < 0 {
+		f := pb.PMFNaive()
+		if prob.Sum(f[len(ps)/2+1:]) < 0 {
 			b.Fatal("impossible")
 		}
 	}
 }
 
-func BenchmarkWeightedMajorityDP(b *testing.B) {
-	voters := make([]prob.WeightedVoter, 200)
+// benchVoters is the weighted-majority workload: n sinks with weights in
+// [1, 20], the regime the raised exact-evaluation limits target.
+func benchVoters(n int) []prob.WeightedVoter {
+	voters := make([]prob.WeightedVoter, n)
 	s := rng.New(7)
 	for i := range voters {
 		voters[i] = prob.WeightedVoter{Weight: 1 + s.IntN(20), P: s.Float64()}
 	}
+	return voters
+}
+
+func BenchmarkWeightedMajorityDP(b *testing.B) {
+	voters := benchVoters(2000)
+	ws := prob.NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wm, err := ws.WeightedMajority(voters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if wm.ProbCorrectDecisionWS(ws) < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkWeightedMajorityDPNaive(b *testing.B) {
+	voters := benchVoters(2000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		wm, err := prob.NewWeightedMajority(voters)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if wm.ProbCorrectDecision() < 0 {
+		f := wm.PMFNaive()
+		if prob.Sum(f[wm.TotalWeight()/2+1:]) < 0 {
 			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkResolutionScoreCached measures the memoized exact-scoring path:
+// one realized resolution scored repeatedly through a shared ScoreCache,
+// the steady state of replication loops.
+func BenchmarkResolutionScoreCached(b *testing.B) {
+	in := benchInstance(b, 500)
+	d, err := (mechanism.ApprovalThreshold{Alpha: 0.05}).Apply(in, rng.New(21))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := prob.NewWorkspace()
+	cache := election.NewScoreCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := election.ResolutionProbabilityExactCached(in, res, ws, cache); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,182 @@
+// Command benchjson runs the repository benchmark suite and records a
+// schema-stable JSON snapshot of the results as BENCH_<n>.json in the
+// repository root, picking the next free index. Committing one snapshot
+// per perf-relevant PR builds a benchmark trajectory that later sessions
+// (and reviewers) can diff without re-running older code.
+//
+// The schema is deliberately small and append-only:
+//
+//	{
+//	  "schema": "liquid-bench/1",
+//	  "go": "go1.24.x",
+//	  "benchmarks": [
+//	    {"name": "BenchmarkPoissonBinomialPMF", "iterations": 6682,
+//	     "ns_per_op": 311315, "b_per_op": 24, "allocs_per_op": 0},
+//	    ...
+//	  ]
+//	}
+//
+// ns_per_op/b_per_op/allocs_per_op are as printed by `go test -bench`;
+// b_per_op and allocs_per_op are -1 when the line carried no -benchmem
+// columns. Timings are machine-dependent — trajectories are meaningful on
+// one machine, ratios approximately across machines.
+//
+// Usage:
+//
+//	benchjson [-bench regexp] [-benchtime d] [-dir path] [-dry-run]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchLine is one parsed benchmark result.
+type benchLine struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// snapshot is the BENCH_<n>.json document.
+type snapshot struct {
+	Schema     string      `json:"schema"`
+	Go         string      `json:"go"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1s", "benchtime passed to go test")
+	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
+	dryRun := flag.Bool("dry-run", false, "print the snapshot to stdout instead of writing a file")
+	flag.Parse()
+
+	lines, err := runBenchmarks(*bench, *benchtime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(lines) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
+		os.Exit(1)
+	}
+	snap := snapshot{Schema: "liquid-bench/1", Go: runtime.Version(), Benchmarks: lines}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if *dryRun {
+		os.Stdout.Write(out)
+		return
+	}
+	path, err := nextSnapshotPath(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(lines))
+}
+
+// runBenchmarks executes the suite and parses the result lines.
+func runBenchmarks(bench, benchtime string) ([]benchLine, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem", "./...")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var lines []benchLine
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // keep the human-readable stream visible
+		if b, ok := parseBenchLine(line); ok {
+			lines = append(lines, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	return lines, nil
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo-8   1234   5678 ns/op   90 B/op   1 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so snapshots compare across
+// machines with different core counts.
+func parseBenchLine(line string) (benchLine, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchLine{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchLine{}, false
+	}
+	b := benchLine{Name: name, Iterations: iters, BPerOp: -1, AllocsPerOp: -1}
+	// Remaining fields come in value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchLine{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	if b.NsPerOp == 0 {
+		return benchLine{}, false
+	}
+	return b, true
+}
+
+// nextSnapshotPath returns BENCH_<n>.json for the smallest unused n >= 1.
+func nextSnapshotPath(dir string) (string, error) {
+	for n := 1; n < 10000; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%03d.json", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+	return "", fmt.Errorf("no free BENCH_<n>.json index in %s", dir)
+}

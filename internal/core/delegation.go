@@ -110,6 +110,33 @@ func (d *DelegationGraph) Resolve() (*Resolution, error) {
 // initial[i] votes to its sink. A nil slice means one vote per voter
 // (the paper's model). Initial weights must be non-negative.
 func (d *DelegationGraph) ResolveWithWeights(initial []int) (*Resolution, error) {
+	return new(Resolver).ResolveWithWeights(d, initial)
+}
+
+// Resolver resolves delegation graphs into reusable scratch, so hot loops
+// (one resolution per replication) stop paying the six per-call allocations
+// of DelegationGraph.Resolve. The returned Resolution aliases the
+// Resolver's buffers: it is valid only until the next call on the same
+// Resolver, and a Resolver must not be shared between goroutines.
+// Resolution values are identical to DelegationGraph.Resolve's.
+type Resolver struct {
+	res   Resolution
+	depth []int
+	sink  []int
+	stack []int
+	// dirty marks Weight as holding partial writes from an errored call;
+	// clean calls zero only their own sinks' entries on the next resolve.
+	dirty bool
+}
+
+// Resolve is ResolveWithWeights with one vote per voter.
+func (r *Resolver) Resolve(d *DelegationGraph) (*Resolution, error) {
+	return r.ResolveWithWeights(d, nil)
+}
+
+// ResolveWithWeights resolves d into the Resolver's scratch. See
+// DelegationGraph.ResolveWithWeights for semantics.
+func (r *Resolver) ResolveWithWeights(d *DelegationGraph, initial []int) (*Resolution, error) {
 	n := len(d.Delegate)
 	if initial != nil {
 		if len(initial) != n {
@@ -121,23 +148,49 @@ func (d *DelegationGraph) ResolveWithWeights(initial []int) (*Resolution, error)
 			}
 		}
 	}
-	res := &Resolution{
-		SinkOf: make([]int, n),
-		Weight: make([]int, n),
+	res := &r.res
+	if cap(res.SinkOf) < n {
+		res.SinkOf = make([]int, n)
+		res.Weight = make([]int, n) // fresh, so already zero
+		r.depth = make([]int, n)
+		r.sink = make([]int, n)
+		r.dirty = false
+		res.Sinks = res.Sinks[:0]
 	}
+	res.SinkOf = res.SinkOf[:n]
+	// After a clean resolve the only nonzero Weight entries are that call's
+	// sinks, so zero those instead of the whole vector; an errored call
+	// leaves r.dirty set and forces the full wipe. Zeroing runs over the
+	// full capacity because the previous call may have covered more voters.
+	wfull := res.Weight[:cap(res.Weight)]
+	if r.dirty {
+		for i := range wfull {
+			wfull[i] = 0
+		}
+	} else {
+		for _, v := range res.Sinks {
+			wfull[v] = 0
+		}
+	}
+	r.dirty = true
+	res.Weight = res.Weight[:n]
+	res.Sinks = res.Sinks[:0]
+	res.MaxWeight = 0
+	res.TotalWeight = 0
+	res.LongestChain = 0
+	res.Delegators = 0
 	// depth[i]: number of hops from i to its sink; -1 unknown, -2 on stack.
 	const (
 		unknown = -1
 		onStack = -2
 	)
-	depth := make([]int, n)
-	sink := make([]int, n)
+	depth := r.depth[:n]
+	sink := r.sink[:n]
 	for i := range depth {
 		depth[i] = unknown
-		sink[i] = NoDelegate
 	}
 
-	var stack []int
+	stack := r.stack
 	for start := 0; start < n; start++ {
 		if depth[start] != unknown {
 			continue
@@ -165,6 +218,7 @@ func (d *DelegationGraph) ResolveWithWeights(initial []int) (*Resolution, error)
 			sink[u] = sink[next]
 		}
 	}
+	r.stack = stack // keep any growth for the next call
 
 	for i := 0; i < n; i++ {
 		if d.abstained(i) {
@@ -184,20 +238,21 @@ func (d *DelegationGraph) ResolveWithWeights(initial []int) (*Resolution, error)
 		res.TotalWeight += wi
 		if d.Delegate[i] != NoDelegate {
 			res.Delegators++
+		} else {
+			// A non-abstained direct voter is its own sink; collecting here
+			// keeps Sinks in ascending order without a second pass over n.
+			res.Sinks = append(res.Sinks, i)
 		}
 		if depth[i] > res.LongestChain {
 			res.LongestChain = depth[i]
 		}
 	}
-	for v := 0; v < n; v++ {
-		if res.SinkOf[v] != v {
-			continue
-		}
-		res.Sinks = append(res.Sinks, v)
+	for _, v := range res.Sinks {
 		if res.Weight[v] > res.MaxWeight {
 			res.MaxWeight = res.Weight[v]
 		}
 	}
+	r.dirty = false
 	return res, nil
 }
 

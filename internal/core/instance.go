@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"liquid/internal/graph"
 	"liquid/internal/rng"
@@ -36,6 +38,56 @@ type Instance struct {
 	// O(log n) approval queries on complete topologies.
 	byCompetency []int
 	sortedP      []float64
+
+	// approvalMemo caches, per alpha, each voter's suffix start in sortedP
+	// (the index of the first competency >= p_i + alpha). Mechanisms query
+	// approval sets for every voter every replication at a fixed alpha, so
+	// the O(n log n) table build amortizes to O(1) lookups. Purely an
+	// index-computation cache: a memoized start is the same value
+	// sort.SearchFloat64s returns, so results never depend on it.
+	// The latest table is published through an atomic pointer so the
+	// hot path (same alpha as last time) is one load and a compare.
+	approvalMemo struct {
+		latest atomic.Pointer[approvalTable]
+		mu     sync.Mutex
+		m      map[float64][]int
+	}
+}
+
+// approvalTable is one memoized suffix-start table for a fixed alpha.
+type approvalTable struct {
+	alpha float64
+	lo    []int
+}
+
+// approvalMemoMaxEntries bounds the per-instance alpha table count; sweeps
+// use a handful of alphas, so the bound only guards pathological callers.
+const approvalMemoMaxEntries = 64
+
+// approvalSuffixStarts returns the memoized per-voter suffix starts for
+// alpha, building the table on first use.
+func (in *Instance) approvalSuffixStarts(alpha float64) []int {
+	if t := in.approvalMemo.latest.Load(); t != nil && t.alpha == alpha {
+		return t.lo
+	}
+	in.approvalMemo.mu.Lock()
+	lo, ok := in.approvalMemo.m[alpha]
+	if !ok {
+		lo = make([]int, len(in.p))
+		for i, pi := range in.p {
+			lo[i] = sort.SearchFloat64s(in.sortedP, pi+alpha)
+		}
+		if in.approvalMemo.m == nil {
+			in.approvalMemo.m = make(map[float64][]int)
+		}
+		if len(in.approvalMemo.m) >= approvalMemoMaxEntries {
+			in.approvalMemo.m = make(map[float64][]int)
+		}
+		in.approvalMemo.m[alpha] = lo
+	}
+	in.approvalMemo.latest.Store(&approvalTable{alpha: alpha, lo: lo})
+	in.approvalMemo.mu.Unlock()
+	return lo
 }
 
 // NewInstance validates the competency vector against the topology and
@@ -78,6 +130,12 @@ func (in *Instance) Topology() graph.Topology { return in.top }
 
 // Competency returns p[i].
 func (in *Instance) Competency(i int) float64 { return in.p[i] }
+
+// CompetencyOrder returns voter ids sorted ascending by competency (ties
+// by id, fixed at construction). The slice is shared with the instance and
+// must not be modified; it lets hot paths obtain p-sorted voter sequences
+// in O(n) instead of re-sorting per call.
+func (in *Instance) CompetencyOrder() []int { return in.byCompetency }
 
 // Competencies returns a copy of the competency vector.
 func (in *Instance) Competencies() []float64 {
@@ -136,7 +194,7 @@ func (in *Instance) ApprovalCount(i int, alpha float64) int {
 
 func (in *Instance) completeApprovalCount(i int, alpha float64) int {
 	threshold := in.p[i] + alpha
-	lo := sort.SearchFloat64s(in.sortedP, threshold)
+	lo := in.approvalSuffixStarts(alpha)[i]
 	count := len(in.sortedP) - lo
 	if alpha <= 0 && in.p[i] >= threshold {
 		count-- // exclude self, which the suffix includes when alpha <= 0
@@ -171,8 +229,13 @@ func (in *Instance) SampleApproved(i int, alpha float64, s *rng.Stream) (delegat
 }
 
 func (in *Instance) completeSampleApproved(i int, alpha float64, s *rng.Stream) (int, bool) {
+	return in.sampleApprovedAt(i, alpha, in.approvalSuffixStarts(alpha)[i], s)
+}
+
+// sampleApprovedAt is completeSampleApproved with the suffix start already
+// resolved (by the per-voter memo or an ApprovalView).
+func (in *Instance) sampleApprovedAt(i int, alpha float64, lo int, s *rng.Stream) (int, bool) {
 	threshold := in.p[i] + alpha
-	lo := sort.SearchFloat64s(in.sortedP, threshold)
 	n := len(in.sortedP)
 	if lo >= n {
 		return -1, false
@@ -191,6 +254,48 @@ func (in *Instance) completeSampleApproved(i int, alpha float64, s *rng.Stream) 
 			return j, true
 		}
 	}
+}
+
+// ApprovalView is a prefetched approval-query handle at a fixed alpha.
+// Mechanisms that query every voter per replication construct one view per
+// Apply and skip the per-query memo lookup; answers are identical to
+// ApprovalCount / SampleApproved, including the random draw sequence.
+type ApprovalView struct {
+	in    *Instance
+	alpha float64
+	lo    []int // suffix starts on complete topologies, nil otherwise
+}
+
+// ApprovalView returns the approval view of the instance at margin alpha.
+func (in *Instance) ApprovalView(alpha float64) ApprovalView {
+	v := ApprovalView{in: in, alpha: alpha}
+	if _, ok := in.top.(graph.Complete); ok {
+		v.lo = in.approvalSuffixStarts(alpha)
+	}
+	return v
+}
+
+// Count returns |J(i)|; see Instance.ApprovalCount.
+func (v ApprovalView) Count(i int) int {
+	if v.lo == nil {
+		return v.in.ApprovalCount(i, v.alpha)
+	}
+	in := v.in
+	threshold := in.p[i] + v.alpha
+	count := len(in.sortedP) - v.lo[i]
+	if v.alpha <= 0 && in.p[i] >= threshold {
+		count-- // exclude self, which the suffix includes when alpha <= 0
+	}
+	return count
+}
+
+// Sample draws a uniformly random member of J(i); see
+// Instance.SampleApproved.
+func (v ApprovalView) Sample(i int, s *rng.Stream) (int, bool) {
+	if v.lo == nil {
+		return v.in.SampleApproved(i, v.alpha, s)
+	}
+	return v.in.sampleApprovedAt(i, v.alpha, v.lo[i], s)
 }
 
 // TopByCompetency returns the voter ids of the k most competent voters,

@@ -13,7 +13,6 @@ package election
 import (
 	"context"
 	"errors"
-	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -43,6 +42,12 @@ type Options struct {
 	// Seed drives all randomness. Two runs with equal options are
 	// bit-identical.
 	Seed uint64
+	// DisableResolutionCache turns off the memoized resolution-score cache.
+	// Results are bit-identical either way — every exact path scores the
+	// canonical sorted voter multiset — so the knob exists only for
+	// benchmarking the kernels and for the equivalence tests proving that
+	// claim.
+	DisableResolutionCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -84,6 +89,12 @@ type Result struct {
 	MeanMaxWeight    float64
 	MaxMaxWeight     int
 	MeanLongestChain float64
+
+	// ResolutionCacheHits/Misses report the evaluation's score-cache
+	// traffic. Telemetry only: the split depends on goroutine scheduling,
+	// so it must never appear in reproduced tables.
+	ResolutionCacheHits   uint64
+	ResolutionCacheMisses uint64
 }
 
 // DirectProbability returns P^D(G) for the instance: the probability that a
@@ -121,51 +132,36 @@ func DirectProbability(ctx context.Context, in *core.Instance, samples int, s *r
 }
 
 // DirectProbabilityExact returns the exact P^D(G) via the Poisson-binomial
-// DP. Cost is O(n^2).
+// DP. Cost is O(n^2) the first time; repeat calls on the same instance hit
+// a process-wide cache (sound because instances are immutable and the
+// exact branch is seed-free; see cache.go).
 func DirectProbabilityExact(in *core.Instance) (float64, error) {
 	if in.N() == 0 {
 		return 0, ErrNoVoters
 	}
-	pb, err := prob.NewPoissonBinomial(in.Competencies())
-	if err != nil {
-		return 0, fmt.Errorf("direct probability: %w", err)
-	}
-	return pb.ProbMajority(), nil
+	return directProbabilityCached(in)
 }
 
 // DirectNormalApproximation returns the Lemma 4 normal approximation of the
 // direct-vote total.
 func DirectNormalApproximation(in *core.Instance) prob.Normal {
-	var mu, v float64
+	var mu, v prob.Accumulator
 	for _, p := range in.Competencies() {
-		mu += p
-		v += p * (1 - p)
+		mu.Add(p)
+		v.Add(p * (1 - p))
 	}
-	return prob.Normal{Mu: mu, Sigma: math.Sqrt(v)}
+	return prob.Normal{Mu: mu.Sum(), Sigma: math.Sqrt(v.Sum())}
 }
 
 // ResolutionProbabilityExact returns the exact probability that the
-// resolved delegation outcome decides correctly.
+// resolved delegation outcome decides correctly. Scratch comes from an
+// internal pool; callers on a hot path should thread their own workspace
+// via ResolutionProbabilityExactWS or ResolutionProbabilityExactCached.
 func ResolutionProbabilityExact(in *core.Instance, res *core.Resolution) (float64, error) {
-	if in.N() == 0 {
-		return 0, ErrNoVoters
-	}
-	voters := make([]prob.WeightedVoter, 0, len(res.Sinks))
-	for _, sk := range res.Sinks {
-		if res.Weight[sk] == 0 { // possible with zero initial token weight
-			continue
-		}
-		voters = append(voters, prob.WeightedVoter{Weight: res.Weight[sk], P: in.Competency(sk)})
-	}
-	if len(voters) == 0 {
-		// Everyone abstained: no correct strict majority is possible.
-		return 0, nil
-	}
-	wm, err := prob.NewWeightedMajority(voters)
-	if err != nil {
-		return 0, fmt.Errorf("delegation probability: %w", err)
-	}
-	return wm.ProbCorrectDecision(), nil
+	ws := wsPool.Get().(*prob.Workspace)
+	v, err := ResolutionProbabilityExactCached(in, res, ws, nil)
+	wsPool.Put(ws)
+	return v, err
 }
 
 // ResolutionProbabilityMC estimates the same probability by sampling sink
@@ -214,7 +210,9 @@ type repOut struct {
 }
 
 // evaluateReplication scores one mechanism realization on its own stream.
-func evaluateReplication(ctx context.Context, in *core.Instance, mech mechanism.Mechanism, opts Options, s *rng.Stream) repOut {
+// ws and rv are the worker's private scratch; cache (optional) memoizes
+// exact scores across replications and is shared by all workers.
+func evaluateReplication(ctx context.Context, in *core.Instance, mech mechanism.Mechanism, opts Options, s *rng.Stream, ws *prob.Workspace, rv *core.Resolver, cache *ScoreCache) repOut {
 	if err := ctx.Err(); err != nil {
 		return repOut{err: err}
 	}
@@ -222,13 +220,13 @@ func evaluateReplication(ctx context.Context, in *core.Instance, mech mechanism.
 	if err != nil {
 		return repOut{err: err}
 	}
-	res, err := d.Resolve()
+	res, err := rv.Resolve(d)
 	if err != nil {
 		return repOut{err: err}
 	}
 	var pm float64
 	if resolutionCost(res) <= opts.ExactCostLimit {
-		pm, err = ResolutionProbabilityExact(in, res)
+		pm, err = ResolutionProbabilityExactCached(in, res, ws, cache)
 	} else {
 		pm, err = ResolutionProbabilityMC(ctx, in, res, opts.VoteSamples, s.DeriveString("votes"))
 	}
@@ -263,6 +261,10 @@ func EvaluateMechanism(ctx context.Context, in *core.Instance, mech mechanism.Me
 		return nil, err
 	}
 
+	var cache *ScoreCache
+	if !opts.DisableResolutionCache {
+		cache = NewScoreCache()
+	}
 	outs := make([]repOut, opts.Replications)
 	workers := opts.Workers
 	if workers > opts.Replications {
@@ -274,10 +276,18 @@ func EvaluateMechanism(ctx context.Context, in *core.Instance, mech mechanism.Me
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One workspace and resolver per worker: scratch is reused
+			// across this worker's replications and never shared. The score
+			// cache is shared — its values are pure functions of their keys,
+			// so scheduling cannot change any result, only the hit counts.
+			ws := wsPool.Get().(*prob.Workspace)
+			rv := rvPool.Get().(*core.Resolver)
+			defer wsPool.Put(ws)
+			defer rvPool.Put(rv)
 			for r := range work {
 				// Each replication draws from a stream derived only from
 				// (seed, r), so scheduling order cannot change the outcome.
-				outs[r] = evaluateReplication(ctx, in, mech, opts, root.Derive(uint64(r)+1))
+				outs[r] = evaluateReplication(ctx, in, mech, opts, root.Derive(uint64(r)+1), ws, rv, cache)
 			}
 		}()
 	}
@@ -296,25 +306,29 @@ feed:
 	}
 
 	var pmSum prob.Summary
+	var delegators, sinks, maxWeights, chains prob.Accumulator
 	result := &Result{Mechanism: mech.Name(), N: in.N(), PD: pd}
 	for _, o := range outs {
 		if o.err != nil {
 			return nil, o.err
 		}
 		pmSum.Add(o.pm)
-		result.MeanDelegators += float64(o.delegators)
-		result.MeanSinks += float64(o.sinks)
-		result.MeanMaxWeight += float64(o.maxWeight)
-		result.MeanLongestChain += float64(o.longestChain)
+		delegators.Add(float64(o.delegators))
+		sinks.Add(float64(o.sinks))
+		maxWeights.Add(float64(o.maxWeight))
+		chains.Add(float64(o.longestChain))
 		if o.maxWeight > result.MaxMaxWeight {
 			result.MaxMaxWeight = o.maxWeight
 		}
 	}
 	reps := float64(opts.Replications)
-	result.MeanDelegators /= reps
-	result.MeanSinks /= reps
-	result.MeanMaxWeight /= reps
-	result.MeanLongestChain /= reps
+	result.MeanDelegators = delegators.Sum() / reps
+	result.MeanSinks = sinks.Sum() / reps
+	result.MeanMaxWeight = maxWeights.Sum() / reps
+	result.MeanLongestChain = chains.Sum() / reps
+	if cache != nil {
+		result.ResolutionCacheHits, result.ResolutionCacheMisses = cache.Stats()
+	}
 	result.PM = pmSum.Mean()
 	result.PMStdErr = pmSum.StdErr()
 	result.Gain = result.PM - pd
@@ -330,11 +344,12 @@ feed:
 // about: delegation shifts the mean up by >= alpha per delegation and
 // inflates the variance by concentrating weight on fewer independent sinks.
 func ResolutionMoments(in *core.Instance, res *core.Resolution) (mean, variance float64) {
+	var m, v prob.Accumulator
 	for _, sk := range res.Sinks {
 		w := float64(res.Weight[sk])
 		p := in.Competency(sk)
-		mean += w * p
-		variance += w * w * p * (1 - p)
+		m.Add(w * p)
+		v.Add(w * w * p * (1 - p))
 	}
-	return mean, variance
+	return m.Sum(), v.Sum()
 }

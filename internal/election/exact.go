@@ -6,6 +6,7 @@ import (
 
 	"liquid/internal/core"
 	"liquid/internal/mechanism"
+	"liquid/internal/prob"
 )
 
 // ErrTooManyOutcomes reports that exhaustive enumeration would exceed the
@@ -40,15 +41,15 @@ func ExactMechanismProbability(in *core.Instance, mech mechanism.DistributionMec
 		if len(d) == 0 {
 			return 0, fmt.Errorf("mechanism %q returned empty distribution for voter %d", mech.Name(), v)
 		}
-		var sum float64
+		var sum prob.Accumulator
 		for _, c := range d {
 			if c.P < 0 {
 				return 0, fmt.Errorf("mechanism %q returned negative probability for voter %d", mech.Name(), v)
 			}
-			sum += c.P
+			sum.Add(c.P)
 		}
-		if sum < 1-1e-9 || sum > 1+1e-9 {
-			return 0, fmt.Errorf("mechanism %q distribution for voter %d sums to %v", mech.Name(), v, sum)
+		if s := sum.Sum(); s < 1-1e-9 || s > 1+1e-9 {
+			return 0, fmt.Errorf("mechanism %q distribution for voter %d sums to %v", mech.Name(), v, s)
 		}
 		dists[v] = d
 		if total > maxOutcomes/int64(len(d)) {
@@ -58,22 +59,28 @@ func ExactMechanismProbability(in *core.Instance, mech mechanism.DistributionMec
 	}
 
 	dg := core.NewDelegationGraph(n)
-	var acc float64
+	// One workspace and cache for the whole enumeration: distinct delegation
+	// graphs frequently resolve to the same weight/competency multiset, so
+	// memoization collapses the scoring cost of the product space.
+	ws := prob.NewWorkspace()
+	rv := new(core.Resolver)
+	scores := NewScoreCache()
+	var acc prob.Accumulator
 	var enumerate func(v int, weight float64) error
 	enumerate = func(v int, weight float64) error {
 		if weight == 0 {
 			return nil
 		}
 		if v == n {
-			res, err := dg.Resolve()
+			res, err := rv.Resolve(dg)
 			if err != nil {
 				return err
 			}
-			pm, err := ResolutionProbabilityExact(in, res)
+			pm, err := ResolutionProbabilityExactCached(in, res, ws, scores)
 			if err != nil {
 				return err
 			}
-			acc += weight * pm
+			acc.Add(weight * pm)
 			return nil
 		}
 		for _, c := range dists[v] {
@@ -92,5 +99,5 @@ func ExactMechanismProbability(in *core.Instance, mech mechanism.DistributionMec
 	if err := enumerate(0, 1); err != nil {
 		return 0, err
 	}
-	return acc, nil
+	return acc.Sum(), nil
 }

@@ -11,6 +11,7 @@ import (
 	"liquid/internal/graph"
 	"liquid/internal/localsim"
 	"liquid/internal/mechanism"
+	"liquid/internal/prob"
 	"liquid/internal/report"
 	"liquid/internal/rng"
 )
@@ -290,6 +291,10 @@ func runR2(ctx context.Context, cfg Config) (*Outcome, error) {
 	conservedDetail := ""
 	benignExact := true
 	benignDetail := ""
+	// Shared exact-scoring scratch and memo across cells and trials; cached
+	// scores are bit-identical to recomputation (see election/cache.go).
+	ws := prob.NewWorkspace()
+	scores := election.NewScoreCache()
 	trappedByCell := map[string]int{}
 	fellBackByCell := map[string]int{}
 	duplicatedByCell := map[string]int{}
@@ -345,7 +350,7 @@ func runR2(ctx context.Context, cfg Config) (*Outcome, error) {
 						benignDetail = fmt.Sprintf("%s %s trial %d diverged from the fault-free run", tp.name, cell.name, t)
 					}
 				}
-				pm, err := election.ResolutionProbabilityExact(in, resolutionFromFaultReport(rep))
+				pm, err := election.ResolutionProbabilityExactCached(in, resolutionFromFaultReport(rep), ws, scores)
 				if err != nil {
 					return nil, err
 				}

@@ -56,6 +56,11 @@ func runX7(ctx context.Context, cfg Config) (*Outcome, error) {
 	ts := []int{4, 16, 64, 256, 1024}
 	gains := make([]float64, 0, len(ts))
 	misRates := make([]float64, 0, len(ts))
+	// Replications on one instance keep resolving to similar sink
+	// multisets; a shared workspace and score cache keep the exact DP off
+	// the hot path (values are unchanged either way, see election/cache.go).
+	ws := prob.NewWorkspace()
+	scores := election.NewScoreCache()
 	for _, t := range ts {
 		var pmSum prob.Summary
 		var misSum prob.Summary
@@ -81,7 +86,7 @@ func runX7(ctx context.Context, cfg Config) (*Outcome, error) {
 			if err != nil {
 				return nil, err
 			}
-			pm, err := election.ResolutionProbabilityExact(in, res)
+			pm, err := election.ResolutionProbabilityExactCached(in, res, ws, scores)
 			if err != nil {
 				return nil, err
 			}
@@ -137,7 +142,7 @@ func runX7(ctx context.Context, cfg Config) (*Outcome, error) {
 			if err != nil {
 				return nil, err
 			}
-			pm, err := election.ResolutionProbabilityExact(dnhIn, res)
+			pm, err := election.ResolutionProbabilityExactCached(dnhIn, res, ws, scores)
 			if err != nil {
 				return nil, err
 			}

@@ -9,6 +9,7 @@ import (
 	"liquid/internal/graph"
 	"liquid/internal/history"
 	"liquid/internal/mechanism"
+	"liquid/internal/prob"
 	"liquid/internal/report"
 	"liquid/internal/rng"
 )
@@ -35,6 +36,10 @@ func runX11(ctx context.Context, cfg Config) (*Outcome, error) {
 		wUncapped          int
 	}
 	outs := make([]out, 0, len(blocs))
+	// Shared exact-scoring scratch and memo across coalition sizes; cached
+	// scores are bit-identical to recomputation (see election/cache.go).
+	ws := prob.NewWorkspace()
+	scores := election.NewScoreCache()
 	for bi, b := range blocs {
 		total := n + b
 		s := root.Derive(uint64(bi) + 1)
@@ -84,7 +89,7 @@ func runX11(ctx context.Context, cfg Config) (*Outcome, error) {
 			for i := n; i < total; i++ {
 				captured += res.Weight[i]
 			}
-			pm, err := election.ResolutionProbabilityExact(in, res)
+			pm, err := election.ResolutionProbabilityExactCached(in, res, ws, scores)
 			if err != nil {
 				return 0, 0, err
 			}

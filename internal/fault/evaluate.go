@@ -55,6 +55,13 @@ type ElectionResult struct {
 	MeanRedelegated float64
 }
 
+// Worker scratch pools; scratch never influences results (see
+// prob.Workspace and core.Resolver), so pooling affects allocation only.
+var (
+	faultWSPool = sync.Pool{New: func() any { return prob.NewWorkspace() }}
+	faultRVPool = sync.Pool{New: func() any { return new(core.Resolver) }}
+)
+
 // faultRep is the per-replication outcome.
 type faultRep struct {
 	pm          float64
@@ -67,7 +74,7 @@ type faultRep struct {
 
 // evaluateFaultReplication runs one mechanism realization, injects faults,
 // repairs with the policy, and scores the result.
-func evaluateFaultReplication(ctx context.Context, in *core.Instance, mech mechanism.Mechanism, opts ElectionOptions, s *rng.Stream) faultRep {
+func evaluateFaultReplication(ctx context.Context, in *core.Instance, mech mechanism.Mechanism, opts ElectionOptions, s *rng.Stream, ws *prob.Workspace, rv *core.Resolver, cache *election.ScoreCache) faultRep {
 	if err := ctx.Err(); err != nil {
 		return faultRep{err: err}
 	}
@@ -99,13 +106,13 @@ func evaluateFaultReplication(ctx context.Context, in *core.Instance, mech mecha
 	if err != nil {
 		return faultRep{err: err}
 	}
-	res, err := rec.Resolve()
+	res, err := rec.ResolveInto(rv)
 	if err != nil {
 		return faultRep{err: err}
 	}
 	var pm float64
 	if int64(len(res.Sinks))*int64(res.TotalWeight) <= opts.ExactCostLimit {
-		pm, err = election.ResolutionProbabilityExact(in, res)
+		pm, err = election.ResolutionProbabilityExactCached(in, res, ws, cache)
 	} else {
 		pm, err = election.ResolutionProbabilityMC(ctx, in, res, opts.VoteSamples, s.DeriveString("votes"))
 	}
@@ -164,14 +171,22 @@ func EvaluateUnderFaults(ctx context.Context, in *core.Instance, mech mechanism.
 	}
 	work := make(chan int)
 	var wg sync.WaitGroup
+	cache := election.NewScoreCache()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch, shared score cache: cached scores are
+			// bit-identical to recomputation, so sharing cannot perturb
+			// results (see election/cache.go).
+			ws := faultWSPool.Get().(*prob.Workspace)
+			rv := faultRVPool.Get().(*core.Resolver)
+			defer faultWSPool.Put(ws)
+			defer faultRVPool.Put(rv)
 			for r := range work {
 				// Streams depend only on (seed, r): scheduling order cannot
 				// change the outcome.
-				outs[r] = evaluateFaultReplication(ctx, in, mech, opts, root.Derive(uint64(r)+1))
+				outs[r] = evaluateFaultReplication(ctx, in, mech, opts, root.Derive(uint64(r)+1), ws, rv, cache)
 			}
 		}()
 	}

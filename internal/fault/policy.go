@@ -66,6 +66,12 @@ func (r *Recovery) Resolve() (*core.Resolution, error) {
 	return r.Graph.ResolveWithWeights(r.Weights)
 }
 
+// ResolveInto is Resolve with caller-provided resolver scratch; see
+// core.Resolver for the aliasing rules.
+func (r *Recovery) ResolveInto(rv *core.Resolver) (*core.Resolution, error) {
+	return rv.ResolveWithWeights(r.Graph, r.Weights)
+}
+
 // ApplyPolicy repairs the delegation graph d on instance in under the given
 // fault sets: down[v] marks voter v unavailable (a crashed sink or an
 // unreachable delegate — its own unit is always lost), abstain[v] marks a

@@ -30,8 +30,9 @@ var Analyzer = &analysis.Analyzer{
 }
 
 var scope = map[string]bool{
-	"prob":    true,
-	"recycle": true,
+	"prob":     true,
+	"recycle":  true,
+	"election": true,
 }
 
 func inScope(path string) bool {

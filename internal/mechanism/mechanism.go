@@ -93,15 +93,17 @@ func (m ApprovalThreshold) Apply(in *core.Instance, s *rng.Stream) (*core.Delega
 		return nil, fmt.Errorf("%w: negative alpha %v", ErrInvalidMechanism, m.Alpha)
 	}
 	d := core.NewDelegationGraph(in.N())
+	view := in.ApprovalView(m.Alpha)
 	for i := 0; i < in.N(); i++ {
-		threshold := 0
 		if m.Threshold != nil {
-			threshold = m.Threshold(in.Topology().Degree(i))
+			if view.Count(i) < max(m.Threshold(in.Topology().Degree(i)), 1) {
+				continue
+			}
 		}
-		if in.ApprovalCount(i, m.Alpha) < max(threshold, 1) {
-			continue
-		}
-		j, ok := in.SampleApproved(i, m.Alpha, s)
+		// With no threshold the only requirement is |J(i)| >= 1, which
+		// Sample reports itself (consuming no randomness when the set is
+		// empty), so the count query is skipped entirely.
+		j, ok := view.Sample(i, s)
 		if !ok {
 			continue
 		}

@@ -1,0 +1,233 @@
+package prob
+
+// Divide-and-conquer PMF evaluation. The voter set is split (weight-
+// balanced), each half's PMF is computed recursively, and the halves are
+// merged by convolution. With FFT merges the work is O(W log^2 W) on total
+// weight W instead of the naive DP's O(n*W); the crossover to the in-place
+// DP is decided locally from a cost model, so small instances run exactly
+// the code they always did while large ones get the asymptotic win.
+//
+// The cost model counts in "DP units" (one inner-loop update of the
+// quadratic DP). Splitting a segment saves the difference between its DP
+// cost and its halves' DP costs, and pays one FFT merge; the segment is a
+// DP leaf whenever the merge costs more than it saves. fftUnitCost is the
+// measured price of one FFT butterfly-equivalent in DP units (tuned with
+// BenchmarkPoissonBinomialPMF; see DESIGN.md "Performance kernels").
+
+import "math"
+
+const (
+	fftUnitCost = 4
+	dcMinLeaf   = 32
+)
+
+// fftMergeCost estimates, in DP units, the price of one convolution merge
+// producing resultLen values: two transforms of the padded size plus the
+// linear packing/unpacking passes.
+func fftMergeCost(resultLen int) int64 {
+	lg := ceilLog2(resultLen)
+	m := int64(1) << lg
+	return fftUnitCost * m * int64(lg)
+}
+
+// --- Poisson binomial ---
+
+// pbDPCost is the DP cost of a k-voter Poisson-binomial segment:
+// sum_{i=1..k} i updates.
+func pbDPCost(k int64) int64 { return k * (k + 1) / 2 }
+
+// pbDC computes the PMF of ps[lo:hi] into an arena slice of length
+// hi-lo+1.
+func (ws *Workspace) pbDC(ps []float64, lo, hi int) []float64 {
+	k := hi - lo
+	if k < dcMinLeaf || pbSplitGain(k) <= fftMergeCost(k+1) {
+		f := ws.alloc(k + 1)
+		pbDPInto(f, ps[lo:hi])
+		return f
+	}
+	mid := lo + k/2
+	mark := ws.off
+	fl := ws.pbDC(ps, lo, mid)
+	fr := ws.pbDC(ps, mid, hi)
+	res := ws.convolve(fl, fr)
+	ws.off = mark
+	out := ws.alloc(k + 1)
+	copyClampNonneg(out, res)
+	return out
+}
+
+// pbSplitGain is the DP work avoided by splitting a k-voter segment in
+// half (the second half no longer sweeps the first half's support).
+func pbSplitGain(k int) int64 {
+	l := int64(k) / 2
+	r := int64(k) - l
+	return pbDPCost(int64(k)) - pbDPCost(l) - pbDPCost(r)
+}
+
+// pbDPInto runs the exact O(k^2) convolution DP over ps into f, which must
+// have length len(ps)+1 and may hold garbage.
+func pbDPInto(f []float64, ps []float64) {
+	zeroFloats(f)
+	f[0] = 1
+	// Voters are folded in two at a time: one pass with the pair's
+	// convolution [a0, a1, a2] touches each f entry once instead of twice,
+	// which matters because the DP is memory-bound. math.FMA is the
+	// hardware fused multiply-add: one rounding instead of two,
+	// deterministic across platforms (the softfloat fallback is
+	// bit-identical). wmDPInto pairs and fuses the same way, so weight-1
+	// majorities stay bit-identical to this Poisson-binomial path.
+	reached := 0
+	i := 0
+	for ; i+1 < len(ps); i += 2 {
+		p1, p2 := ps[i], ps[i+1]
+		q1, q2 := 1-p1, 1-p2
+		a0 := q1 * q2
+		a1 := math.FMA(p1, q2, q1*p2)
+		a2 := p1 * p2
+		reached += 2
+		// Iterate downward so f[k-1], f[k-2] still hold previous values.
+		for k := reached; k >= 2; k-- {
+			f[k] = math.FMA(f[k-2], a2, math.FMA(f[k-1], a1, f[k]*a0))
+		}
+		f[1] = math.FMA(f[0], a1, f[1]*a0)
+		f[0] *= a0
+	}
+	if i < len(ps) {
+		p := ps[i]
+		q := 1 - p
+		reached++
+		for k := reached; k >= 1; k-- {
+			f[k] = math.FMA(f[k-1], p, f[k]*q)
+		}
+		f[0] *= q
+	}
+}
+
+// --- Weighted majority ---
+
+// wmDC computes the PMF of voters[lo:hi] into an arena slice. pw holds
+// prefix weights: pw[i] = sum of voters[:i] weights, so the segment's
+// total weight is pw[hi]-pw[lo].
+func (ws *Workspace) wmDC(voters []WeightedVoter, pw []int64, lo, hi int) []float64 {
+	w := int(pw[hi] - pw[lo])
+	if hi-lo < dcMinLeaf || wmSplitGain(pw, lo, hi) <= fftMergeCost(w+1) {
+		f := ws.alloc(w + 1)
+		wmDPInto(f, voters[lo:hi])
+		return f
+	}
+	mid := wmSplitPoint(pw, lo, hi)
+	mark := ws.off
+	fl := ws.wmDC(voters, pw, lo, mid)
+	fr := ws.wmDC(voters, pw, mid, hi)
+	res := ws.convolve(fl, fr)
+	ws.off = mark
+	out := ws.alloc(w + 1)
+	copyClampNonneg(out, res)
+	return out
+}
+
+// wmDPCost is the naive DP cost of a segment: each voter sweeps the
+// support reached so far.
+func wmDPCost(pw []int64, lo, hi int) int64 {
+	var c int64
+	for i := lo; i < hi; i++ {
+		c += pw[i+1] - pw[lo]
+	}
+	return c
+}
+
+func wmSplitGain(pw []int64, lo, hi int) int64 {
+	mid := wmSplitPoint(pw, lo, hi)
+	return wmDPCost(pw, lo, hi) - wmDPCost(pw, lo, mid) - wmDPCost(pw, mid, hi)
+}
+
+// wmSplitPoint picks the weight-balanced split index in (lo, hi): the
+// smallest mid whose left weight reaches half the segment's, which keeps
+// both convolution operands (and so the padded FFT size) small.
+func wmSplitPoint(pw []int64, lo, hi int) int {
+	target := pw[lo] + (pw[hi]-pw[lo])/2
+	a, b := lo+1, hi-1
+	for a < b {
+		m := (a + b) / 2
+		if pw[m] < target {
+			a = m + 1
+		} else {
+			b = m
+		}
+	}
+	return a
+}
+
+// wmDPInto runs the exact O(k*W) DP over voters into f, which must have
+// length (sum of weights)+1 and may hold garbage.
+func wmDPInto(f []float64, voters []WeightedVoter) {
+	zeroFloats(f)
+	f[0] = 1
+	// Consecutive voters of equal weight are folded in as a pair, exactly
+	// like pbDPInto pairs adjacent voters: same coefficients, same fused
+	// update, same greedy left-to-right pairing. For an all-weight-1 voter
+	// set the two kernels therefore perform identical float ops in the same
+	// order — the all-direct == P^D bit-equality contract in
+	// internal/election depends on that, so any further kernel change must
+	// be mirrored in both.
+	reached := 0
+	i := 0
+	for i < len(voters) {
+		v := voters[i]
+		w := v.Weight
+		if i+1 < len(voters) && voters[i+1].Weight == w {
+			p1, p2 := v.P, voters[i+1].P
+			q1, q2 := 1-p1, 1-p2
+			a0 := q1 * q2
+			a1 := math.FMA(p1, q2, q1*p2)
+			a2 := p1 * p2
+			reached += 2 * w
+			for t := reached; t >= 2*w; t-- {
+				f[t] = math.FMA(f[t-2*w], a2, math.FMA(f[t-w], a1, f[t]*a0))
+			}
+			for t := 2*w - 1; t >= w; t-- {
+				f[t] = math.FMA(f[t-w], a1, f[t]*a0)
+			}
+			for t := w - 1; t >= 0; t-- {
+				f[t] *= a0
+			}
+			i += 2
+			continue
+		}
+		p := v.P
+		q := 1 - p
+		reached += w
+		for t := reached; t >= w; t-- {
+			f[t] = math.FMA(f[t-w], p, f[t]*q)
+		}
+		for t := w - 1; t >= 0; t-- {
+			f[t] *= q
+		}
+		i++
+	}
+}
+
+// prefixWeights fills ws.pw with the prefix-weight table of voters.
+func (ws *Workspace) prefixWeights(voters []WeightedVoter) []int64 {
+	if cap(ws.pw) < len(voters)+1 {
+		ws.pw = make([]int64, len(voters)+1)
+	}
+	pw := ws.pw[:len(voters)+1]
+	pw[0] = 0
+	for i, v := range voters {
+		pw[i+1] = pw[i] + int64(v.Weight)
+	}
+	return pw
+}
+
+// copyClampNonneg copies src into dst, clamping the tiny negative values
+// FFT rounding can produce (magnitude ~1e-16) to zero so downstream code
+// always sees a valid mass function.
+func copyClampNonneg(dst, src []float64) {
+	for i, v := range src {
+		if v < 0 {
+			v = 0
+		}
+		dst[i] = v
+	}
+}

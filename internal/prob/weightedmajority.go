@@ -20,18 +20,29 @@ type WeightedMajority struct {
 	total  int
 }
 
-// NewWeightedMajority validates voters (weights >= 1, probabilities in
-// [0, 1]) and returns the distribution.
-func NewWeightedMajority(voters []WeightedVoter) (*WeightedMajority, error) {
+// validateVoters checks weights >= 1 and probabilities in [0, 1], and
+// returns the total weight.
+func validateVoters(voters []WeightedVoter) (int, error) {
 	total := 0
 	for i, v := range voters {
 		if v.Weight < 1 {
-			return nil, fmt.Errorf("%w: voter %d has weight %d < 1", ErrInvalidParameter, i, v.Weight)
+			return 0, fmt.Errorf("%w: voter %d has weight %d < 1", ErrInvalidParameter, i, v.Weight)
 		}
 		if v.P < 0 || v.P > 1 || math.IsNaN(v.P) {
-			return nil, fmt.Errorf("%w: voter %d has p = %v not in [0,1]", ErrInvalidParameter, i, v.P)
+			return 0, fmt.Errorf("%w: voter %d has p = %v not in [0,1]", ErrInvalidParameter, i, v.P)
 		}
 		total += v.Weight
+	}
+	return total, nil
+}
+
+// NewWeightedMajority validates voters (weights >= 1, probabilities in
+// [0, 1]) and returns the distribution. The slice is copied; for a
+// zero-allocation borrowing constructor see Workspace.WeightedMajority.
+func NewWeightedMajority(voters []WeightedVoter) (*WeightedMajority, error) {
+	total, err := validateVoters(voters)
+	if err != nil {
+		return nil, err
 	}
 	cp := make([]WeightedVoter, len(voters))
 	copy(cp, voters)
@@ -61,33 +72,56 @@ func (wm *WeightedMajority) Variance() float64 {
 	return s.Sum()
 }
 
-// PMF returns f with f[t] = P[W = t] for t in [0, TotalWeight], computed by
-// the exact O(|voters| * TotalWeight) dynamic program.
+// PMF returns f with f[t] = P[W = t] for t in [0, TotalWeight]. Small
+// instances run the exact O(|voters| * TotalWeight) dynamic program; large
+// ones the divide-and-conquer evaluator (see PMFWS).
 func (wm *WeightedMajority) PMF() []float64 {
+	ws := getWorkspace()
+	f := wm.PMFWS(ws)
+	out := make([]float64, len(f))
+	copy(out, f)
+	putWorkspace(ws)
+	return out
+}
+
+// PMFNaive returns the PMF via the plain O(|voters| * TotalWeight) dynamic
+// program with no divide-and-conquer, whatever the size. It is the
+// cross-validation reference for the fast evaluator (and its leaf kernel).
+func (wm *WeightedMajority) PMFNaive() []float64 {
 	f := make([]float64, wm.total+1)
-	f[0] = 1
-	reached := 0
-	for _, v := range wm.voters {
-		reached += v.Weight
-		for t := reached; t >= v.Weight; t-- {
-			f[t] = f[t]*(1-v.P) + f[t-v.Weight]*v.P
-		}
-		for t := v.Weight - 1; t >= 0; t-- {
-			f[t] *= 1 - v.P
-		}
-	}
+	wmDPInto(f, wm.voters)
 	return f
+}
+
+// PMFWS computes the PMF into ws-owned memory and returns it. The result
+// is valid until the next kernel call on ws. Above the cost-model
+// crossover the voter set is split weight-balanced and halves are merged
+// by FFT convolution; below it the in-place DP runs unchanged.
+func (wm *WeightedMajority) PMFWS(ws *Workspace) []float64 {
+	ws.reset(3*(wm.total+1) + 64)
+	pw := ws.prefixWeights(wm.voters)
+	return ws.wmDC(wm.voters, pw, 0, len(wm.voters))
 }
 
 // ProbAbove returns P[W > threshold].
 func (wm *WeightedMajority) ProbAbove(threshold int) float64 {
+	ws := getWorkspace()
+	v := wm.ProbAboveWS(ws, threshold)
+	putWorkspace(ws)
+	return v
+}
+
+// ProbAboveWS returns P[W > threshold] using ws for scratch: the PMF lives
+// only in workspace memory and the upper tail is summed in place, so the
+// call allocates nothing once ws is warm.
+func (wm *WeightedMajority) ProbAboveWS(ws *Workspace, threshold int) float64 {
 	if threshold < 0 {
 		return 1
 	}
 	if threshold >= wm.total {
 		return 0
 	}
-	f := wm.PMF()
+	f := wm.PMFWS(ws)
 	return clamp01(Sum(f[threshold+1 : wm.total+1]))
 }
 
@@ -100,6 +134,12 @@ func (wm *WeightedMajority) ProbCorrectDecision() float64 {
 	// 2W > total  <=>  W > floor(total/2) when total is odd, and
 	// W > total/2 when total is even; both are W > total/2 in integers:
 	return wm.ProbAbove(wm.total / 2)
+}
+
+// ProbCorrectDecisionWS is ProbCorrectDecision with caller-provided
+// scratch.
+func (wm *WeightedMajority) ProbCorrectDecisionWS(ws *Workspace) float64 {
+	return wm.ProbAboveWS(ws, wm.total/2)
 }
 
 // NormalApproximation returns the CLT approximation of W.
@@ -139,7 +179,7 @@ func (wm *WeightedMajority) ProbCorrectDecisionRule(rule TieRule) float64 {
 	if wm.total%2 != 0 {
 		return base
 	}
-	tie := wm.PMF()[wm.total/2]
+	tie := wm.ProbTie()
 	switch rule {
 	case TiesWin:
 		return clamp01(base + tie)
@@ -155,5 +195,8 @@ func (wm *WeightedMajority) ProbTie() float64 {
 	if wm.total%2 != 0 {
 		return 0
 	}
-	return wm.PMF()[wm.total/2]
+	ws := getWorkspace()
+	v := wm.PMFWS(ws)[wm.total/2]
+	putWorkspace(ws)
+	return v
 }
