@@ -2,23 +2,24 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short test-race test-faults fuzz-smoke bench bench-smoke bench-json reproduce reproduce-fast examples fmt
+.PHONY: all check build vet lint test test-short test-race test-faults cover fuzz-smoke bench bench-smoke bench-json reproduce reproduce-fast examples fmt
 
 all: check
 
 # check is the gate for a change, in order: compile, go vet, the repo's own
 # determinism analyzers (cmd/liquidlint — see DESIGN.md "Static invariants"),
 # tests, the race detector over the parallel engine and election sampling,
-# a short fuzz pass over the simulator's message-validation invariants and
-# the convolution kernels, and a one-iteration smoke run of the kernel
-# benchmarks (catches crashes in benchmark-only code paths, not timings).
+# the coverage floor against COVERAGE.baseline, a short fuzz pass over the
+# simulator's message-validation invariants and the convolution kernels,
+# and a one-iteration smoke run of the kernel benchmarks (catches crashes
+# in benchmark-only code paths, not timings).
 # Lint sits between vet and test so cheap structural violations fail the
 # gate before the expensive suites run. The recipe runs every stage it can
 # reach, prints a one-line pass/fail summary, and exits nonzero on the
 # first failure (later stages report as skip).
 check:
 	@rc=0; summary=""; \
-	for stage in build vet lint test test-race fuzz-smoke bench-smoke; do \
+	for stage in build vet lint test test-race cover fuzz-smoke bench-smoke; do \
 		if [ $$rc -ne 0 ]; then summary="$$summary $$stage:skip"; continue; fi; \
 		echo "== $$stage"; \
 		if $(MAKE) --no-print-directory $$stage; then summary="$$summary $$stage:ok"; \
@@ -52,6 +53,21 @@ test-race:
 # panic/retry hardening.
 test-faults:
 	$(GO) test ./internal/fault/... ./internal/localsim/... ./internal/engine/...
+
+# cover runs the suite with statement coverage (-short: the expensive
+# cross-binary byte-identity test re-runs under plain `test`), prints the
+# per-package summary, and enforces a floor: total statement coverage must
+# not drop below COVERAGE.baseline. The baseline is a deliberately
+# committed number — raise it when coverage genuinely improves, never
+# lower it to make a regression pass.
+cover:
+	@$(GO) test -short -count=1 -coverprofile=coverage.out ./... > coverage.pkgs 2>&1 || { cat coverage.pkgs; rm -f coverage.pkgs; exit 1; }
+	@grep -v 'no test files' coverage.pkgs || true; rm -f coverage.pkgs
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/{sub(/%/,"",$$3); print $$3}'); \
+	base=$$(cat COVERAGE.baseline); \
+	echo "coverage: total $$total% (baseline floor $$base%)"; \
+	awk -v t="$$total" -v b="$$base" 'BEGIN{exit (t+0 < b+0) ? 1 : 0}' || \
+		{ echo "coverage: total $$total% fell below committed baseline $$base% — add tests or (deliberately) update COVERAGE.baseline"; exit 1; }
 
 # fuzz-smoke is a short deterministic-budget fuzz pass (also part of check):
 # the simulator's message validation, then the divide-and-conquer

@@ -9,6 +9,8 @@
 //	{
 //	  "schema": "liquid-bench/1",
 //	  "go": "go1.24.x",
+//	  "git_rev": "<producing commit, or "unknown">",
+//	  "manifest_sha256": "<hash of the run's telemetry manifest>",
 //	  "benchmarks": [
 //	    {"name": "BenchmarkPoissonBinomialPMF", "iterations": 6682,
 //	     "ns_per_op": 311315, "b_per_op": 24, "allocs_per_op": 0},
@@ -37,6 +39,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"liquid/internal/telemetry"
 )
 
 // benchLine is one parsed benchmark result.
@@ -48,11 +52,15 @@ type benchLine struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// snapshot is the BENCH_<n>.json document.
+// snapshot is the BENCH_<n>.json document. GitRev and ManifestSHA256 tie a
+// snapshot to the commit and the telemetry manifest of the run that
+// produced it, so a trajectory entry is attributable after the fact.
 type snapshot struct {
-	Schema     string      `json:"schema"`
-	Go         string      `json:"go"`
-	Benchmarks []benchLine `json:"benchmarks"`
+	Schema         string      `json:"schema"`
+	Go             string      `json:"go"`
+	GitRev         string      `json:"git_rev"`
+	ManifestSHA256 string      `json:"manifest_sha256"`
+	Benchmarks     []benchLine `json:"benchmarks"`
 }
 
 func main() {
@@ -71,7 +79,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
 		os.Exit(1)
 	}
-	snap := snapshot{Schema: "liquid-bench/1", Go: runtime.Version(), Benchmarks: lines}
+	// The manifest records this benchjson run itself (flags, timings, git
+	// rev); its hash lands in the snapshot so BENCH_<n>.json entries are
+	// attributable to a concrete, reconstructible run configuration.
+	flagVals := make(map[string]string)
+	flag.VisitAll(func(f *flag.Flag) { flagVals[f.Name] = f.Value.String() })
+	man := telemetry.BuildManifest(telemetry.Default, 0, flagVals)
+	snap := snapshot{
+		Schema:         "liquid-bench/1",
+		Go:             runtime.Version(),
+		GitRev:         telemetry.GitRev(),
+		ManifestSHA256: man.Hash(),
+		Benchmarks:     lines,
+	}
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"liquid/internal/graph"
+)
+
+func TestRunAllKinds(t *testing.T) {
+	kinds := []string{"complete", "star", "cycle", "path", "grid", "regular", "er", "ba", "community", "bounded", "ws"}
+	for _, kind := range kinds {
+		var buf bytes.Buffer
+		if err := run([]string{"-kind", kind, "-n", "60", "-d", "4"}, &buf); err != nil {
+			t.Errorf("kind %s: %v", kind, err)
+			continue
+		}
+		if !strings.Contains(buf.String(), "vertices") {
+			t.Errorf("kind %s: missing stats table", kind)
+		}
+	}
+}
+
+func TestRunWritesEdgeList(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges")
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "regular", "-n", "50", "-d", "4", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 50 || !graph.IsRegular(g, 4) {
+		t.Fatalf("round-tripped graph wrong: n=%d", g.N())
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "tesseract"}, &buf); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	var a, b bytes.Buffer
+	args := []string{"-kind", "er", "-n", "80", "-d", "6", "-seed", "11"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed must give identical stats")
+	}
+}

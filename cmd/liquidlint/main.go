@@ -31,6 +31,7 @@ import (
 	"liquid/internal/lint/load"
 	"liquid/internal/lint/maporder"
 	"liquid/internal/lint/seedflow"
+	"liquid/internal/lint/telemflow"
 	"liquid/internal/lint/walltime"
 )
 
@@ -41,6 +42,7 @@ var analyzers = []*analysis.Analyzer{
 	walltime.Analyzer,
 	ctxflow.Analyzer,
 	floatacc.Analyzer,
+	telemflow.Analyzer,
 }
 
 func main() {
@@ -148,7 +150,7 @@ func selectAnalyzers(disable string) ([]*analysis.Analyzer, error) {
 	}
 	for name := range skip {
 		if !known[name] {
-			return nil, fmt.Errorf("unknown analyzer %q in -disable (have: maporder, seedflow, walltime, ctxflow, floatacc)", name)
+			return nil, fmt.Errorf("unknown analyzer %q in -disable (have: maporder, seedflow, walltime, ctxflow, floatacc, telemflow)", name)
 		}
 	}
 	if len(active) == 0 {

@@ -82,18 +82,18 @@ func TestDisableValidation(t *testing.T) {
 		t.Fatalf("missing unknown-analyzer error:\n%s", errOut.String())
 	}
 	errOut.Reset()
-	if code := run([]string{"-disable", "maporder,seedflow,walltime,ctxflow,floatacc", "liquid/..."}, &out, &errOut); code != 2 {
+	if code := run([]string{"-disable", "maporder,seedflow,walltime,ctxflow,floatacc,telemflow", "liquid/..."}, &out, &errOut); code != 2 {
 		t.Fatalf("disabling every analyzer: exit %d, want 2", code)
 	}
 }
 
-// TestList checks that -list names all five analyzers.
+// TestList checks that -list names all six analyzers.
 func TestList(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list: exit %d", code)
 	}
-	for _, name := range []string{"maporder", "seedflow", "walltime", "ctxflow", "floatacc"} {
+	for _, name := range []string{"maporder", "seedflow", "walltime", "ctxflow", "floatacc", "telemflow"} {
 		if !strings.Contains(out.String(), name) {
 			t.Fatalf("-list output missing %s:\n%s", name, out.String())
 		}

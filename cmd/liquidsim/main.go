@@ -1,0 +1,243 @@
+// Command liquidsim runs a single liquid-democracy election from command
+// line flags and reports P^D, P^M, the gain, and the delegation structure.
+//
+// Example:
+//
+//	liquidsim -graph complete -n 1000 -mechanism threshold -alpha 0.05 \
+//	          -plo 0.3 -phi 0.49 -reps 64 -seed 7
+package main
+
+import (
+	"context"
+	_ "expvar" // registers /debug/vars on the -pprof server
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the -pprof server
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/prob"
+	"liquid/internal/report"
+	"liquid/internal/rng"
+	"liquid/internal/telemetry"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "liquidsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("liquidsim", flag.ContinueOnError)
+	var (
+		graphKind = fs.String("graph", "complete", "topology: complete|star|regular|er|ba|community|grid|ws")
+		n         = fs.Int("n", 1001, "number of voters")
+		d         = fs.Int("d", 8, "degree parameter (regular/ba/er mean degree)")
+		mechKind  = fs.String("mechanism", "threshold", "mechanism: direct|threshold|greedy|half|sampling|capped")
+		alpha     = fs.Float64("alpha", 0.05, "approval margin")
+		threshold = fs.Int("threshold", 0, "approval-set size threshold j(n) (0 = delegate whenever possible)")
+		capW      = fs.Int("cap", 16, "max sink weight for -mechanism capped")
+		dist      = fs.String("dist", "uniform", "competency distribution: uniform|beta|truncnorm")
+		plo       = fs.Float64("plo", 0.30, "competency lower bound")
+		phi       = fs.Float64("phi", 0.49, "competency upper bound")
+		reps      = fs.Int("reps", 64, "mechanism replications")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		loadPath  = fs.String("load", "", "load instance JSON instead of generating one")
+		savePath  = fs.String("save", "", "save the generated instance as JSON")
+		dotPath   = fs.String("dot", "", "write one realized delegation graph as Graphviz DOT")
+		manifest  = fs.String("manifest", "", "write the end-of-run manifest JSON to this file")
+		pprof     = fs.String("pprof", "", "serve expvar and net/http/pprof on this address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	if *pprof != "" {
+		ln, err := net.Listen("tcp", *pprof)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving expvar and net/http/pprof on http://%s/debug/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+
+	root := rng.New(*seed)
+	var in *core.Instance
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			return err
+		}
+		in, err = core.ReadInstance(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		top, err := buildTopology(*graphKind, *n, *d, root.DeriveString("graph"))
+		if err != nil {
+			return err
+		}
+		sampler, err := prob.NewCompetencySampler(*dist, *plo, *phi)
+		if err != nil {
+			return err
+		}
+		p := make([]float64, top.N())
+		compStream := root.DeriveString("competencies")
+		for i := range p {
+			p[i] = sampler.Sample(compStream)
+		}
+		in, err = core.NewInstance(top, p)
+		if err != nil {
+			return err
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			return err
+		}
+		if err := core.WriteInstance(f, in); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	mech, err := buildMechanism(*mechKind, *alpha, *threshold, *d, *capW)
+	if err != nil {
+		return err
+	}
+
+	if *dotPath != "" {
+		dg, err := mech.Apply(in, root.DeriveString("dot"))
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		if err := core.WriteDOT(f, in, dg); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	res, err := election.EvaluateMechanism(ctx, in, mech, election.Options{
+		Replications: *reps,
+		Seed:         *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	deg := graph.Degrees(in.Topology())
+	tab := report.NewTable(fmt.Sprintf("liquidsim: %s on %s(n=%d)", mech.Name(), *graphKind, in.N()),
+		"quantity", "value")
+	tab.AddRow("voters", report.Itoa(res.N))
+	tab.AddRow("degree min/mean/max", fmt.Sprintf("%d / %.1f / %d", deg.Min, deg.Mean, deg.Max))
+	tab.AddRow("mean competency", report.F(in.MeanCompetency()))
+	tab.AddRow("P^D (direct)", report.F(res.PD))
+	tab.AddRow("P^M (delegation)", report.F(res.PM)+" ± "+report.F(res.PMStdErr))
+	tab.AddRow("gain", report.F(res.Gain))
+	tab.AddRow("gain 95% CI", report.Interval(res.GainLo, res.GainHi))
+	tab.AddRow("mean delegators", report.F2(res.MeanDelegators))
+	tab.AddRow("mean sinks", report.F2(res.MeanSinks))
+	tab.AddRow("mean/max sink weight", report.F2(res.MeanMaxWeight)+" / "+report.Itoa(res.MaxMaxWeight))
+	tab.AddRow("mean longest chain", report.F2(res.MeanLongestChain))
+	if err := tab.Render(out); err != nil {
+		return err
+	}
+
+	// The manifest is written after the table so the metrics snapshot covers
+	// the whole evaluation; like reproduce, liquidsim only ever reads the
+	// registry here at the entry point.
+	if *manifest != "" {
+		flagVals := make(map[string]string)
+		fs.VisitAll(func(f *flag.Flag) { flagVals[f.Name] = f.Value.String() })
+		man := telemetry.BuildManifest(telemetry.Default, *seed, flagVals)
+		man.WallSeconds = time.Since(start).Seconds()
+		if err := man.WriteFile(*manifest); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "manifest: %s (sha256 %s)\n", *manifest, man.Hash())
+	}
+	return nil
+}
+
+func buildTopology(kind string, n, d int, s *rng.Stream) (graph.Topology, error) {
+	switch kind {
+	case "complete":
+		return graph.NewComplete(n), nil
+	case "star":
+		return graph.Star(n)
+	case "regular":
+		if n*d%2 != 0 {
+			d++
+		}
+		return graph.RandomRegular(n, d, s)
+	case "er":
+		return graph.ErdosRenyi(n, float64(d)/float64(n-1), s)
+	case "ba":
+		return graph.BarabasiAlbert(n, max(d/2, 1), s)
+	case "community":
+		return graph.Community(n, 8, math.Min(1, 4*float64(d)/float64(n)), float64(d)/(4*float64(n)), s)
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return graph.Grid(side, side)
+	case "ws":
+		k := d
+		if k%2 != 0 {
+			k++
+		}
+		return graph.WattsStrogatz(n, k, 0.2, s)
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+func buildMechanism(kind string, alpha float64, threshold, d, capW int) (mechanism.Mechanism, error) {
+	var th mechanism.ThresholdFunc
+	if threshold > 0 {
+		th = mechanism.ConstantThreshold(threshold)
+	}
+	switch kind {
+	case "direct":
+		return mechanism.Direct{}, nil
+	case "threshold":
+		return mechanism.ApprovalThreshold{Alpha: alpha, Threshold: th}, nil
+	case "greedy":
+		return mechanism.GreedyBest{Alpha: alpha}, nil
+	case "half":
+		return mechanism.HalfNeighborhood{Alpha: alpha}, nil
+	case "sampling":
+		return mechanism.NeighborSampling{Alpha: alpha, D: d, Threshold: th}, nil
+	case "capped":
+		return mechanism.WeightCapped{
+			Inner:     mechanism.ApprovalThreshold{Alpha: alpha, Threshold: th},
+			MaxWeight: capW,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown mechanism %q", kind)
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultsSmall(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{"-n", "201", "-reps", "4", "-seed", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"P^D (direct)", "P^M (delegation)", "gain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllGraphKinds(t *testing.T) {
+	kinds := []string{"complete", "star", "regular", "er", "ba", "community", "grid", "ws"}
+	for _, kind := range kinds {
+		var buf bytes.Buffer
+		err := run(context.Background(), []string{"-graph", kind, "-n", "100", "-d", "4", "-reps", "2", "-seed", "3"}, &buf)
+		if err != nil {
+			t.Errorf("graph %s: %v", kind, err)
+		}
+	}
+}
+
+func TestRunAllMechanisms(t *testing.T) {
+	mechs := []string{"direct", "threshold", "greedy", "half", "sampling", "capped"}
+	for _, m := range mechs {
+		var buf bytes.Buffer
+		err := run(context.Background(), []string{"-mechanism", m, "-n", "100", "-d", "4", "-reps", "2", "-seed", "4"}, &buf)
+		if err != nil {
+			t.Errorf("mechanism %s: %v", m, err)
+		}
+	}
+}
+
+func TestRunAllDistributions(t *testing.T) {
+	for _, d := range []string{"uniform", "beta", "truncnorm"} {
+		var buf bytes.Buffer
+		err := run(context.Background(), []string{"-dist", d, "-n", "80", "-reps", "2"}, &buf)
+		if err != nil {
+			t.Errorf("dist %s: %v", d, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	tests := [][]string{
+		{"-graph", "moebius"},
+		{"-mechanism", "oracle"},
+		{"-dist", "cauchy"},
+		{"-bogus-flag"},
+	}
+	for _, args := range tests {
+		var buf bytes.Buffer
+		if err := run(context.Background(), append(args, "-n", "50", "-reps", "1"), &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestThresholdFlag(t *testing.T) {
+	var buf bytes.Buffer
+	// Threshold so large nobody delegates: mean delegators must be 0.
+	err := run(context.Background(), []string{"-n", "100", "-threshold", "99", "-reps", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean delegators") {
+		t.Fatal("missing delegator row")
+	}
+}
+
+func TestSaveLoadDotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.json")
+	dot := filepath.Join(dir, "run.dot")
+
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-n", "60", "-reps", "2", "-save", inst, "-dot", dot, "-seed", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := run(context.Background(), []string{"-load", inst, "-reps", "2", "-seed", "5"}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	// Same instance, same seed: identical election results (title aside).
+	if !strings.Contains(buf2.String(), "voters") {
+		t.Fatal("loaded run produced no table")
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph delegation") {
+		t.Fatal("DOT file missing header")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-load", "/nonexistent/inst.json"}, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"liquid/internal/core"
 	"liquid/internal/prob"
+	"liquid/internal/telemetry"
 )
 
 // wsPool hands workspaces to the entry points whose callers do not thread
@@ -77,32 +78,17 @@ func (c *ScoreCache) Len() int {
 }
 
 // Package-level cache telemetry, aggregated across all ScoreCaches and the
-// direct-probability cache. cmd/reproduce prints a snapshot to stderr.
+// direct-probability cache, registered on the telemetry.Default registry
+// (this replaced the old package-local atomics + ReadKernelStats API).
+// Entry points read the counts from the registry — cmd/reproduce prints a
+// snapshot to stderr — but nothing in this package ever reads them back:
+// telemetry is write-only with respect to results (telemflow analyzer).
 var (
-	resolutionCacheHits   atomic.Uint64
-	resolutionCacheMisses atomic.Uint64
-	directCacheHits       atomic.Uint64
-	directCacheMisses     atomic.Uint64
+	cResolutionHits   = telemetry.NewCounter("election/resolution_cache_hits")
+	cResolutionMisses = telemetry.NewCounter("election/resolution_cache_misses")
+	cDirectHits       = telemetry.NewCounter("election/direct_cache_hits")
+	cDirectMisses     = telemetry.NewCounter("election/direct_cache_misses")
 )
-
-// KernelStats is a snapshot of the package's cache telemetry. The counts
-// are scheduling-dependent diagnostics, not reproducible quantities.
-type KernelStats struct {
-	ResolutionHits   uint64
-	ResolutionMisses uint64
-	DirectHits       uint64
-	DirectMisses     uint64
-}
-
-// ReadKernelStats returns the process-lifetime cache telemetry.
-func ReadKernelStats() KernelStats {
-	return KernelStats{
-		ResolutionHits:   resolutionCacheHits.Load(),
-		ResolutionMisses: resolutionCacheMisses.Load(),
-		DirectHits:       directCacheHits.Load(),
-		DirectMisses:     directCacheMisses.Load(),
-	}
-}
 
 // resolutionVoters builds the canonical voter multiset of a resolution in
 // ws scratch: zero-weight sinks are dropped and the rest sorted by
@@ -180,11 +166,11 @@ func ResolutionProbabilityExactCached(in *core.Instance, res *core.Resolution, w
 	cache.mu.Unlock()
 	if ok {
 		cache.hits.Add(1)
-		resolutionCacheHits.Add(1)
+		cResolutionHits.Inc()
 		return v, nil
 	}
 	cache.misses.Add(1)
-	resolutionCacheMisses.Add(1)
+	cResolutionMisses.Inc()
 	// The DP reads only ws's arena/FFT scratch, never the key buffer, so
 	// key stays valid across the call.
 	v, err := scoreVoterSet(ws, voters)
@@ -224,10 +210,10 @@ func directProbabilityCached(in *core.Instance) (float64, error) {
 	v, ok := pdCache.m[in]
 	pdCache.mu.Unlock()
 	if ok {
-		directCacheHits.Add(1)
+		cDirectHits.Inc()
 		return v, nil
 	}
-	directCacheMisses.Add(1)
+	cDirectMisses.Inc()
 	ws := wsPool.Get().(*prob.Workspace)
 	defer wsPool.Put(ws)
 	ps := in.Competencies()

@@ -21,6 +21,7 @@ import (
 	"liquid/internal/mechanism"
 	"liquid/internal/prob"
 	"liquid/internal/rng"
+	"liquid/internal/telemetry"
 )
 
 // ErrNoVoters reports an election over an empty electorate.
@@ -255,6 +256,12 @@ func EvaluateMechanism(ctx context.Context, in *core.Instance, mech mechanism.Me
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Telemetry: a child span under the engine's per-experiment span (nil
+	// and therefore free when no span was installed) and a replication
+	// counter. Write-only — nothing below reads these back.
+	sp := telemetry.SpanFromContext(ctx).Child("evaluate")
+	defer sp.End()
+	telemetry.NewCounter("election/replications").Add(uint64(opts.Replications))
 	root := rng.New(opts.Seed)
 	pd, err := DirectProbability(ctx, in, opts.VoteSamples*4, root.DeriveString("direct"))
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"liquid/internal/experiment"
+	"liquid/internal/telemetry"
 )
 
 // EventKind labels a scheduler event.
@@ -116,6 +117,11 @@ type Options struct {
 	// Events, when non-nil, receives every scheduler event. Calls are
 	// serialized; the callback must not block for long.
 	Events func(Event)
+	// Telemetry is the registry the runner records spans and counters on
+	// (one span per scheduled experiment, retry/panic counters). Nil means
+	// telemetry.Default. Telemetry is write-only with respect to results:
+	// attaching a registry, or none, never changes a Result.
+	Telemetry *telemetry.Registry
 }
 
 // Result pairs a definition with its outcome. Exactly one of Outcome/Err is
@@ -149,6 +155,15 @@ type Runner struct {
 // run-everything, silent runner.
 func New(opts Options) *Runner {
 	return &Runner{opts: opts}
+}
+
+// registry returns the telemetry registry in use (Default unless
+// overridden in Options).
+func (r *Runner) registry() *telemetry.Registry {
+	if r.opts.Telemetry != nil {
+		return r.opts.Telemetry
+	}
+	return telemetry.Default
 }
 
 func (r *Runner) emit(ev Event) {
@@ -245,10 +260,17 @@ func (r *Runner) runOne(ctx context.Context, def experiment.Definition, cfg expe
 	// span covers retries and backoff waits — it is "how long the slot was
 	// busy", which is the number the progress display wants.
 	start := time.Now()
-	runCtx := ctx
+	// One telemetry span per scheduled task, installed in the context so
+	// downstream layers (election, fault evaluation) can hang child spans
+	// off it. Same coverage as `start`: retries and backoff included.
+	reg := r.registry()
+	reg.Counter("engine/experiments_started").Inc()
+	sp := reg.StartSpan("experiment/" + def.ID)
+	defer sp.End()
+	runCtx := telemetry.ContextWithSpan(ctx, sp)
 	if r.opts.Timeout > 0 {
 		var cancel context.CancelFunc
-		runCtx, cancel = context.WithTimeout(ctx, r.opts.Timeout)
+		runCtx, cancel = context.WithTimeout(runCtx, r.opts.Timeout)
 		defer cancel()
 	}
 	backoff := r.opts.RetryBackoff
@@ -267,6 +289,7 @@ func (r *Runner) runOne(ctx context.Context, def experiment.Definition, cfg expe
 			attempt > r.opts.Retries || runCtx.Err() != nil {
 			break
 		}
+		reg.Counter("engine/experiment_retries").Inc()
 		r.emit(Event{Kind: ExperimentRetried, ID: def.ID, Title: def.Title, Err: err.Error(), Attempt: attempt})
 		select {
 		case <-runCtx.Done():
@@ -277,6 +300,11 @@ func (r *Runner) runOne(ctx context.Context, def experiment.Definition, cfg expe
 		}
 	}
 	res := Result{Def: def, Outcome: out, Err: err}
+	reg.Histogram("engine/experiment_seconds", 0.01, 0.1, 1, 10, 60, 600).
+		Observe(time.Since(start).Seconds())
+	if res.Failed() {
+		reg.Counter("engine/experiments_failed").Inc()
+	}
 	ev := Event{Kind: ExperimentFinished, ID: def.ID, Title: def.Title}
 	if err != nil {
 		ev.Err = err.Error()
@@ -310,6 +338,7 @@ const panicStackLimit = 2048
 func (r *Runner) runAttempt(ctx context.Context, def experiment.Definition, cfg experiment.Config) (out *experiment.Outcome, err error) {
 	defer func() {
 		if v := recover(); v != nil {
+			r.registry().Counter("engine/experiment_panics").Inc()
 			pe := &PanicError{ID: def.ID, Value: v, Stack: debug.Stack()}
 			out, err = nil, pe
 			stack := string(pe.Stack)

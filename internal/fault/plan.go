@@ -16,6 +16,18 @@ import (
 
 	"liquid/internal/localsim"
 	"liquid/internal/rng"
+	"liquid/internal/telemetry"
+)
+
+// Injected-fault telemetry by kind, on the telemetry.Default registry.
+// Scheduling counters tick when a plan is built; injection counters tick
+// when a fault actually fires during simulation. Write-only with respect
+// to results: no code in this package reads the counts back (telemflow).
+var (
+	cCrashesScheduled   = telemetry.NewCounter("fault/crashes_scheduled")
+	cPartitionsAdded    = telemetry.NewCounter("fault/partitions_scheduled")
+	cDuplicatesInjected = telemetry.NewCounter("fault/duplicates_injected")
+	cReordersInjected   = telemetry.NewCounter("fault/reorders_injected")
 )
 
 // Partition severs a node set from the rest of the network for a window of
@@ -80,6 +92,9 @@ func (p *Plan) CrashAt(v, r int) error {
 		return fmt.Errorf("fault: negative crash round %d", r)
 	}
 	if cur := p.crashRound[v]; cur < 0 || r < cur {
+		if cur < 0 {
+			cCrashesScheduled.Inc()
+		}
 		p.crashRound[v] = r
 	}
 	return nil
@@ -107,6 +122,7 @@ func (p *Plan) AddPartition(part Partition) error {
 	}
 	p.partitions = append(p.partitions, part)
 	p.inside = append(p.inside, in)
+	cPartitionsAdded.Inc()
 	return nil
 }
 
@@ -160,6 +176,7 @@ func (p *Plan) Cut(from, to, round int) bool {
 // Duplicates implements localsim.FaultInjector.
 func (p *Plan) Duplicates(_, _, _ int) int {
 	if p.dupRate > 0 && p.dupStream.Bernoulli(p.dupRate) {
+		cDuplicatesInjected.Inc()
 		return 1
 	}
 	return 0
@@ -173,6 +190,7 @@ func (p *Plan) Reorder(_ int, batch []localsim.Message) {
 	if !p.reorderStream.Bernoulli(p.reorderRate) {
 		return
 	}
+	cReordersInjected.Inc()
 	p.reorderStream.Shuffle(len(batch), func(i, j int) {
 		batch[i], batch[j] = batch[j], batch[i]
 	})

@@ -37,21 +37,42 @@ type expectation struct {
 }
 
 // Run loads the fixture module at dir and applies a, comparing diagnostics
-// with // want comments.
+// with // want comments; mismatches fail t. It is Check plus the testing.T
+// plumbing.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
+	problems, err := Check(dir, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// Check loads the fixture module at dir, applies a, and compares the
+// diagnostics against the fixture's // want comments. It returns one
+// problem string per mismatch — a fixture type error, an unexpected
+// diagnostic, or an unmet expectation — and a non-nil error only when the
+// fixture could not be processed at all (unloadable module, malformed
+// // want comment, analyzer failure). A clean fixture yields (nil, nil).
+//
+// Check is the testable core of Run: it never touches testing.T, so the
+// matcher's own behavior (regex handling, multi-expectation lines,
+// over- and under-reporting) can itself be put under test.
+func Check(dir string, a *analysis.Analyzer) (problems []string, err error) {
 	pkgs, err := load.Packages(dir, "./...")
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
+		return nil, fmt.Errorf("loading fixture %s: %w", dir, err)
 	}
 	if len(pkgs) == 0 {
-		t.Fatalf("fixture %s matched no packages", dir)
+		return nil, fmt.Errorf("fixture %s matched no packages", dir)
 	}
 	var targets []*analysis.Target
 	var wants []*expectation
 	for _, p := range pkgs {
 		for _, e := range p.TypeErrors {
-			t.Errorf("fixture %s: type error: %v", p.ImportPath, e)
+			problems = append(problems, fmt.Sprintf("fixture %s: type error: %v", p.ImportPath, e))
 		}
 		targets = append(targets, &analysis.Target{
 			Path: p.ImportPath, Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info,
@@ -59,25 +80,26 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		for _, f := range p.Files {
 			ws, err := parseWants(p.Fset, f)
 			if err != nil {
-				t.Fatal(err)
+				return nil, err
 			}
 			wants = append(wants, ws...)
 		}
 	}
 	diags, err := analysis.Run(targets, []*analysis.Analyzer{a})
 	if err != nil {
-		t.Fatalf("running %s on fixture %s: %v", a.Name, dir, err)
+		return nil, fmt.Errorf("running %s on fixture %s: %w", a.Name, dir, err)
 	}
 	for _, d := range diags {
 		if !consume(wants, d) {
-			t.Errorf("unexpected diagnostic: %s", d)
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
 		}
 	}
 	for _, w := range wants {
 		if !w.met {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re))
 		}
 	}
+	return problems, nil
 }
 
 func consume(wants []*expectation, d analysis.Diagnostic) bool {

@@ -1,0 +1,113 @@
+package lintest_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"liquid/internal/lint/analysis"
+	"liquid/internal/lint/lintest"
+)
+
+// callcheck is the throwaway analyzer the matcher tests drive: it flags
+// every call to a function whose name starts with "bad", with regex
+// metacharacters in the message so escaping in // want patterns is
+// exercised for real.
+var callcheck = &analysis.Analyzer{
+	Name: "callcheck",
+	Doc:  "flags calls to functions named bad*",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || !strings.HasPrefix(id.Name, "bad") {
+					return true
+				}
+				pass.Reportf(id.Pos(), "forbidden call to %s (a+b) [sic]", id.Name)
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestCheckCleanFixture covers the happy paths in one fixture: escaped
+// metacharacters in backquoted patterns, a double-quoted pattern, and two
+// expectations consumed by two diagnostics on the same line.
+func TestCheckCleanFixture(t *testing.T) {
+	problems, err := lintest.Check("testdata/good", callcheck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean fixture produced problems: %v", problems)
+	}
+}
+
+// TestCheckReportsBothMismatchDirections drives the deliberately broken
+// fixture: an unflagged expectation and an unexpected diagnostic must each
+// surface as a distinct problem.
+func TestCheckReportsBothMismatchDirections(t *testing.T) {
+	problems, err := lintest.Check("testdata/bad", callcheck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("want exactly 2 problems, got %d: %v", len(problems), problems)
+	}
+	var sawUnexpected, sawUnmet bool
+	for _, p := range problems {
+		if strings.Contains(p, "unexpected diagnostic") && strings.Contains(p, "forbidden call to bad1") {
+			sawUnexpected = true
+		}
+		if strings.Contains(p, "expected diagnostic matching") && strings.Contains(p, "never reported") {
+			sawUnmet = true
+		}
+	}
+	if !sawUnexpected || !sawUnmet {
+		t.Fatalf("missing a mismatch direction (unexpected=%v unmet=%v): %v", sawUnexpected, sawUnmet, problems)
+	}
+}
+
+// TestCheckCorruptModule pins the error path for a fixture whose module
+// cannot load at all: a hard error, not an empty problem list that would
+// let a broken fixture read as a passing one.
+func TestCheckCorruptModule(t *testing.T) {
+	problems, err := lintest.Check("testdata/corrupt", callcheck)
+	if err == nil {
+		t.Fatalf("corrupt module loaded; problems = %v", problems)
+	}
+	if !strings.Contains(err.Error(), "loading fixture") {
+		t.Fatalf("err = %v, want a loading error", err)
+	}
+}
+
+// TestCheckMalformedWant: a // want comment with no quoted pattern is a
+// fixture-authoring bug and must error rather than silently match nothing.
+func TestCheckMalformedWant(t *testing.T) {
+	_, err := lintest.Check("testdata/malformedwant", callcheck)
+	if err == nil {
+		t.Fatal("malformed // want accepted")
+	}
+	if !strings.Contains(err.Error(), "malformed // want") {
+		t.Fatalf("err = %v, want malformed-want error", err)
+	}
+}
+
+// TestCheckMissingFixtureDir: a nonexistent fixture directory errors.
+func TestCheckMissingFixtureDir(t *testing.T) {
+	if _, err := lintest.Check("testdata/nosuchdir", callcheck); err == nil {
+		t.Fatal("missing fixture directory accepted")
+	}
+}
+
+// TestRunIsCheckPlusT sanity-checks the wrapper still passes on a clean
+// fixture (the analyzer suites use Run everywhere; this keeps the two entry
+// points from drifting).
+func TestRunIsCheckPlusT(t *testing.T) {
+	lintest.Run(t, "testdata/good", callcheck)
+}

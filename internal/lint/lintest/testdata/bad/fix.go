@@ -1,0 +1,11 @@
+// Package fix is a deliberately mismatched fixture: one diagnostic with no
+// expectation, and one expectation no diagnostic will ever satisfy. Check
+// must report both directions.
+package fix
+
+func bad1() int { return 1 }
+
+func drive() int {
+	n := bad1()
+	return n // want `never reported`
+}

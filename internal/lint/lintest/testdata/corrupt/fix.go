@@ -1,0 +1,2 @@
+// Package fix never loads: the module file above it is corrupt.
+package fix

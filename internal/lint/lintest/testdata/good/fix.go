@@ -1,0 +1,17 @@
+// Package fix exercises the want-comment matcher's happy paths: backquoted
+// patterns with regex metacharacters, double-quoted patterns, and two
+// expectations sharing one line.
+package fix
+
+func bad1() int { return 1 }
+func bad2() int { return 2 }
+func good() int { return 3 }
+
+func use(a, b int) int { return a + b }
+
+func drive() int {
+	x := bad1() // want `forbidden call to bad1 \(a\+b\) \[sic\]`
+	y := good()
+	z := use(bad1(), bad2()) // want `bad1 \(a\+b\)` "forbidden call to bad2"
+	return x + y + z
+}

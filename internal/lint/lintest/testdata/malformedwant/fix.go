@@ -1,0 +1,7 @@
+// Package fix carries a // want comment with no quoted pattern, which is a
+// fixture-authoring error Check must surface as an error, not a mismatch.
+package fix
+
+func drive() int {
+	return 1 // want a diagnostic but forgot the quotes
+}

@@ -1,0 +1,5 @@
+// Package a is the dependency in the multi-package fixture.
+package a
+
+// Answer is imported by package b, so b's type check needs a's export data.
+func Answer() int { return 42 }

@@ -1,0 +1,8 @@
+// Package b imports a sibling package, exercising the export-data importer
+// (go list -export handing the gc importer its .a files).
+package b
+
+import "fixture/a"
+
+// Doubled uses the dependency so the import cannot be elided.
+func Doubled() int { return 2 * a.Answer() }

@@ -1,0 +1,4 @@
+// Package broken does not parse: the brace below never closes.
+package broken
+
+func dangling() {

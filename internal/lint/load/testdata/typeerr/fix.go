@@ -1,0 +1,8 @@
+// Package fix parses but does not type-check: undefinedIdentifier has no
+// definition. The loader must collect the complaint and still hand back a
+// target rather than aborting the whole lint run.
+package fix
+
+func broken() int {
+	return undefinedIdentifier
+}

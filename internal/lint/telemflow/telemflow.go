@@ -1,0 +1,119 @@
+// Package telemflow keeps telemetry write-only with respect to results.
+// The observability layer (internal/telemetry) is attached to every hot
+// path — caches count hits, kernels count crossover decisions, the engine
+// times experiments — and that is only safe because the instrumented code
+// never looks at the numbers: a branch on a hit rate or a span duration
+// would let scheduling-dependent telemetry leak into tables that must stay
+// byte-identical across worker counts and across -tags liquidnotelemetry
+// builds.
+//
+// The analyzer flags calls to the read-side methods of telemetry types
+// (Counter.Load, Gauge.Load, Histogram.Snapshot, Registry.Snapshot,
+// Snapshot.Counter) in every internal package except the telemetry package
+// itself and the lint tree. Writes (Inc, Add, Set, Observe, StartSpan) and
+// registration (Registry.Counter and friends) are fine everywhere — the
+// whole point is that instrumenting is free. cmd/ and _test.go files are
+// out of scope: entry points and tests are exactly where reading belongs.
+package telemflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"liquid/internal/lint/analysis"
+)
+
+// Analyzer is the telemflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "telemflow",
+	Doc:  "flags telemetry reads (Load/Snapshot) in result-bearing internal packages",
+	Run:  run,
+}
+
+// allowed lists internal package-tail roots that may read telemetry: the
+// telemetry package owns the read API, and the lint tree analyzes it.
+var allowed = map[string]bool{
+	"telemetry": true,
+	"lint":      true,
+}
+
+func inScope(path string) bool {
+	if !analysis.InInternal(path) {
+		return false
+	}
+	tail := analysis.PackageTail(path)
+	if i := strings.IndexByte(tail, '/'); i >= 0 {
+		tail = tail[:i]
+	}
+	return !allowed[tail]
+}
+
+// readMethods maps telemetry receiver type name -> forbidden method names.
+// Registry.Counter/Gauge/Histogram are get-or-create factories and stay
+// legal; Snapshot.Counter is a value lookup and does not.
+var readMethods = map[string]map[string]bool{
+	"Counter":   {"Load": true},
+	"Gauge":     {"Load": true},
+	"Histogram": {"Snapshot": true},
+	"Registry":  {"Snapshot": true},
+	"Snapshot":  {"Counter": true},
+}
+
+// telemetryPath reports whether an import path is the telemetry package,
+// by suffix so fixture modules under testdata scope identically to the
+// real tree.
+func telemetryPath(path string) bool {
+	return path == "internal/telemetry" || strings.HasSuffix(path, "/internal/telemetry")
+}
+
+// receiverTypeName resolves a method's receiver to its named telemetry
+// type, or "" when the method is not a telemetry method.
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !telemetryPath(obj.Pkg().Path()) {
+		return ""
+	}
+	return obj.Name()
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.ObjectOf(sel.Sel).(*types.Func)
+			if !ok {
+				return true
+			}
+			recv := receiverTypeName(fn)
+			if recv == "" || !readMethods[recv][fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "telemetry read (%s.%s) in a result-bearing package: telemetry is write-only here so metrics can never influence results; read registries from cmd/ entry points or tests instead", recv, fn.Name())
+			return true
+		})
+	}
+	return nil
+}

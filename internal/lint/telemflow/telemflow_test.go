@@ -1,0 +1,12 @@
+package telemflow_test
+
+import (
+	"testing"
+
+	"liquid/internal/lint/lintest"
+	"liquid/internal/lint/telemflow"
+)
+
+func TestTelemFlow(t *testing.T) {
+	lintest.Run(t, "testdata", telemflow.Analyzer)
+}

@@ -1,0 +1,47 @@
+// Package election is a telemflow fixture: a result-bearing package may
+// write telemetry all it wants but must never read it back.
+package election
+
+import "liquid/internal/telemetry"
+
+var (
+	hits   = telemetry.NewCounter("election/hits")
+	misses = telemetry.NewCounter("election/misses")
+)
+
+// Score instruments legally: registration and writes only.
+func Score(hit bool) float64 {
+	if hit {
+		hits.Inc()
+		return 1
+	}
+	misses.Add(1)
+	return 0
+}
+
+// AdaptiveScore is the violation telemflow exists for: branching a result
+// on a scheduling-dependent hit count.
+func AdaptiveScore() float64 {
+	if hits.Load() > misses.Load() { // want `telemetry read \(Counter\.Load\)` `telemetry read \(Counter\.Load\)`
+		return 1
+	}
+	return 0
+}
+
+// DumpState bulk-reads the registry, also forbidden here.
+func DumpState() uint64 {
+	snap := telemetry.Default.Snapshot() // want `telemetry read \(Registry\.Snapshot\)`
+	return snap.Counter("election/hits") // want `telemetry read \(Snapshot\.Counter\)`
+}
+
+// RegisterMore uses the get-or-create factory, which registers rather than
+// reads and stays legal.
+func RegisterMore() {
+	telemetry.Default.Counter("election/extra").Inc()
+}
+
+// Ignored shows the justified-suppression escape hatch.
+func Ignored() uint64 {
+	//lint:ignore telemflow debug assertion, value never reaches a table
+	return hits.Load()
+}

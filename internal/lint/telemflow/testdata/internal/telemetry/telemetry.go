@@ -1,0 +1,94 @@
+// Package telemetry is the telemflow fixture's stand-in for the real
+// metrics layer: same type and method names, placed under internal/ so the
+// analyzer's suffix-based package matching fires exactly as it does on
+// liquid/internal/telemetry.
+package telemetry
+
+// Counter is a write-mostly metric.
+type Counter struct{ v uint64 }
+
+// Inc is a write and is legal everywhere.
+func (c *Counter) Inc() { c.v++ }
+
+// Add is a write and is legal everywhere.
+func (c *Counter) Add(d uint64) { c.v += d }
+
+// Load is the forbidden read.
+func (c *Counter) Load() uint64 { return c.v }
+
+// Gauge is a last-value metric.
+type Gauge struct{ v float64 }
+
+// Set is a write.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Load is the forbidden read.
+func (g *Gauge) Load() float64 { return g.v }
+
+// Histogram is a bucketed metric.
+type Histogram struct{ count uint64 }
+
+// Observe is a write.
+func (h *Histogram) Observe(float64) { h.count++ }
+
+// HistogramSnapshot is Histogram's exported state.
+type HistogramSnapshot struct{ Count uint64 }
+
+// Snapshot is the forbidden read.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{Count: h.count}
+}
+
+// Registry hands out metrics by name.
+type Registry struct {
+	counters map[string]*Counter
+}
+
+// Default is the package-level registry.
+var Default = &Registry{}
+
+// Counter is get-or-create registration, not a read: legal everywhere.
+func (r *Registry) Counter(name string) *Counter {
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot is the forbidden bulk read.
+func (r *Registry) Snapshot() Snapshot {
+	// The telemetry package itself may read freely (it IS the read API).
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Load()})
+	}
+	return s
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// Snapshot is an exported registry state.
+type Snapshot struct{ Counters []CounterValue }
+
+// Counter is a value lookup on exported state: a read, forbidden outside
+// the allowlist (unlike Registry.Counter, which registers).
+func (s Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// NewCounter registers on Default.
+func NewCounter(name string) *Counter { return Default.Counter(name) }

@@ -34,6 +34,9 @@ var allowed = map[string]bool{
 	"engine": true,
 	// The lint tooling itself may time its own runs.
 	"lint": true,
+	// The telemetry layer owns spans and manifest timing; its reads never
+	// feed back into results (that direction is telemflow's job to police).
+	"telemetry": true,
 }
 
 func inScope(path string) bool {

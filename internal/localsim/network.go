@@ -21,6 +21,20 @@ import (
 	"context"
 
 	"liquid/internal/rng"
+	"liquid/internal/telemetry"
+)
+
+// Simulator telemetry on the telemetry.Default registry: one runs tick per
+// execution plus the run's round/message/drop tallies, added when the loop
+// exits so a run contributes exactly once however it ends. The per-network
+// accessors (Rounds, Messages, ...) stay the source protocol checks read;
+// these aggregates are write-only observability (telemflow analyzer).
+var (
+	cNetRuns       = telemetry.NewCounter("localsim/runs")
+	cNetRounds     = telemetry.NewCounter("localsim/rounds")
+	cNetMessages   = telemetry.NewCounter("localsim/messages")
+	cNetDropped    = telemetry.NewCounter("localsim/messages_dropped")
+	cNetDuplicated = telemetry.NewCounter("localsim/messages_duplicated")
 )
 
 // Message is a point-to-point message delivered in the round after it is
@@ -286,6 +300,19 @@ func (nw *Network) anyBusy(round int) bool {
 // exactly maxRounds rounds).
 func (nw *Network) run(ctx context.Context, maxRounds int, fixed bool) error {
 	nw.started = true
+	// Snapshot the cumulative tallies so a network executed twice (Run then
+	// RunRounds on a fresh network is the normal shape, but nothing forbids
+	// reuse) contributes each round and message to the aggregates once.
+	r0, m0 := nw.rounds, nw.messages
+	d0 := nw.dropped + nw.cutDrops + nw.crashDrops
+	du0 := nw.duplicated
+	defer func() {
+		cNetRuns.Inc()
+		cNetRounds.Add(uint64(nw.rounds - r0))
+		cNetMessages.Add(uint64(nw.messages - m0))
+		cNetDropped.Add(uint64(nw.dropped + nw.cutDrops + nw.crashDrops - d0))
+		cNetDuplicated.Add(uint64(nw.duplicated - du0))
+	}()
 
 	n := len(nw.nodes)
 	// wheel[k] holds messages due k rounds from now; wheel[0] is the next

@@ -41,10 +41,12 @@ func pbDPCost(k int64) int64 { return k * (k + 1) / 2 }
 func (ws *Workspace) pbDC(ps []float64, lo, hi int) []float64 {
 	k := hi - lo
 	if k < dcMinLeaf || pbSplitGain(k) <= fftMergeCost(k+1) {
+		cDCDPLeaves.Inc()
 		f := ws.alloc(k + 1)
 		pbDPInto(f, ps[lo:hi])
 		return f
 	}
+	cDCFFTMerges.Inc()
 	mid := lo + k/2
 	mark := ws.off
 	fl := ws.pbDC(ps, lo, mid)
@@ -111,10 +113,12 @@ func pbDPInto(f []float64, ps []float64) {
 func (ws *Workspace) wmDC(voters []WeightedVoter, pw []int64, lo, hi int) []float64 {
 	w := int(pw[hi] - pw[lo])
 	if hi-lo < dcMinLeaf || wmSplitGain(pw, lo, hi) <= fftMergeCost(w+1) {
+		cDCDPLeaves.Inc()
 		f := ws.alloc(w + 1)
 		wmDPInto(f, voters[lo:hi])
 		return f
 	}
+	cDCFFTMerges.Inc()
 	mid := wmSplitPoint(pw, lo, hi)
 	mark := ws.off
 	fl := ws.wmDC(voters, pw, lo, mid)

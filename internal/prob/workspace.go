@@ -55,8 +55,10 @@ func putWorkspace(w *Workspace) { wsPool.Put(w) }
 // reset begins a new kernel invocation: all previously returned arena
 // slices are invalidated.
 func (ws *Workspace) reset(need int) {
+	cWorkspaceResets.Inc()
 	ws.off = 0
 	if cap(ws.arena) < need {
+		cArenaGrows.Inc()
 		ws.arena = make([]float64, need)
 	}
 	ws.arena = ws.arena[:cap(ws.arena)]
@@ -68,6 +70,7 @@ func (ws *Workspace) reset(need int) {
 // reallocated while borrowed.
 func (ws *Workspace) alloc(n int) []float64 {
 	if ws.off+n > len(ws.arena) {
+		cArenaFallbacks.Inc()
 		return make([]float64, n)
 	}
 	s := ws.arena[ws.off : ws.off+n : ws.off+n]

@@ -1,0 +1,7 @@
+//go:build liquidnotelemetry
+
+package telemetry
+
+// Enabled is false under -tags liquidnotelemetry: every metric update and
+// span start compiles to nothing. See enabled.go.
+const Enabled = false

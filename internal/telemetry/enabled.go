@@ -1,0 +1,11 @@
+//go:build !liquidnotelemetry
+
+package telemetry
+
+// Enabled reports whether telemetry updates are compiled in. The default
+// build enables them; `-tags liquidnotelemetry` flips this constant to
+// false, at which point every hot-path update (Counter.Add, Gauge.Set,
+// Histogram.Observe, span starts) is dead code the compiler removes. The
+// byte-identity test in cmd/reproduce diffs the two builds' stdout to prove
+// telemetry is write-only with respect to results.
+const Enabled = true

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// Manifest is the end-of-run record a cmd/ entry point writes next to its
+// output: everything needed to attribute a result file to the code,
+// configuration, and runtime behaviour that produced it. It deliberately
+// contains data that flows OUT of a run only — seeds and flags go in as
+// configuration, wall/CPU time and the metrics snapshot come out as
+// telemetry — so committing or diffing manifests can never feed telemetry
+// back into results.
+type Manifest struct {
+	// Schema versions the document; additive changes keep the name.
+	Schema string `json:"schema"`
+	// GoVersion is runtime.Version() of the producing binary.
+	GoVersion string `json:"go_version"`
+	// GitRev is the producing commit (or "unknown" outside a checkout).
+	GitRev string `json:"git_rev"`
+	// TelemetryEnabled records whether the binary compiled telemetry in
+	// (false under -tags liquidnotelemetry).
+	TelemetryEnabled bool `json:"telemetry_enabled"`
+	// Seed is the run's root seed (0 when the tool has no seed notion).
+	Seed uint64 `json:"seed,omitempty"`
+	// Flags is the full flag set of the run, name -> rendered value.
+	Flags map[string]string `json:"flags,omitempty"`
+	// WallSeconds/CPUSeconds cover the whole run: wall clock as observed
+	// by the entry point, CPU as user+system rusage of the process. CPU is
+	// process-wide; per-experiment wall time lives in Metrics.Spans (with
+	// concurrent workers per-experiment CPU is not attributable).
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	CPUSeconds  float64 `json:"cpu_seconds,omitempty"`
+	// Metrics is the final registry snapshot: counters (cache hit rates,
+	// fault counts, message totals), gauges, histograms, and per-experiment
+	// spans.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// ManifestSchema is the current manifest schema identifier.
+const ManifestSchema = "liquid-manifest/1"
+
+// BuildManifest assembles a manifest from the registry's current state plus
+// the run configuration. WallSeconds is left to the caller (the entry point
+// owns the run's clock).
+func BuildManifest(reg *Registry, seed uint64, flags map[string]string) *Manifest {
+	m := &Manifest{
+		Schema:           ManifestSchema,
+		GoVersion:        runtime.Version(),
+		GitRev:           GitRev(),
+		TelemetryEnabled: Enabled,
+		Seed:             seed,
+		Flags:            flags,
+		CPUSeconds:       cpuSeconds(),
+	}
+	if reg != nil {
+		m.Metrics = reg.Snapshot()
+	}
+	return m
+}
+
+// Hash returns the hex SHA-256 of the manifest's canonical JSON encoding
+// (encoding/json sorts map keys, so equal manifests hash equally).
+func (m *Manifest) Hash() string {
+	b, err := json.Marshal(m)
+	if err != nil {
+		// Manifest is a plain data struct; Marshal cannot fail on it.
+		panic("telemetry: manifest marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path (0644, truncating).
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// gitRevOnce caches revision discovery: manifests may be built several
+// times per process (sinks, tests) and the answer cannot change mid-run.
+var gitRevOnce = sync.OnceValue(findGitRev)
+
+// GitRev returns the producing commit hash: the build info's vcs.revision
+// when the binary was built with VCS stamping, otherwise `git rev-parse
+// HEAD` in the working directory, otherwise "unknown".
+func GitRev() string { return gitRevOnce() }
+
+func findGitRev() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	if rev := strings.TrimSpace(string(out)); rev != "" {
+		return rev
+	}
+	return "unknown"
+}

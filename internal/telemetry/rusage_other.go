@@ -1,0 +1,6 @@
+//go:build !unix
+
+package telemetry
+
+// cpuSeconds is unavailable off unix; manifests report 0.
+func cpuSeconds() float64 { return 0 }

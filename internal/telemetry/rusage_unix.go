@@ -1,0 +1,18 @@
+//go:build unix
+
+package telemetry
+
+import "syscall"
+
+// cpuSeconds returns the process's user+system CPU time so far, or 0 when
+// rusage is unavailable.
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	toSec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return toSec(ru.Utime) + toSec(ru.Stime)
+}

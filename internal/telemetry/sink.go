@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink consumes registry snapshots. Sinks are pull-based on purpose: the
+// instrumented packages only ever write atomics, and whoever owns the run
+// (a cmd/ entry point, a test) decides when to Flush a snapshot out. That
+// is what keeps sinks trivially side-effect-free with respect to results —
+// attaching any number of them, or none, changes no computation.
+type Sink interface {
+	// Flush exports one snapshot. Implementations must be safe for
+	// concurrent use.
+	Flush(Snapshot) error
+}
+
+// Discard is the no-op sink: Flush drops the snapshot. Running with
+// Discard is the reference point for the write-only property tests —
+// output with any sink set must be byte-identical to output with Discard.
+var Discard Sink = discardSink{}
+
+type discardSink struct{}
+
+func (discardSink) Flush(Snapshot) error { return nil }
+
+// JSONLSink appends one JSON line per flush to an underlying writer: a
+// metrics stream alongside the engine's event stream (same format family as
+// report.JSONLWriter, which telemetry cannot import without inverting the
+// dependency between the metrics layer and the reporting layer). Each line
+// is {"seq": n, "snapshot": {...}}; seq orders flushes.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	seq int
+}
+
+// NewJSONLSink wraps w in a line-per-snapshot sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// jsonlRecord is one emitted line.
+type jsonlRecord struct {
+	Seq      int      `json:"seq"`
+	Snapshot Snapshot `json:"snapshot"`
+}
+
+// Flush writes the snapshot as one line.
+func (s *JSONLSink) Flush(snap Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return s.enc.Encode(jsonlRecord{Seq: s.seq, Snapshot: snap})
+}
+
+// MultiSink fans a flush out to several sinks, stopping on the first
+// error.
+func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
+
+type multiSink []Sink
+
+func (m multiSink) Flush(snap Snapshot) error {
+	for _, s := range m {
+		if s == nil {
+			continue
+		}
+		if err := s.Flush(snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}

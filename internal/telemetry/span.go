@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+)
+
+// Span measures one wall-clock interval in a hierarchy: the engine opens a
+// span per scheduled experiment, and downstream layers (election
+// evaluation, fault evaluation) hang children off it through the context.
+// Paths are slash-joined, e.g. "experiment/T2/evaluate".
+//
+// A nil *Span is the valid "not tracing" value: every method no-ops on it,
+// so instrumented code can call SpanFromContext(ctx).Child("x") without
+// caring whether a span was installed. Spans observe wall time only inside
+// this package (the walltime analyzer allowlists internal/telemetry);
+// result-bearing packages never touch the clock themselves.
+type Span struct {
+	reg   *Registry
+	path  string
+	start time.Time
+}
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	Path    string  `json:"path"`
+	Seconds float64 `json:"seconds"`
+}
+
+// StartSpan opens a root span on the registry. Returns nil (the no-op
+// span) when telemetry is compiled out or r is nil.
+func (r *Registry) StartSpan(path string) *Span {
+	if !Enabled || r == nil {
+		return nil
+	}
+	return &Span{reg: r, path: path, start: time.Now()}
+}
+
+// Child opens a sub-span whose path extends the receiver's.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{reg: s.reg, path: s.path + "/" + name, start: time.Now()}
+}
+
+// Path returns the span's slash-joined path ("" for the nil span).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// End finishes the span and records it on the registry. Ending the nil
+// span is a no-op; ending twice records twice (don't).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.reg.recordSpan(SpanRecord{Path: s.path, Seconds: time.Since(s.start).Seconds()})
+}
+
+// recordSpan appends a finished span, dropping (but counting) records past
+// the retention cap.
+func (r *Registry) recordSpan(rec SpanRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= spanRecordCap {
+		r.spansDropped++
+		return
+	}
+	r.spans = append(r.spans, rec)
+}
+
+// spanKey is the context key for the active span.
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying sp as the active span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the active span, or nil (the no-op span) when
+// none was installed.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,284 @@
+// Package telemetry is the observability layer: process-wide metrics
+// (atomic counters, lock-free-read gauges, fixed-bucket histograms),
+// hierarchical wall-clock spans, pluggable sinks, and the end-of-run
+// manifest. Everything is stdlib-only and — by contract — write-only with
+// respect to results.
+//
+// The write-only invariant (see DESIGN.md "Observability"): instrumented
+// packages may create and update metrics, but no metric value may flow back
+// into any reproduced table or experiment outcome. Counter and gauge loads,
+// histogram and registry snapshots exist solely so cmd/ entry points,
+// sinks, and tests can export them. The telemflow analyzer enforces this
+// statically (reading methods are forbidden in result-bearing internal
+// packages), and a byte-identity test diffs reproduce output with telemetry
+// fully on against a binary built with the compiled-out stub
+// (-tags liquidnotelemetry) to enforce it dynamically.
+//
+// Because instrumentation sits on hot paths (the exact-scoring kernels, the
+// replication workers), every update is a single atomic op guarded by the
+// compile-time Enabled constant: with -tags liquidnotelemetry the guard is
+// a constant false and the compiler deletes the update entirely.
+//
+// Metrics live in a Registry; the package-level Default registry is what
+// instrumented packages use via the NewCounter/NewGauge/NewHistogram
+// get-or-create helpers (expvar-style). Registries are safe for concurrent
+// use: updates are lock-free, snapshots take a short registration lock.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by d. Safe on a nil receiver (no-op), so
+// instrumented code never needs nil checks.
+func (c *Counter) Add(d uint64) {
+	if !Enabled || c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count. Read path: telemetry export only — never
+// call from a result-bearing package (enforced by the telemflow analyzer).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float64 with lock-free reads and writes (the
+// value is stored as raw bits in one atomic word).
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores v. Safe on a nil receiver (no-op).
+func (g *Gauge) Set(v float64) {
+	if !Enabled || g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Load returns the last stored value (zero if never set). Read path:
+// telemetry export only (telemflow).
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets chosen at registration:
+// bucket i counts observations <= Bounds[i], the last bucket catches the
+// rest. Observation is two atomic ops (a bucket increment and a count
+// increment); there is no sum, no quantile sketch, and no resizing — the
+// fixed shape is what keeps the hot path cheap and the snapshot exact.
+type Histogram struct {
+	name    string
+	bounds  []float64 // ascending upper bounds; implicit +Inf tail bucket
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records v into its bucket. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v float64) {
+	if !Enabled || h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is one histogram's exported state. Counts has one entry
+// per bound plus the overflow bucket.
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot exports the histogram's current counts. Read path: telemetry
+// export only (telemflow).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Name: h.name, Bounds: h.bounds, Counts: make([]uint64, len(h.buckets))}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	return s
+}
+
+// spanRecordCap bounds how many finished spans a registry retains; beyond
+// it spans are counted but dropped, so a pathological retry loop cannot
+// grow memory without bound.
+const spanRecordCap = 1 << 12
+
+// Registry holds named metrics and finished spans. The zero value is not
+// usable; call NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spans        []SpanRecord
+	spansDropped uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry instrumented packages register on.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use. Bounds must be ascending; they are ignored
+// when the histogram already exists (the first registration wins), so
+// concurrent get-or-create calls are safe.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending: %v", name, bounds))
+			}
+		}
+		h = &Histogram{
+			name:    name,
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// NewCounter returns the named counter on the Default registry
+// (expvar-style get-or-create).
+func NewCounter(name string) *Counter { return Default.Counter(name) }
+
+// NewGauge returns the named gauge on the Default registry.
+func NewGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// NewHistogram returns the named histogram on the Default registry.
+func NewHistogram(name string, bounds ...float64) *Histogram {
+	return Default.Histogram(name, bounds...)
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot is a point-in-time export of a registry: metrics sorted by name
+// (so two snapshots of identical state marshal identically), spans in
+// finish order (scheduling-dependent — telemetry, never results).
+type Snapshot struct {
+	Counters   []CounterValue      `json:"counters,omitempty"`
+	Gauges     []GaugeValue        `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanRecord        `json:"spans,omitempty"`
+	// SpansDropped counts spans discarded past the retention cap.
+	SpansDropped uint64 `json:"spans_dropped,omitempty"`
+}
+
+// Counter returns the named counter's value in the snapshot, or 0 when the
+// counter was never registered (including Enabled == false builds, where
+// nothing ever updates). Snapshots keep counters name-sorted, so the lookup
+// is a binary search.
+func (s Snapshot) Counter(name string) uint64 {
+	i := sort.Search(len(s.Counters), func(i int) bool { return s.Counters[i].Name >= name })
+	if i < len(s.Counters) && s.Counters[i].Name == name {
+		return s.Counters[i].Value
+	}
+	return 0
+}
+
+// Snapshot exports the registry's current state. Read path: cmd/ entry
+// points, sinks, and tests only (telemflow forbids it elsewhere).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: c.name, Value: c.v.Load()})
+	}
+	for _, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: g.name, Value: math.Float64frombits(g.bits.Load())})
+	}
+	for _, h := range r.hists {
+		s.Histograms = append(s.Histograms, h.Snapshot())
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	s.Spans = append([]SpanRecord(nil), r.spans...)
+	s.SpansDropped = r.spansDropped
+	return s
+}

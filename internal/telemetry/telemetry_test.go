@@ -1,0 +1,294 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// requireEnabled skips tests that assert on recorded values, which are
+// definitionally absent under -tags liquidnotelemetry.
+func requireEnabled(t *testing.T) {
+	t.Helper()
+	if !Enabled {
+		t.Skip("telemetry compiled out (liquidnotelemetry)")
+	}
+}
+
+func TestCounterBasics(t *testing.T) {
+	requireEnabled(t)
+	r := NewRegistry()
+	c := r.Counter("a/b")
+	if got := c.Load(); got != 0 {
+		t.Fatalf("fresh counter = %d, want 0", got)
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("a/b") != c {
+		t.Fatal("get-or-create returned a different counter for the same name")
+	}
+	if c.Name() != "a/b" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	// Instrumented code must be able to call through nil without checks.
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var s *Span
+	c.Add(1)
+	c.Inc()
+	g.Set(3)
+	h.Observe(1)
+	s.End()
+	if c.Load() != 0 || g.Load() != 0 {
+		t.Fatal("nil metric loads should be zero")
+	}
+	if s.Child("x") != nil || s.Path() != "" {
+		t.Fatal("nil span should propagate nil")
+	}
+}
+
+func TestGaugeLockFreeRead(t *testing.T) {
+	requireEnabled(t)
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(math.Pi)
+	if got := g.Load(); got != math.Pi {
+		t.Fatalf("gauge = %v, want pi", got)
+	}
+	g.Set(-1)
+	if got := g.Load(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	requireEnabled(t)
+	r := NewRegistry()
+	h := r.Histogram("h", 1, 10, 100)
+	for _, v := range []float64{0.5, 1, 1.5, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Bucket i counts v <= bounds[i]: {0.5,1} | {1.5,10} | {11} | {1000}.
+	want := []uint64{2, 2, 1, 1}
+	if !reflect.DeepEqual(s.Counts, want) {
+		t.Fatalf("counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	// Re-registration with different bounds keeps the original.
+	if got := r.Histogram("h", 5).Snapshot().Bounds; !reflect.DeepEqual(got, []float64{1, 10, 100}) {
+		t.Fatalf("re-registration changed bounds: %v", got)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	NewRegistry().Histogram("bad", 2, 1)
+}
+
+func TestSnapshotSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Add(1)
+	r.Counter("a").Add(2)
+	r.Gauge("m").Set(5)
+	r.Histogram("q", 1).Observe(0)
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("two snapshots of unchanged state differ")
+	}
+	if s1.Counters[0].Name != "a" || s1.Counters[1].Name != "z" {
+		t.Fatalf("counters not sorted: %+v", s1.Counters)
+	}
+	b1, _ := json.Marshal(s1)
+	b2, _ := json.Marshal(s2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("snapshot JSON not byte-stable")
+	}
+}
+
+func TestSpanHierarchy(t *testing.T) {
+	requireEnabled(t)
+	r := NewRegistry()
+	root := r.StartSpan("experiment/T2")
+	child := root.Child("evaluate")
+	if child.Path() != "experiment/T2/evaluate" {
+		t.Fatalf("child path = %q", child.Path())
+	}
+	child.End()
+	root.End()
+	s := r.Snapshot()
+	if len(s.Spans) != 2 {
+		t.Fatalf("span records = %d, want 2", len(s.Spans))
+	}
+	// Children end before parents, so finish order is child first.
+	if s.Spans[0].Path != "experiment/T2/evaluate" || s.Spans[1].Path != "experiment/T2" {
+		t.Fatalf("span order = %+v", s.Spans)
+	}
+	for _, rec := range s.Spans {
+		if rec.Seconds < 0 {
+			t.Fatalf("negative span duration: %+v", rec)
+		}
+	}
+}
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("root")
+	ctx := ContextWithSpan(context.Background(), sp)
+	if got := SpanFromContext(ctx); got != sp {
+		t.Fatal("span did not round-trip through context")
+	}
+	if got := SpanFromContext(context.Background()); got != nil {
+		t.Fatal("empty context should carry the nil span")
+	}
+	// Installing the nil span leaves the context untouched.
+	if ctx2 := ContextWithSpan(context.Background(), nil); SpanFromContext(ctx2) != nil {
+		t.Fatal("nil span installed something")
+	}
+}
+
+func TestSpanRetentionCap(t *testing.T) {
+	requireEnabled(t)
+	r := NewRegistry()
+	for i := 0; i < spanRecordCap+10; i++ {
+		r.StartSpan("s").End()
+	}
+	s := r.Snapshot()
+	if len(s.Spans) != spanRecordCap {
+		t.Fatalf("retained %d spans, want cap %d", len(s.Spans), spanRecordCap)
+	}
+	if s.SpansDropped != 10 {
+		t.Fatalf("dropped = %d, want 10", s.SpansDropped)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	requireEnabled(t)
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	if err := sink.Flush(r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	r.Counter("c").Add(1)
+	if err := sink.Flush(r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var seqs []int
+	var last uint64
+	for sc.Scan() {
+		var rec struct {
+			Seq      int      `json:"seq"`
+			Snapshot Snapshot `json:"snapshot"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		seqs = append(seqs, rec.Seq)
+		last = rec.Snapshot.Counters[0].Value
+	}
+	if !reflect.DeepEqual(seqs, []int{1, 2}) {
+		t.Fatalf("seqs = %v", seqs)
+	}
+	if last != 8 {
+		t.Fatalf("final counter in stream = %d, want 8", last)
+	}
+}
+
+func TestDiscardAndMultiSink(t *testing.T) {
+	if err := Discard.Flush(Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	m := MultiSink(Discard, nil, NewJSONLSink(&buf))
+	if err := m.Flush(Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("MultiSink did not reach the JSONL sink")
+	}
+}
+
+func TestManifestBuildAndHash(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("election/resolution_cache_hits").Add(3)
+	m := BuildManifest(r, 7, map[string]string{"scale": "1", "workers": "4"})
+	if m.Schema != ManifestSchema {
+		t.Fatalf("schema = %q", m.Schema)
+	}
+	if m.Seed != 7 || m.Flags["workers"] != "4" {
+		t.Fatalf("config fields wrong: %+v", m)
+	}
+	if !strings.HasPrefix(m.GoVersion, "go") {
+		t.Fatalf("go version = %q", m.GoVersion)
+	}
+	if m.GitRev == "" {
+		t.Fatal("git rev empty (want hash or \"unknown\")")
+	}
+	if m.TelemetryEnabled != Enabled {
+		t.Fatal("TelemetryEnabled does not match build")
+	}
+	h1, h2 := m.Hash(), m.Hash()
+	if h1 != h2 || len(h1) != 64 {
+		t.Fatalf("hash unstable or malformed: %q vs %q", h1, h2)
+	}
+	// Any field change must change the hash.
+	m.Seed = 8
+	if m.Hash() == h1 {
+		t.Fatal("hash ignored a field change")
+	}
+
+	var buf bytes.Buffer
+	m.Seed = 7
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest JSON does not round-trip: %v", err)
+	}
+	if back.Hash() != h1 {
+		t.Fatal("round-tripped manifest hashes differently")
+	}
+}
+
+func TestManifestWriteFile(t *testing.T) {
+	m := BuildManifest(NewRegistry(), 1, nil)
+	path := t.TempDir() + "/manifest.json"
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ManifestSchema {
+		t.Fatalf("schema = %q", back.Schema)
+	}
+}
