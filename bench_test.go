@@ -264,6 +264,34 @@ func BenchmarkEvaluateMechanismSmall(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateSweepSmall measures the batched pipeline on the sweep
+// shape the experiment engine actually runs: several alpha points sharing
+// one Plan (score cache, P^D memo, approval memos). Compare against
+// BenchmarkEvaluateMechanismSmall times the point count to see what the
+// sharing buys.
+func BenchmarkEvaluateSweepSmall(b *testing.B) {
+	in := benchInstance(b, 500)
+	alphas := []float64{0.02, 0.05, 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := election.NewPlan(in, election.Options{Replications: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan.PrewarmApproval(alphas...)
+		points := make([]election.SweepPoint, len(alphas))
+		for j, a := range alphas {
+			points[j] = election.SweepPoint{
+				Mechanism: mechanism.ApprovalThreshold{Alpha: a},
+				Seed:      uint64(i)*uint64(len(alphas)) + uint64(j) + 1,
+			}
+		}
+		if _, err := election.EvaluateSweep(context.Background(), plan, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkRecycleRealize(b *testing.B) {
 	in := benchInstance(b, 5000)
 	g, err := recycle.FromCompleteDelegation(in, 0.05, 1)

@@ -143,13 +143,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
-	res, err := election.EvaluateMechanism(ctx, in, mech, election.Options{
+	// One mechanism is still a sweep of one point: going through the
+	// explicit Plan keeps liquidsim on the same pipeline the experiment
+	// engine uses, and a future -mechs flag only grows the points slice.
+	plan, err := election.NewPlan(in, election.Options{
 		Replications: *reps,
 		Seed:         *seed,
 	})
 	if err != nil {
 		return err
 	}
+	sweep, err := election.EvaluateSweep(ctx, plan, []election.SweepPoint{
+		{Mechanism: mech, Seed: *seed},
+	})
+	if err != nil {
+		return err
+	}
+	res := sweep[0]
 
 	deg := graph.Degrees(in.Topology())
 	tab := report.NewTable(fmt.Sprintf("liquidsim: %s on %s(n=%d)", mech.Name(), *graphKind, in.N()),

@@ -8,7 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -42,9 +42,9 @@ type Instance struct {
 	// approvalMemo caches, per alpha, each voter's suffix start in sortedP
 	// (the index of the first competency >= p_i + alpha). Mechanisms query
 	// approval sets for every voter every replication at a fixed alpha, so
-	// the O(n log n) table build amortizes to O(1) lookups. Purely an
+	// the O(n) table build amortizes to O(1) lookups. Purely an
 	// index-computation cache: a memoized start is the same value
-	// sort.SearchFloat64s returns, so results never depend on it.
+	// sort.SearchFloat64s would return, so results never depend on it.
 	// The latest table is published through an atomic pointer so the
 	// hot path (same alpha as last time) is one load and a compare.
 	approvalMemo struct {
@@ -73,9 +73,20 @@ func (in *Instance) approvalSuffixStarts(alpha float64) []int {
 	in.approvalMemo.mu.Lock()
 	lo, ok := in.approvalMemo.m[alpha]
 	if !ok {
-		lo = make([]int, len(in.p))
-		for i, pi := range in.p {
-			lo[i] = sort.SearchFloat64s(in.sortedP, pi+alpha)
+		// lo[i] = first index with sortedP >= p_i + alpha. Visiting voters in
+		// ascending competency order makes the threshold nondecreasing, so a
+		// single two-pointer sweep replaces a binary search per voter; the
+		// comparisons are the identical float comparisons SearchFloat64s
+		// would perform, so the results match it exactly.
+		n := len(in.p)
+		lo = make([]int, n)
+		cut := 0
+		for _, id := range in.byCompetency {
+			t := in.p[id] + alpha
+			for cut < n && in.sortedP[cut] < t {
+				cut++
+			}
+			lo[id] = cut
 		}
 		if in.approvalMemo.m == nil {
 			in.approvalMemo.m = make(map[float64][]int)
@@ -108,16 +119,41 @@ func NewInstance(top graph.Topology, p []float64) (*Instance, error) {
 		top: top,
 		p:   append([]float64(nil), p...),
 	}
-	in.byCompetency = make([]int, len(p))
-	for i := range in.byCompetency {
-		in.byCompetency[i] = i
+	// Ascending by (competency, id). The Float64bits image preserves float
+	// order for the non-negative, non-NaN competencies NewInstance just
+	// validated, so the keys sort through the specialized ordered-type path
+	// (no comparator calls). Ids are recovered afterwards: visiting voters
+	// in ascending id order and appending each to its key's run reproduces
+	// the ascending-id tiebreak a stable sort by competency would give.
+	// Instance construction sits on every experiment's setup path, so this
+	// is a measured hot spot.
+	n := len(p)
+	ks := make([]uint64, n)
+	for i, v := range p {
+		ks[i] = math.Float64bits(v)
 	}
-	sort.SliceStable(in.byCompetency, func(a, b int) bool {
-		return in.p[in.byCompetency[a]] < in.p[in.byCompetency[b]]
-	})
-	in.sortedP = make([]float64, len(p))
-	for i, v := range in.byCompetency {
-		in.sortedP[i] = in.p[v]
+	slices.Sort(ks)
+	in.byCompetency = make([]int, n)
+	in.sortedP = make([]float64, n)
+	for i, b := range ks {
+		in.sortedP[i] = math.Float64frombits(b)
+	}
+	fill := make([]int32, n) // fill[r] = ids already placed in the run at r
+	for i, v := range p {
+		b := math.Float64bits(v)
+		// First index of b's run in ks (manual search: the closure-free loop
+		// matters at this call rate).
+		lo, hi := 0, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ks[mid] < b {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		in.byCompetency[lo+int(fill[lo])] = i
+		fill[lo]++
 	}
 	return in, nil
 }

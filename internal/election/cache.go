@@ -20,6 +20,7 @@ package election
 // rendered into reproduced tables.
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -200,16 +201,32 @@ var pdCache = struct {
 	m  map[*core.Instance]float64
 }{m: make(map[*core.Instance]float64)}
 
+// pdCacheGet looks up the memoized exact P^D of in.
+func pdCacheGet(in *core.Instance) (float64, bool) {
+	pdCache.mu.Lock()
+	v, ok := pdCache.m[in]
+	pdCache.mu.Unlock()
+	return v, ok
+}
+
+// pdCachePut memoizes the exact P^D of in, dropping the whole map at the
+// size bound (see scoreCacheMaxEntries for why eviction is all-or-nothing).
+func pdCachePut(in *core.Instance, v float64) {
+	pdCache.mu.Lock()
+	if len(pdCache.m) >= pdCacheMaxEntries {
+		pdCache.m = make(map[*core.Instance]float64)
+	}
+	pdCache.m[in] = v
+	pdCache.mu.Unlock()
+}
+
 // directProbabilityCached is the memoized body of DirectProbabilityExact.
 // Competencies are sorted ascending before the DP: direct voting is the
 // all-weight-1 resolution, and scoring it in the same canonical order as
 // resolutionVoters keeps P^M of an everyone-votes-directly delegation
 // bit-identical to P^D (tests and do-no-harm checks rely on the equality).
 func directProbabilityCached(in *core.Instance) (float64, error) {
-	pdCache.mu.Lock()
-	v, ok := pdCache.m[in]
-	pdCache.mu.Unlock()
-	if ok {
+	if v, ok := pdCacheGet(in); ok {
 		cDirectHits.Inc()
 		return v, nil
 	}
@@ -222,12 +239,25 @@ func directProbabilityCached(in *core.Instance) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("direct probability: %w", err)
 	}
-	v = pb.ProbMajorityWS(ws)
-	pdCache.mu.Lock()
-	if len(pdCache.m) >= pdCacheMaxEntries {
-		pdCache.m = make(map[*core.Instance]float64)
-	}
-	pdCache.m[in] = v
-	pdCache.mu.Unlock()
+	v := pb.ProbMajorityWS(ws)
+	pdCachePut(in, v)
 	return v, nil
+}
+
+// directProbabilityExactFresh computes the exact P^D with no memoization at
+// either level — the uncached reference the DisableResolutionCache contract
+// promises — running the majority tail on the fork-join D&C evaluator when
+// workers > 1 (bit-identical to the sequential kernel for every budget).
+// The canonical ascending sort matches directProbabilityCached, so fresh
+// and memoized values are the same bytes.
+func directProbabilityExactFresh(ctx context.Context, in *core.Instance, workers int) (float64, error) {
+	ws := wsPool.Get().(*prob.Workspace)
+	defer wsPool.Put(ws)
+	ps := in.Competencies()
+	sort.Float64s(ps)
+	pb, err := ws.PoissonBinomial(ps)
+	if err != nil {
+		return 0, fmt.Errorf("direct probability: %w", err)
+	}
+	return pb.ProbMajorityParallelWS(ctx, ws, workers)
 }

@@ -15,13 +15,11 @@ import (
 	"errors"
 	"math"
 	"runtime"
-	"sync"
 
 	"liquid/internal/core"
 	"liquid/internal/mechanism"
 	"liquid/internal/prob"
 	"liquid/internal/rng"
-	"liquid/internal/telemetry"
 )
 
 // ErrNoVoters reports an election over an empty electorate.
@@ -43,11 +41,18 @@ type Options struct {
 	// Seed drives all randomness. Two runs with equal options are
 	// bit-identical.
 	Seed uint64
-	// DisableResolutionCache turns off the memoized resolution-score cache.
-	// Results are bit-identical either way — every exact path scores the
-	// canonical sorted voter multiset — so the knob exists only for
-	// benchmarking the kernels and for the equivalence tests proving that
-	// claim.
+	// DisableResolutionCache turns off every memoized pure value on the
+	// evaluation path: the resolution-score cache AND the exact-P^D memos
+	// (both the Plan's and the process-wide instance cache). Results are
+	// bit-identical either way — every exact path scores the canonical
+	// sorted voter multiset — so the knob exists only for benchmarking the
+	// kernels and for the equivalence tests proving that claim.
+	//
+	// Semantics under sweeps: the flag is consulted per sweep point, on
+	// every evaluation. A point with DisableResolutionCache set recomputes
+	// all exact DPs from scratch even when the plan (or an earlier point,
+	// or an earlier EvaluateMechanism call on the same instance) already
+	// memoized them, and contributes nothing to the shared caches.
 	DisableResolutionCache bool
 }
 
@@ -248,101 +253,26 @@ func evaluateReplication(ctx context.Context, in *core.Instance, mech mechanism.
 // deterministic for a fixed Options.Seed regardless of Workers. Cancelling
 // ctx stops scheduling new replications and aborts in-flight sampling loops,
 // returning ctx's error.
+//
+// It is a one-point sweep over a fresh Plan (see plan.go): callers that
+// evaluate many mechanisms or margins on the same instance should build
+// the Plan once and use EvaluateSweep, which shares the per-instance state
+// this wrapper rebuilds on every call.
 func EvaluateMechanism(ctx context.Context, in *core.Instance, mech mechanism.Mechanism, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	if in.N() == 0 {
-		return nil, ErrNoVoters
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	// Telemetry: a child span under the engine's per-experiment span (nil
-	// and therefore free when no span was installed) and a replication
-	// counter. Write-only — nothing below reads these back.
-	sp := telemetry.SpanFromContext(ctx).Child("evaluate")
-	defer sp.End()
-	telemetry.NewCounter("election/replications").Add(uint64(opts.Replications))
-	root := rng.New(opts.Seed)
-	pd, err := DirectProbability(ctx, in, opts.VoteSamples*4, root.DeriveString("direct"))
+	plan, err := NewPlan(in, opts)
 	if err != nil {
 		return nil, err
 	}
-
-	var cache *ScoreCache
-	if !opts.DisableResolutionCache {
-		cache = NewScoreCache()
-	}
-	outs := make([]repOut, opts.Replications)
-	workers := opts.Workers
-	if workers > opts.Replications {
-		workers = opts.Replications
-	}
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One workspace and resolver per worker: scratch is reused
-			// across this worker's replications and never shared. The score
-			// cache is shared — its values are pure functions of their keys,
-			// so scheduling cannot change any result, only the hit counts.
-			ws := wsPool.Get().(*prob.Workspace)
-			rv := rvPool.Get().(*core.Resolver)
-			defer wsPool.Put(ws)
-			defer rvPool.Put(rv)
-			for r := range work {
-				// Each replication draws from a stream derived only from
-				// (seed, r), so scheduling order cannot change the outcome.
-				outs[r] = evaluateReplication(ctx, in, mech, opts, root.Derive(uint64(r)+1), ws, rv, cache)
-			}
-		}()
-	}
-feed:
-	for r := 0; r < opts.Replications; r++ {
-		select {
-		case <-ctx.Done():
-			break feed
-		case work <- r:
-		}
-	}
-	close(work)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	results, err := EvaluateSweep(ctx, plan, []SweepPoint{{
+		Mechanism:              mech,
+		Seed:                   opts.Seed,
+		Replications:           opts.Replications,
+		DisableResolutionCache: opts.DisableResolutionCache,
+	}})
+	if err != nil {
 		return nil, err
 	}
-
-	var pmSum prob.Summary
-	var delegators, sinks, maxWeights, chains prob.Accumulator
-	result := &Result{Mechanism: mech.Name(), N: in.N(), PD: pd}
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, o.err
-		}
-		pmSum.Add(o.pm)
-		delegators.Add(float64(o.delegators))
-		sinks.Add(float64(o.sinks))
-		maxWeights.Add(float64(o.maxWeight))
-		chains.Add(float64(o.longestChain))
-		if o.maxWeight > result.MaxMaxWeight {
-			result.MaxMaxWeight = o.maxWeight
-		}
-	}
-	reps := float64(opts.Replications)
-	result.MeanDelegators = delegators.Sum() / reps
-	result.MeanSinks = sinks.Sum() / reps
-	result.MeanMaxWeight = maxWeights.Sum() / reps
-	result.MeanLongestChain = chains.Sum() / reps
-	if cache != nil {
-		result.ResolutionCacheHits, result.ResolutionCacheMisses = cache.Stats()
-	}
-	result.PM = pmSum.Mean()
-	result.PMStdErr = pmSum.StdErr()
-	result.Gain = result.PM - pd
-	lo, hi := pmSum.MeanCI(0.95)
-	result.GainLo = lo - pd
-	result.GainHi = hi - pd
-	return result, nil
+	return results[0], nil
 }
 
 // ResolutionMoments returns the exact mean and variance of the correct

@@ -1,0 +1,275 @@
+package election
+
+// The staged evaluation pipeline. Every experiment in the reproduction
+// sweeps mechanisms and approval margins over the *same* instance; the
+// monolithic EvaluateMechanism used to rebuild all sweep-invariant state at
+// every point. The pipeline splits evaluation into:
+//
+//  1. Plan (NewPlan)      — a per-instance artifact owning everything that
+//     does not depend on the sweep point: the exact P^D table, the shared
+//     resolution-score cache over canonical (weight, p) multisets, and the
+//     instance's approval suffix memos (prewarmable per alpha). The D&C
+//     convolution tree is a pure function of a resolution's canonical
+//     multiset, so "owning the tree" means owning the score cache: a
+//     repeated multiset skips the tree entirely.
+//  2. Sweep (EvaluateSweep) — evaluates many SweepPoints against one Plan.
+//     Each point derives all randomness from its own Seed exactly as the
+//     single-point evaluator always did, so batched results are
+//     bit-identical to point-by-point EvaluateMechanism calls, with
+//     identical RNG draw sequences.
+//  3. Parallel kernels — the one-off exact P^D runs on the fork-join D&C
+//     evaluator (prob.PMFParallelWS) with the point's worker budget, since
+//     it is computed before the replication pool spins up and would
+//     otherwise leave every worker idle. Replication scoring stays
+//     sequential per worker; the workers are the parallelism there.
+//
+// EvaluateMechanism survives as a one-point sweep over a fresh Plan, so no
+// caller breaks and the equivalence is structural rather than asserted.
+
+import (
+	"context"
+	"sync"
+
+	"liquid/internal/core"
+	"liquid/internal/mechanism"
+	"liquid/internal/prob"
+	"liquid/internal/rng"
+	"liquid/internal/telemetry"
+)
+
+// Plan is the per-instance stage of the evaluation pipeline: it
+// canonicalises one instance and owns the sweep-invariant state shared by
+// every point evaluated against it. A Plan is safe for concurrent use; all
+// shared state is either immutable or memoized values that are pure
+// functions of the instance.
+type Plan struct {
+	in   *core.Instance
+	opts Options
+
+	// scores memoizes exact resolution scores across every cached sweep
+	// point. Values are pure functions of the canonical voter multiset, so
+	// sharing across points (or mechanisms) cannot change any result.
+	scores *ScoreCache
+
+	// pd memoizes the exact P^D table's majority mass (n <= 4096 only; the
+	// Monte-Carlo branch is seed-dependent and stays per-point).
+	pdMu  sync.Mutex
+	pd    float64
+	pdSet bool
+}
+
+// NewPlan canonicalises in and returns a Plan carrying opts as the base
+// options of every sweep point. Per-point fields of opts (Seed,
+// Replications, DisableResolutionCache) become defaults a SweepPoint can
+// override.
+func NewPlan(in *core.Instance, opts Options) (*Plan, error) {
+	if in.N() == 0 {
+		return nil, ErrNoVoters
+	}
+	return &Plan{in: in, opts: opts.withDefaults(), scores: NewScoreCache()}, nil
+}
+
+// Instance returns the instance the plan canonicalises.
+func (p *Plan) Instance() *core.Instance { return p.in }
+
+// PrewarmApproval builds the instance's approval suffix memo for each
+// alpha, so a sweep's first point at that margin does not pay the memo
+// construction inside its replication loop. Purely a warm-up: the memo is
+// a deterministic function of the instance and alphas, and mechanisms
+// build it on demand anyway.
+func (p *Plan) PrewarmApproval(alphas ...float64) {
+	for _, alpha := range alphas {
+		p.in.ApprovalView(alpha)
+	}
+}
+
+// SweepPoint is one evaluation against a Plan: a mechanism plus the
+// per-point options. Fields left zero inherit the plan's base Options.
+type SweepPoint struct {
+	// Mechanism is the delegation mechanism to evaluate.
+	Mechanism mechanism.Mechanism
+	// Seed drives all of the point's randomness, exactly as Options.Seed
+	// drives EvaluateMechanism: equal (plan options, point) pairs are
+	// bit-identical however the sweep is batched or ordered.
+	Seed uint64
+	// Replications overrides the plan's base replication count when > 0.
+	Replications int
+	// DisableResolutionCache bypasses the plan's shared score cache and the
+	// P^D memos for this point (see Options.DisableResolutionCache).
+	DisableResolutionCache bool
+}
+
+// EvaluateSweep evaluates points against plan, returning one Result per
+// point in input order. Results are bit-identical to calling
+// EvaluateMechanism once per point with the plan's base options and the
+// point's overrides — batching shares scratch and memoized pure values,
+// never randomness — except for the Result cache-traffic telemetry fields,
+// which depend on sharing and scheduling. Cancelling ctx aborts the sweep
+// with ctx's error.
+func EvaluateSweep(ctx context.Context, plan *Plan, points []SweepPoint) ([]*Result, error) {
+	results := make([]*Result, len(points))
+	for i, pt := range points {
+		res, err := plan.evaluatePoint(ctx, pt)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// pointOptions resolves a sweep point against the plan's base options.
+func (p *Plan) pointOptions(pt SweepPoint) Options {
+	opts := p.opts
+	opts.Seed = pt.Seed
+	if pt.Replications > 0 {
+		opts.Replications = pt.Replications
+	}
+	if pt.DisableResolutionCache {
+		opts.DisableResolutionCache = true
+	}
+	return opts
+}
+
+// evaluatePoint scores one sweep point. The structure — and every RNG
+// derivation — is the single-point evaluator's: root stream from the seed,
+// "direct" child stream for P^D, one numbered child stream per
+// replication. Only where the scratch and memoized pure values come from
+// differs.
+func (p *Plan) evaluatePoint(ctx context.Context, pt SweepPoint) (*Result, error) {
+	opts := p.pointOptions(pt)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Telemetry: a child span under the engine's per-experiment span (nil
+	// and therefore free when no span was installed) and a replication
+	// counter. Write-only — nothing below reads these back.
+	sp := telemetry.SpanFromContext(ctx).Child("evaluate")
+	defer sp.End()
+	telemetry.NewCounter("election/replications").Add(uint64(opts.Replications))
+	root := rng.New(opts.Seed)
+	pd, err := p.directProbability(ctx, opts, root.DeriveString("direct"))
+	if err != nil {
+		return nil, err
+	}
+
+	var cache *ScoreCache
+	if !opts.DisableResolutionCache {
+		cache = p.scores
+	}
+	mech := pt.Mechanism
+	outs := make([]repOut, opts.Replications)
+	workers := opts.Workers
+	if workers > opts.Replications {
+		workers = opts.Replications
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One workspace and resolver per worker: scratch is reused
+			// across this worker's replications and never shared. The score
+			// cache is shared — its values are pure functions of their keys,
+			// so scheduling cannot change any result, only the hit counts.
+			ws := wsPool.Get().(*prob.Workspace)
+			rv := rvPool.Get().(*core.Resolver)
+			defer wsPool.Put(ws)
+			defer rvPool.Put(rv)
+			for r := range work {
+				// Each replication draws from a stream derived only from
+				// (seed, r), so scheduling order cannot change the outcome.
+				outs[r] = evaluateReplication(ctx, p.in, mech, opts, root.Derive(uint64(r)+1), ws, rv, cache)
+			}
+		}()
+	}
+feed:
+	for r := 0; r < opts.Replications; r++ {
+		select {
+		case <-ctx.Done():
+			break feed
+		case work <- r:
+		}
+	}
+	close(work)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var pmSum prob.Summary
+	var delegators, sinks, maxWeights, chains prob.Accumulator
+	result := &Result{Mechanism: mech.Name(), N: p.in.N(), PD: pd}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		pmSum.Add(o.pm)
+		delegators.Add(float64(o.delegators))
+		sinks.Add(float64(o.sinks))
+		maxWeights.Add(float64(o.maxWeight))
+		chains.Add(float64(o.longestChain))
+		if o.maxWeight > result.MaxMaxWeight {
+			result.MaxMaxWeight = o.maxWeight
+		}
+	}
+	reps := float64(opts.Replications)
+	result.MeanDelegators = delegators.Sum() / reps
+	result.MeanSinks = sinks.Sum() / reps
+	result.MeanMaxWeight = maxWeights.Sum() / reps
+	result.MeanLongestChain = chains.Sum() / reps
+	if cache != nil {
+		result.ResolutionCacheHits, result.ResolutionCacheMisses = cache.Stats()
+	}
+	result.PM = pmSum.Mean()
+	result.PMStdErr = pmSum.StdErr()
+	result.Gain = result.PM - pd
+	lo, hi := pmSum.MeanCI(0.95)
+	result.GainLo = lo - pd
+	result.GainHi = hi - pd
+	return result, nil
+}
+
+// directProbability returns the point's P^D. The exact branch (n <= 4096)
+// is seed-free, so cached points share the plan memo (and the process-wide
+// instance cache under it); a cache-disabled point recomputes the DP from
+// scratch. The Monte-Carlo branch draws from the point's "direct" stream
+// and is never memoized — its value is part of the point's RNG contract.
+func (p *Plan) directProbability(ctx context.Context, opts Options, s *rng.Stream) (float64, error) {
+	n := p.in.N()
+	if n > 4096 {
+		return DirectProbability(ctx, p.in, opts.VoteSamples*4, s)
+	}
+	if opts.DisableResolutionCache {
+		return directProbabilityExactFresh(ctx, p.in, opts.Workers)
+	}
+	p.pdMu.Lock()
+	if p.pdSet {
+		v := p.pd
+		p.pdMu.Unlock()
+		cDirectHits.Inc()
+		return v, nil
+	}
+	p.pdMu.Unlock()
+	v, ok := pdCacheGet(p.in)
+	if ok {
+		cDirectHits.Inc()
+	} else {
+		cDirectMisses.Inc()
+		var err error
+		// The one-off exact table is the natural home for the parallel D&C
+		// tree: it runs before the replication pool exists, so the whole
+		// worker budget is otherwise idle. Bit-identical to the sequential
+		// evaluator for every budget.
+		v, err = directProbabilityExactFresh(ctx, p.in, opts.Workers)
+		if err != nil {
+			return 0, err
+		}
+		pdCachePut(p.in, v)
+	}
+	p.pdMu.Lock()
+	p.pd, p.pdSet = v, true
+	p.pdMu.Unlock()
+	return v, nil
+}

@@ -196,6 +196,16 @@ func (r *Runner) Run(ctx context.Context, defs []experiment.Definition, cfg expe
 	if workers > len(defs) {
 		workers = len(defs)
 	}
+	// Nested-parallelism budget: each pooled experiment runs election
+	// evaluations that parallelise internally (replication workers plus the
+	// fork-join D&C kernels), so an unconstrained inner width would
+	// oversubscribe cores by a factor of the pool width. Split the cores
+	// across the pool unless the caller pinned the inner width explicitly.
+	// Purely a scheduling decision: evaluation results are invariant under
+	// worker counts, so the budget can never change an outcome.
+	if cfg.Workers == 0 && workers > 0 {
+		cfg.Workers = max(1, defaultWorkers()/workers)
+	}
 
 	// stop is closed at most once, when FailFast trips.
 	stop := make(chan struct{})

@@ -42,16 +42,26 @@ func runA1(ctx context.Context, cfg Config) (*Outcome, error) {
 
 	tab := report.NewTable("Ablation A1: threshold j(n) on K_n (alpha=0.05, SPG regime)",
 		"j(n)", "delegators", "gain", "gain 95% CI")
+	// One sweep over the threshold grid: the instance, its P^D, and the
+	// resolution-score cache are shared across all six points; each point's
+	// seed is derived exactly as the old per-point calls derived it, so the
+	// table is unchanged.
+	points := make([]election.SweepPoint, len(ths))
+	for i, th := range ths {
+		points[i] = election.SweepPoint{
+			Mechanism: mechanism.ApprovalThreshold{Alpha: 0.05, Threshold: mechanism.ConstantThreshold(th.j)},
+			Seed:      rng.Derive(cfg.Seed, "A1", fmt.Sprintf("j=%d", th.j)),
+		}
+	}
+	results, err := evaluatePoints(ctx, cfg, in,
+		election.Options{Replications: reps, Workers: cfg.Workers}, points)
+	if err != nil {
+		return nil, err
+	}
 	gains := make([]float64, 0, len(ths))
 	delegs := make([]float64, 0, len(ths))
-	for _, th := range ths {
-		mech := mechanism.ApprovalThreshold{Alpha: 0.05, Threshold: mechanism.ConstantThreshold(th.j)}
-		res, err := election.EvaluateMechanism(ctx, in, mech, election.Options{
-			Replications: reps, Seed: rng.Derive(cfg.Seed, "A1", fmt.Sprintf("j=%d", th.j)), Workers: cfg.Workers,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, th := range ths {
+		res := results[i]
 		gains = append(gains, res.Gain)
 		delegs = append(delegs, res.MeanDelegators)
 		tab.AddRow(th.name, report.F2(res.MeanDelegators), report.F(res.Gain),
@@ -87,16 +97,26 @@ func runA2(ctx context.Context, cfg Config) (*Outcome, error) {
 	tab := report.NewTable("Ablation A2: approval margin alpha on K_n (SPG regime)",
 		"alpha", "1/alpha", "partition complexity c", "delegators", "gain", "gain 95% CI")
 
+	// The alpha grid as one sweep: prewarming the approval memos up front
+	// moves their construction off the replication path (a pure warm-up —
+	// mechanisms build them on demand anyway), and the per-point seeds
+	// match the old per-point calls exactly.
+	points := make([]election.SweepPoint, len(alphas))
+	for i, alpha := range alphas {
+		points[i] = election.SweepPoint{
+			Mechanism: mechanism.ApprovalThreshold{Alpha: alpha},
+			Seed:      rng.Derive(cfg.Seed, "A2", fmt.Sprintf("alpha=%g", alpha)),
+		}
+	}
+	results, err := evaluatePoints(ctx, cfg, in,
+		election.Options{Replications: reps, Workers: cfg.Workers}, points, alphas...)
+	if err != nil {
+		return nil, err
+	}
 	gains := make([]float64, 0, len(alphas))
 	cs := make([]float64, 0, len(alphas))
-	for _, alpha := range alphas {
-		mech := mechanism.ApprovalThreshold{Alpha: alpha}
-		res, err := election.EvaluateMechanism(ctx, in, mech, election.Options{
-			Replications: reps, Seed: rng.Derive(cfg.Seed, "A2", fmt.Sprintf("alpha=%g", alpha)), Workers: cfg.Workers,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, alpha := range alphas {
+		res := results[i]
 		rg, err := recycle.FromCompleteDelegation(in, alpha, 1)
 		if err != nil {
 			return nil, err

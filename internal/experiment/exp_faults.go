@@ -138,22 +138,59 @@ func runR1(ctx context.Context, cfg Config) (*Outcome, error) {
 				return nil, err
 			}
 
+			// The whole rate x policy grid (plus the abstention point in the
+			// coin-flip regime) is one sweep sharing an exact-score cache.
+			// The per-point seeds are derived exactly as the old per-point
+			// calls derived them — in particular they still exclude the
+			// policy, so the CRN pairing and the zero-fault bit-identity
+			// checks below are untouched.
+			var points []fault.SweepPoint
+			for _, q := range downRates {
+				for _, pol := range policies {
+					points = append(points, fault.SweepPoint{
+						Mechanism: mech,
+						Opts: fault.ElectionOptions{
+							Options: election.Options{
+								Replications: reps,
+								Seed:         rng.Derive(cfg.Seed, "R1", reg.name, tp.name, fmt.Sprintf("down=%g", q)),
+								Workers:      cfg.Workers,
+							},
+							DownRate: q,
+							Policy:   pol,
+							Alpha:    0.05,
+						},
+					})
+				}
+			}
+			if reg.name == "coin-flip" {
+				// One abstention point on top of availability faults,
+				// fallback policy: withdrawing units must not raise P^M.
+				points = append(points, fault.SweepPoint{
+					Mechanism: mech,
+					Opts: fault.ElectionOptions{
+						Options: election.Options{
+							Replications: reps,
+							Seed:         rng.Derive(cfg.Seed, "R1", reg.name, tp.name, "down=0.1+abstain"),
+							Workers:      cfg.Workers,
+						},
+						DownRate:    0.10,
+						AbstainRate: 0.10,
+						Policy:      fault.FallbackToDirect,
+						Alpha:       0.05,
+					},
+				})
+			}
+			sweep, err := evaluateFaultPoints(ctx, cfg, in, points)
+			if err != nil {
+				return nil, err
+			}
+
+			k := 0
 			for _, q := range downRates {
 				pmAt[q] = map[fault.Policy]float64{}
 				for _, pol := range policies {
-					res, err := fault.EvaluateUnderFaults(ctx, in, mech, fault.ElectionOptions{
-						Options: election.Options{
-							Replications: reps,
-							Seed:         rng.Derive(cfg.Seed, "R1", reg.name, tp.name, fmt.Sprintf("down=%g", q)),
-							Workers:      cfg.Workers,
-						},
-						DownRate: q,
-						Policy:   pol,
-						Alpha:    0.05,
-					})
-					if err != nil {
-						return nil, err
-					}
+					res := sweep[k]
+					k++
 					addRow(tp, pol, q, 0, res)
 					pmAt[q][pol] = res.PM
 					// The injected fault footprint should match the
@@ -167,24 +204,8 @@ func runR1(ctx context.Context, cfg Config) (*Outcome, error) {
 					}
 				}
 			}
-
 			if reg.name == "coin-flip" {
-				// One abstention point on top of availability faults,
-				// fallback policy: withdrawing units must not raise P^M.
-				abst, err := fault.EvaluateUnderFaults(ctx, in, mech, fault.ElectionOptions{
-					Options: election.Options{
-						Replications: reps,
-						Seed:         rng.Derive(cfg.Seed, "R1", reg.name, tp.name, "down=0.1+abstain"),
-						Workers:      cfg.Workers,
-					},
-					DownRate:    0.10,
-					AbstainRate: 0.10,
-					Policy:      fault.FallbackToDirect,
-					Alpha:       0.05,
-				})
-				if err != nil {
-					return nil, err
-				}
+				abst := sweep[k]
 				addRow(tp, fault.FallbackToDirect, 0.10, 0.10, abst)
 				abstainDelta += abst.PM - pmAt[0.10][fault.FallbackToDirect]
 			}

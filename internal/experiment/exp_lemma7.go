@@ -31,8 +31,8 @@ func runL7(ctx context.Context, cfg Config) (*Outcome, error) {
 		return nil, err
 	}
 	muX := 0.0
-	for _, p := range in.Competencies() {
-		muX += p
+	for i := 0; i < n; i++ {
+		muX += in.Competency(i)
 	}
 
 	tab := report.NewTable("Lemma 7: increase in expectation on K_n (exact recycle means)",
@@ -81,8 +81,10 @@ func runL7(ctx context.Context, cfg Config) (*Outcome, error) {
 		bound := muX + promise - eps*float64(n)/math.Cbrt(j)
 		failures := 0
 		s := root.Derive(uint64(rc.alpha*1000) + uint64(rc.threshold))
+		// Quantized batched kernel; see recycle.Realizer.SumFast.
+		rz := g.Realizer()
 		for r := 0; r < reps; r++ {
-			if float64(g.RealizeSum(s)) < bound {
+			if float64(rz.SumFast(s)) < bound {
 				failures++
 			}
 		}

@@ -128,12 +128,50 @@ func evaluateFaultReplication(ctx context.Context, in *core.Instance, mech mecha
 	}
 }
 
+// SweepPoint is one fault-evaluation configuration of a sweep: a mechanism
+// plus its full per-point options (the fault engine's points differ in
+// rates and policies, not just seeds, so the whole option set is per-point).
+type SweepPoint struct {
+	Mechanism mechanism.Mechanism
+	Opts      ElectionOptions
+}
+
+// EvaluateSweep evaluates points against one instance, sharing the
+// resolution-score cache across every point. The cache memoizes pure
+// functions of canonical voter multisets (see election/cache.go), so
+// results are bit-identical to calling EvaluateUnderFaults once per point —
+// which is exactly what that function now does, as a one-point sweep. The
+// sharing is what makes the R1 grid cheap: policies repair the same
+// realizations at a fixed rate (common random numbers), so their resolved
+// multisets collide constantly across points.
+func EvaluateSweep(ctx context.Context, in *core.Instance, points []SweepPoint) ([]*ElectionResult, error) {
+	cache := election.NewScoreCache()
+	results := make([]*ElectionResult, len(points))
+	for i, pt := range points {
+		res, err := evaluateFaultPoint(ctx, in, pt.Mechanism, pt.Opts, cache)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
 // EvaluateUnderFaults estimates P^M(G) under sink-unavailability and
 // abstention faults repaired by the configured recovery policy, with the
 // fault-free P^D(G) as the do-no-harm baseline. Replications run in
 // parallel on independent streams derived only from (Seed, replication),
-// so results are bit-identical regardless of Workers.
+// so results are bit-identical regardless of Workers. It is a one-point
+// sweep: batch related configurations through EvaluateSweep to share the
+// exact-score cache across them.
 func EvaluateUnderFaults(ctx context.Context, in *core.Instance, mech mechanism.Mechanism, opts ElectionOptions) (*ElectionResult, error) {
+	return evaluateFaultPoint(ctx, in, mech, opts, election.NewScoreCache())
+}
+
+// evaluateFaultPoint scores one fault configuration, memoizing exact
+// resolution scores in cache (shared across a sweep's points; pure values,
+// so sharing cannot change any result).
+func evaluateFaultPoint(ctx context.Context, in *core.Instance, mech mechanism.Mechanism, opts ElectionOptions, cache *election.ScoreCache) (*ElectionResult, error) {
 	if opts.Replications <= 0 {
 		opts.Replications = 64
 	}
@@ -171,7 +209,6 @@ func EvaluateUnderFaults(ctx context.Context, in *core.Instance, mech mechanism.
 	}
 	work := make(chan int)
 	var wg sync.WaitGroup
-	cache := election.NewScoreCache()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {

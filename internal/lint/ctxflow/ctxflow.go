@@ -5,14 +5,20 @@
 // A single exported entry point that spins trials without a ctx reintroduces
 // the unkillable half-hour run.
 //
-// Two rules, scoped to internal/{engine,experiment,localsim,fault}:
+// Three rules:
 //
-//  1. An exported function whose body loops over trials, rounds,
-//     replications, or iterations must accept a context.Context, and a
-//     declared ctx parameter must be used (checked or forwarded) somewhere
-//     in the body.
+//  1. (internal/{engine,experiment,localsim,fault}) An exported function
+//     whose body loops over trials, rounds, replications, or iterations
+//     must accept a context.Context, and a declared ctx parameter must be
+//     used (checked or forwarded) somewhere in the body.
 //  2. context.Background()/context.TODO() must not be created in any
 //     internal package — contexts are born in cmd/ (or tests) and flow down.
+//  3. (internal/prob) Any function — exported or not — that spawns a
+//     goroutine must accept a context.Context and use it. The fork-join
+//     D&C evaluators recurse through unexported helpers; a helper that
+//     forks subtrees without consulting ctx would keep burning cores after
+//     the caller cancelled, exactly the leak rule 1 guards against one
+//     layer up.
 package ctxflow
 
 import (
@@ -48,6 +54,16 @@ func inLoopScope(path string) bool {
 	return loopScope[tail]
 }
 
+// inForkScope reports whether path is the kernel package whose goroutine
+// spawns rule 3 covers.
+func inForkScope(path string) bool {
+	tail := analysis.PackageTail(path)
+	if i := strings.IndexByte(tail, '/'); i >= 0 {
+		tail = tail[:i]
+	}
+	return tail == "prob"
+}
+
 // loopWords are the identifier fragments that mark a replication loop.
 var loopWords = []string{"trial", "round", "replic", "iter", "sweep", "epoch"}
 
@@ -81,6 +97,15 @@ func run(pass *analysis.Pass) error {
 				checkFunc(pass, fd)
 			}
 		}
+		if inForkScope(pass.Path) {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkForkFunc(pass, fd)
+			}
+		}
 	}
 	return nil
 }
@@ -98,6 +123,42 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	if !usesObject(pass, fd.Body, ctxParam) {
 		pass.Reportf(fd.Name.Pos(), "exported %s declares a context.Context but never checks or forwards it; dead ctx parameters hide uncancellable loops", fd.Name.Name)
 	}
+}
+
+// checkForkFunc enforces rule 3: a function that spawns goroutines must
+// accept a context.Context and use it. Export status is irrelevant here —
+// the fork-join evaluators do their spawning in unexported recursion
+// helpers, and those are exactly the functions that must stay cancellable.
+func checkForkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	spawn := findGoStmt(fd.Body)
+	if spawn == nil {
+		return
+	}
+	ctxParam := contextParam(pass, fd)
+	if ctxParam == nil {
+		pass.Reportf(spawn.Pos(), "%s spawns a goroutine without accepting a context.Context: fork-join helpers must take ctx so cancelled evaluations stop forking subtrees", fd.Name.Name)
+		return
+	}
+	if !usesObject(pass, fd.Body, ctxParam) {
+		pass.Reportf(fd.Name.Pos(), "%s spawns goroutines but never checks or forwards its context.Context; dead ctx parameters hide uncancellable forks", fd.Name.Name)
+	}
+}
+
+// findGoStmt returns the first go statement in body, including inside
+// function literals: a closure's spawns are still the enclosing function's
+// responsibility, since the closure shares its ctx (or lack of one).
+func findGoStmt(body *ast.BlockStmt) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			found = g
+		}
+		return found == nil
+	})
+	return found
 }
 
 // contextParam returns the object of the first context.Context parameter.

@@ -1,0 +1,72 @@
+// Package prob is a ctxflow fixture for rule 3: functions in the kernel
+// package that spawn goroutines must accept and use a context.Context,
+// whether or not they are exported.
+package prob
+
+import (
+	"context"
+	"sync"
+)
+
+// forkWithCtx is the compliant shape: unexported recursion helper, spawns a
+// subtree goroutine, checks ctx before forking.
+func forkWithCtx(ctx context.Context, depth int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if depth == 0 {
+		return nil
+	}
+	done := make(chan error, 1)
+	go func() { done <- forkWithCtx(ctx, depth-1) }()
+	if err := forkWithCtx(ctx, depth-1); err != nil {
+		<-done
+		return err
+	}
+	return <-done
+}
+
+// ForkNoCtx spawns with no way to stop.
+func ForkNoCtx(depth int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `spawns a goroutine without accepting a context.Context`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// forkDeadCtx declares a ctx and then ignores it while forking.
+func forkDeadCtx(ctx context.Context, depth int) { // want `never checks or forwards its context.Context`
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// forkInsideClosure hides the go statement inside a function literal; the
+// enclosing declaration is still on the hook for a ctx.
+func forkInsideClosure(reps int) {
+	run := func() {
+		ch := make(chan int, 1)
+		go func() { ch <- 1 }() // want `spawns a goroutine without accepting a context.Context`
+		<-ch
+	}
+	run()
+}
+
+// sequentialHelper spawns nothing; no ctx needed.
+func sequentialHelper(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Keep the unexported fixtures referenced so the module compiles vet-clean.
+var (
+	_ = forkWithCtx
+	_ = forkDeadCtx
+	_ = forkInsideClosure
+	_ = sequentialHelper
+)

@@ -2,7 +2,7 @@ package mechanism
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"liquid/internal/core"
 	"liquid/internal/rng"
@@ -54,21 +54,36 @@ func CapWeights(d *core.DelegationGraph, maxWeight int) error {
 		return fmt.Errorf("%w: max weight %d < 1", ErrInvalidMechanism, maxWeight)
 	}
 	n := d.N()
-	// Build children lists of the delegation forest.
-	children := make([][]int, n)
-	indeg := make([]int, n)
-	for i, j := range d.Delegate {
+	// Children of the delegation forest in CSR form: one flat array plus
+	// offsets, instead of n little slices (this sits on the Lemma 5 hot
+	// path, where the allocation churn of per-node lists dominated).
+	buf := make([]int, 3*n+1)
+	childStart, childList, size := buf[:n+1], buf[n+1:2*n+1], buf[2*n+1:]
+	for _, j := range d.Delegate {
 		if j != core.NoDelegate {
-			children[j] = append(children[j], i)
-			indeg[i] = 1
+			childStart[j+1]++
 		}
 	}
-	// Post-order via an explicit stack from each root (direct voter).
-	size := make([]int, n)
-	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		childStart[v+1] += childStart[v]
+	}
+	fill := make([]int, n)
+	copy(fill, childStart[:n])
+	roots := 0
+	for i, j := range d.Delegate {
+		if j != core.NoDelegate {
+			childList[fill[j]] = i
+			fill[j]++
+		} else {
+			roots++
+		}
+	}
+	// Pre-order discovery via an explicit stack from each root (direct
+	// voter); reversing it gives children-before-parents.
+	order := fill[:0] // reuse: fill's prefix is consumed left to right
 	stack := make([]int, 0, n)
 	for r := 0; r < n; r++ {
-		if indeg[r] != 0 { // not a root
+		if d.Delegate[r] != core.NoDelegate { // not a root
 			continue
 		}
 		stack = append(stack[:0], r)
@@ -76,13 +91,14 @@ func CapWeights(d *core.DelegationGraph, maxWeight int) error {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			order = append(order, v)
-			stack = append(stack, children[v]...)
+			stack = append(stack, childList[childStart[v]:childStart[v+1]]...)
 		}
 	}
 	if len(order) != n {
 		return fmt.Errorf("%w: delegation graph contains a cycle", core.ErrCyclicDelegation)
 	}
 	abst := func(i int) bool { return d.Abstained != nil && d.Abstained[i] }
+	var att []int
 	// Process in reverse discovery order (children before parents).
 	for k := n - 1; k >= 0; k-- {
 		v := order[k]
@@ -90,20 +106,21 @@ func CapWeights(d *core.DelegationGraph, maxWeight int) error {
 		if abst(v) {
 			sz = 0
 		}
-		for _, c := range children[v] {
+		kids := childList[childStart[v]:childStart[v+1]]
+		for _, c := range kids {
 			if d.Delegate[c] == v { // still attached
 				sz += size[c]
 			}
 		}
 		if sz > maxWeight {
 			// Cut attached children, largest subtree first.
-			att := make([]int, 0, len(children[v]))
-			for _, c := range children[v] {
+			att = att[:0]
+			for _, c := range kids {
 				if d.Delegate[c] == v {
 					att = append(att, c)
 				}
 			}
-			sort.Slice(att, func(a, b int) bool { return size[att[a]] > size[att[b]] })
+			slices.SortFunc(att, func(a, b int) int { return size[b] - size[a] })
 			for _, c := range att {
 				if sz <= maxWeight {
 					break

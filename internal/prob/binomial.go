@@ -1,0 +1,106 @@
+package prob
+
+import "math"
+
+// BinomialTables holds the shared precomputation for exact Binomial(n, p)
+// sampling by inverse transform: log-factorials (for the probability mass at
+// the mode) and reciprocals (so the term recurrences are multiplies, not
+// divides). One table set serves every n up to its capacity, so a caller
+// drawing from many binomials of different sizes builds it once.
+type BinomialTables struct {
+	// lg[k] = log(k!), k in [0, maxN].
+	lg []float64
+	// inv[k] = 1/k, k in [1, maxN+1]; inv[0] is unused.
+	inv []float64
+}
+
+// NewBinomialTables builds tables supporting Draw for any n <= maxN.
+func NewBinomialTables(maxN int) *BinomialTables {
+	if maxN < 0 {
+		maxN = 0
+	}
+	t := &BinomialTables{
+		lg:  make([]float64, maxN+1),
+		inv: make([]float64, maxN+2),
+	}
+	for k := 1; k <= maxN; k++ {
+		t.lg[k] = t.lg[k-1] + math.Log(float64(k))
+	}
+	for k := 1; k <= maxN+1; k++ {
+		t.inv[k] = 1 / float64(k)
+	}
+	return t
+}
+
+// MaxN reports the largest n Draw accepts.
+func (t *BinomialTables) MaxN() int { return len(t.lg) - 1 }
+
+// Draw maps the uniform variate u in [0, 1) to a Binomial(n, p) value by
+// inverting the CDF over the mode-outward enumeration m, m+1, m-1, m+2, ...
+// — a fixed enumeration order, so for a fixed u the result is deterministic
+// and the sampled law is exactly Binomial(n, p) (up to float rounding of the
+// probability terms, the same rounding any PMF computation carries). The
+// expected number of terms examined is O(sqrt(n p (1-p))): the walk starts
+// at the mode and each term is one multiply-accumulate via the term-ratio
+// recurrence.
+//
+// Draw panics if n exceeds the table capacity; p outside (0, 1) clamps to
+// the degenerate values. Callers pass u from their own stream (for example
+// rng.Stream.Float64), keeping this package free of generator concerns.
+func (t *BinomialTables) Draw(n int, p, u float64) int {
+	if n < 0 || n > t.MaxN() {
+		panic("prob: BinomialTables.Draw n out of range")
+	}
+	if p <= 0 || n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	q := 1 - p
+	m := int(float64(n+1) * p)
+	if m > n {
+		m = n
+	}
+	fn1 := float64(n + 1)
+	pm := math.Exp(t.lg[n] - t.lg[m] - t.lg[n-m] +
+		float64(m)*math.Log(p) + float64(n-m)*math.Log(q))
+	acc := pm
+	if u < acc {
+		return m
+	}
+	odds := p / q
+	invOdds := q / p
+	// Term recurrences: pmf(k)/pmf(k-1) = ((n-k+1)/k) * odds going up, and
+	// the reciprocal going down; (n-k+1) is maintained incrementally and 1/k
+	// comes from the shared table, so each step is multiplies only.
+	lo, hi := m, m
+	plo, phi := pm, pm
+	fhi := float64(m) // float64(hi), maintained incrementally
+	flo := fn1 - fhi  // float64(n - lo + 1)
+	for lo > 0 || hi < n {
+		if hi < n {
+			hi++
+			fhi++
+			phi *= (fn1 - fhi) * t.inv[hi] * odds
+			//lint:ignore floatacc the running CDF is summed in a fixed mode-outward order, so it is deterministic; compensation would only move which final-ulp u values hit the fallback
+			acc += phi
+			if u < acc {
+				return hi
+			}
+		}
+		if lo > 0 {
+			plo *= float64(lo) * t.inv[int(flo)] * invOdds
+			lo--
+			flo++
+			//lint:ignore floatacc same fixed-order running CDF as above
+			acc += plo
+			if u < acc {
+				return lo
+			}
+		}
+	}
+	// Unreachable except when u lands in the final ulps above the summed
+	// mass; the mode is the deterministic fallback.
+	return m
+}

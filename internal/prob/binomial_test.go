@@ -1,0 +1,93 @@
+package prob
+
+import (
+	"math"
+	"testing"
+)
+
+// exactBinomialPMF computes C(n,k) p^k q^(n-k) independently of the tables
+// under test, via math.Lgamma.
+func exactBinomialPMF(n, k int, p float64) float64 {
+	lgN, _ := math.Lgamma(float64(n + 1))
+	lgK, _ := math.Lgamma(float64(k + 1))
+	lgNK, _ := math.Lgamma(float64(n - k + 1))
+	return math.Exp(lgN - lgK - lgNK +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+// TestBinomialDrawInvertsExactly sweeps a dense uniform grid through Draw
+// for small n and checks the measure mapped to each outcome k matches the
+// exact binomial mass: this validates the inverse transform itself, with no
+// sampling noise.
+func TestBinomialDrawInvertsExactly(t *testing.T) {
+	tables := NewBinomialTables(64)
+	const grid = 200000
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{1, 0.5}, {2, 0.1}, {6, 0.37}, {12, 0.85}, {40, 0.5},
+	}
+	for _, tc := range cases {
+		counts := make([]int, tc.n+1)
+		for g := 0; g < grid; g++ {
+			u := (float64(g) + 0.5) / grid
+			k := tables.Draw(tc.n, tc.p, u)
+			if k < 0 || k > tc.n {
+				t.Fatalf("n=%d p=%v u=%v: Draw = %d out of range", tc.n, tc.p, u, k)
+			}
+			counts[k]++
+		}
+		for k := 0; k <= tc.n; k++ {
+			got := float64(counts[k]) / grid
+			want := exactBinomialPMF(tc.n, k, tc.p)
+			if math.Abs(got-want) > 2.0/grid+1e-9 {
+				t.Fatalf("n=%d p=%v k=%d: grid measure %v, exact pmf %v", tc.n, tc.p, k, got, want)
+			}
+		}
+	}
+}
+
+// TestBinomialDrawLargeNMoments checks mean and variance against np and
+// npq for a large n on a uniform grid (grid moments are exact up to the
+// grid resolution, again avoiding sampling noise).
+func TestBinomialDrawLargeNMoments(t *testing.T) {
+	const n, p = 1350, 0.52
+	tables := NewBinomialTables(n)
+	const grid = 100000
+	var sum, sumSq float64
+	for g := 0; g < grid; g++ {
+		u := (float64(g) + 0.5) / grid
+		k := float64(tables.Draw(n, p, u))
+		sum += k
+		sumSq += k * k
+	}
+	mean := sum / grid
+	variance := sumSq/grid - mean*mean
+	if want := n * p; math.Abs(mean-want) > 0.5 {
+		t.Fatalf("mean %v, want %v", mean, want)
+	}
+	if want := n * p * (1 - p); math.Abs(variance-want)/want > 0.02 {
+		t.Fatalf("variance %v, want %v", variance, want)
+	}
+}
+
+// TestBinomialDrawDegenerate pins the clamped endpoints and capacity panic.
+func TestBinomialDrawDegenerate(t *testing.T) {
+	tables := NewBinomialTables(10)
+	if got := tables.Draw(10, 0, 0.99); got != 0 {
+		t.Fatalf("p=0: Draw = %d, want 0", got)
+	}
+	if got := tables.Draw(10, 1, 0.01); got != 10 {
+		t.Fatalf("p=1: Draw = %d, want 10", got)
+	}
+	if got := tables.Draw(0, 0.5, 0.5); got != 0 {
+		t.Fatalf("n=0: Draw = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Draw beyond table capacity did not panic")
+		}
+	}()
+	tables.Draw(11, 0.5, 0.5)
+}

@@ -17,7 +17,12 @@ package prob
 import "math"
 
 const (
-	fftUnitCost = 4
+	// Re-tuned from 4: the paired-FMA DP leaves run closer to peak than the
+	// scalar FFT butterflies, so small merges go further before the FFT
+	// pays for itself (~1.7x on BenchmarkPoissonBinomialPMF at n=2000, no
+	// measurable change on the weight-heavy BenchmarkWeightedMajorityDP
+	// whose large merges stay FFT either way).
+	fftUnitCost = 6
 	dcMinLeaf   = 32
 )
 

@@ -26,7 +26,6 @@ type Workspace struct {
 	off   int
 
 	fftRe, fftIm []float64
-	fft          []*fftTables // indexed by log2(size)
 
 	voters []WeightedVoter
 	aux    []WeightedVoter

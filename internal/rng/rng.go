@@ -8,6 +8,7 @@
 package rng
 
 import (
+	"math/bits"
 	"math/rand/v2"
 )
 
@@ -15,19 +16,38 @@ import (
 // construct streams with New or Derive.
 type Stream struct {
 	rand *rand.Rand
+	// pcg is the same generator s.rand wraps, held concretely so hot draws
+	// (Uint64, Float64, IntN, Bernoulli) skip the rand.Source interface
+	// dispatch. Both handles advance one shared state, so fast draws and
+	// rand.Rand draws (Perm, NormFloat64, ...) interleave coherently.
+	pcg  *rand.PCG
 	seed uint64
 }
+
+// Source is the concrete generator behind a Stream. Batched kernels that
+// cannot afford a call per variate take a *Source via Stream.Source and
+// draw raw 64-bit words directly; everything else should stay on the
+// Stream methods. The alias keeps math/rand/v2 an implementation detail of
+// this package (the seedflow analyzer bans importing it anywhere else).
+type Source = rand.PCG
 
 // New returns a stream seeded from seed. Two streams built from the same
 // seed produce identical outputs.
 func New(seed uint64) *Stream {
 	s0 := SplitMix64(seed)
 	s1 := SplitMix64(s0)
+	pcg := rand.NewPCG(s0, s1)
 	return &Stream{
-		rand: rand.New(rand.NewPCG(s0, s1)),
+		rand: rand.New(pcg),
+		pcg:  pcg,
 		seed: seed,
 	}
 }
+
+// Source returns the stream's concrete generator. Drawing from it advances
+// the same state as the Stream methods; a kernel may mix Source draws with
+// Stream draws and remain deterministic for a fixed call sequence.
+func (s *Stream) Source() *Source { return s.pcg }
 
 // Seed reports the seed this stream was constructed with.
 func (s *Stream) Seed() uint64 { return s.seed }
@@ -82,15 +102,42 @@ func fnv64(label string) uint64 {
 	return h
 }
 
+// The hot draw methods below reimplement the corresponding math/rand/v2
+// conversions on the concrete generator, bit-for-bit (TestStreamMatchesRandV2
+// pins the equivalence): rand.Rand reaches the PCG through a rand.Source
+// interface, and the dispatch is measurable in draw-bound kernels.
+
 // Uint64 returns a uniformly distributed 64-bit value.
-func (s *Stream) Uint64() uint64 { return s.rand.Uint64() }
+func (s *Stream) Uint64() uint64 { return s.pcg.Uint64() }
 
 // Float64 returns a uniform value in [0, 1).
-func (s *Stream) Float64() float64 { return s.rand.Float64() }
+func (s *Stream) Float64() float64 {
+	// Identical to math/rand/v2: exactly 1<<53 float64s in [0, 1).
+	return float64(s.pcg.Uint64()<<11>>11) / (1 << 53)
+}
 
 // IntN returns a uniform value in [0, n). It panics if n <= 0, matching
 // math/rand/v2 semantics.
-func (s *Stream) IntN(n int) int { return s.rand.IntN(n) }
+func (s *Stream) IntN(n int) int {
+	if n <= 0 {
+		panic("invalid argument to IntN")
+	}
+	un := uint64(n)
+	if un&(un-1) == 0 { // power of two: mask, as rand/v2 does
+		return int(s.pcg.Uint64() & (un - 1))
+	}
+	// Lemire's unbiased multiply-shift reduction, drawing again on the
+	// biased low-word region — the same algorithm (and therefore the same
+	// draw sequence) as math/rand/v2's uint64n.
+	hi, lo := bits.Mul64(s.pcg.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.pcg.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
 
 // Bernoulli returns true with probability p. Values of p outside [0, 1] are
 // clamped: p <= 0 always yields false and p >= 1 always yields true.
@@ -101,7 +148,7 @@ func (s *Stream) Bernoulli(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return s.rand.Float64() < p
+	return s.Float64() < p
 }
 
 // NormFloat64 returns a standard normal variate.
