@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short test-race test-faults cover fuzz-smoke bench bench-smoke bench-json reproduce reproduce-fast examples fmt
+.PHONY: all check build vet lint test test-short test-race test-faults cover fuzz-smoke bench bench-smoke bench-json bench-serve serve-smoke reproduce reproduce-fast examples fmt
 
 all: check
 
@@ -19,7 +19,7 @@ all: check
 # first failure (later stages report as skip).
 check:
 	@rc=0; summary=""; \
-	for stage in build vet lint test test-race cover fuzz-smoke bench-smoke; do \
+	for stage in build vet lint test test-race cover fuzz-smoke bench-smoke serve-smoke; do \
 		if [ $$rc -ne 0 ]; then summary="$$summary $$stage:skip"; continue; fi; \
 		echo "== $$stage"; \
 		if $(MAKE) --no-print-directory $$stage; then summary="$$summary $$stage:ok"; \
@@ -75,6 +75,28 @@ cover:
 fuzz-smoke:
 	$(GO) test ./internal/localsim -run='^$$' -fuzz=FuzzMessageValidation -fuzztime=5s
 	$(GO) test ./internal/prob -run='^$$' -fuzz=FuzzConvolutionEquivalence -fuzztime=5s
+	$(GO) test ./internal/server -run='^$$' -fuzz=FuzzDecodeEvaluateRequest -fuzztime=5s
+
+# serve-smoke is the end-to-end serving gate (also part of check): build
+# liquidd and liquidload, drive a deterministic load profile against a
+# live daemon with offline bit-identity verification, then drain with
+# SIGTERM and check the manifest flush and exit code.
+serve-smoke:
+	$(GO) test ./cmd/liquidd -run='^TestServeSmoke$$' -count=1
+
+# bench-serve runs the load generator against a fresh daemon and writes
+# the schema-stable serving snapshot BENCH_SERVE_001.json (latency
+# percentiles, throughput, outcome mix); see README "Benchmark
+# trajectory".
+bench-serve:
+	@$(GO) build -o /tmp/liquidd.bench ./cmd/liquidd
+	@$(GO) build -o /tmp/liquidload.bench ./cmd/liquidload
+	@/tmp/liquidd.bench -addr 127.0.0.1:0 2>/tmp/liquidd.bench.log & \
+	pid=$$!; \
+	for i in $$(seq 50); do grep -q 'serving on' /tmp/liquidd.bench.log && break; sleep 0.1; done; \
+	addr=$$(sed -n 's|.*serving on http://||p' /tmp/liquidd.bench.log | head -1); \
+	/tmp/liquidload.bench -addr $$addr -requests 400 -rate 800 -seed 1 -verify -bench BENCH_SERVE_001.json; rc=$$?; \
+	kill -TERM $$pid; wait $$pid; exit $$rc
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,444 @@
+// Command liquidload drives a running liquidd with a seeded, deterministic
+// open-loop request schedule and checks the serving invariants from the
+// outside. The same -seed produces the same request mix — instances,
+// mechanism parameters, per-request seeds, and injected faults (malformed
+// bodies, slow clients) — so a load run is reproducible end to end.
+//
+// After the run it fetches /statsz and verifies the daemon's accounting
+// delta matches the client-observed outcomes exactly:
+//
+//	sent == completed + malformed + shed + failed + expired
+//
+// and, with -verify, recomputes every completed exact evaluate response
+// offline (election.EvaluateMechanism with the same seed and options) and
+// requires bit-identical bytes. Any violation exits nonzero.
+//
+// With -bench the run writes a schema-stable JSON snapshot
+// ("liquid-bench-serve/1") with the outcome counts, latency percentiles,
+// and achieved throughput, for trajectory tracking alongside BENCH_<n>.json.
+//
+// Usage:
+//
+//	liquidload -addr host:port [-requests N] [-rate R] [-seed N]
+//	           [-voters N] [-replications N] [-deadline-ms N]
+//	           [-whatif-frac F] [-fault-frac F] [-malformed-frac F]
+//	           [-slow-frac F] [-verify] [-bench out.json]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/rng"
+	"liquid/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "liquidload:", err)
+		os.Exit(1)
+	}
+}
+
+// request is one scheduled request: its wire bytes plus everything needed
+// to verify the response offline.
+type request struct {
+	kind string // evaluate | fault | whatif | malformed
+	path string
+	body []byte
+	seed uint64
+	slow bool
+	// alpha parameterizes the evaluate mechanism for -verify.
+	alpha float64
+}
+
+// outcome is one completed request's client-side observation.
+type outcome struct {
+	status  int
+	body    []byte
+	latency time.Duration
+	err     error
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("liquidload", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		addr       = fs.String("addr", "", "daemon address (host:port; required)")
+		requests   = fs.Int("requests", 200, "number of requests to send")
+		rate       = fs.Float64("rate", 200, "open-loop arrival rate, requests/sec")
+		seed       = fs.Uint64("seed", 1, "schedule seed (same seed => same request mix)")
+		voters     = fs.Int("voters", 25, "instance size per request")
+		reps       = fs.Int("replications", 8, "sweep replications per request")
+		deadlineMS = fs.Int64("deadline-ms", 2000, "per-request deadline")
+		whatifF    = fs.Float64("whatif-frac", 0.2, "fraction of /v1/whatif requests")
+		faultF     = fs.Float64("fault-frac", 0.2, "fraction of evaluate requests carrying a fault block")
+		malformedF = fs.Float64("malformed-frac", 0.1, "fraction of malformed bodies (typed 400s)")
+		slowF      = fs.Float64("slow-frac", 0.1, "fraction of slow clients (trickled request bodies)")
+		verify     = fs.Bool("verify", false, "recompute completed exact evaluate responses offline and require bit-identity")
+		benchOut   = fs.String("bench", "", "write a liquid-bench-serve/1 JSON snapshot here")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	base := *addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+
+	reqs, err := buildSchedule(*seed, *requests, *voters, *reps, *deadlineMS, *whatifF, *faultF, *malformedF, *slowF)
+	if err != nil {
+		return err
+	}
+
+	before, err := fetchStats(base)
+	if err != nil {
+		return fmt.Errorf("statsz before run: %w", err)
+	}
+
+	// Open-loop arrival: request i fires at start + i/rate regardless of how
+	// earlier requests are faring, so the daemon sees sustained pressure
+	// rather than a closed feedback loop that slows down when it does.
+	interval := time.Duration(float64(time.Second) / *rate)
+	outcomes := make([]outcome, len(reqs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, rq := range reqs {
+		time.Sleep(time.Until(start.Add(time.Duration(i) * interval)))
+		wg.Add(1)
+		go func(i int, rq request) {
+			defer wg.Done()
+			outcomes[i] = send(base, rq)
+		}(i, rq)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := fetchStats(base)
+	if err != nil {
+		return fmt.Errorf("statsz after run: %w", err)
+	}
+
+	// Classify the client-observed outcomes.
+	var got server.Stats
+	var latencies []time.Duration
+	for i, o := range outcomes {
+		if o.err != nil {
+			return fmt.Errorf("request %d: transport error: %v", i, o.err)
+		}
+		got.Received++
+		latencies = append(latencies, o.latency)
+		switch o.status {
+		case http.StatusOK:
+			got.Completed++
+		case http.StatusBadRequest:
+			got.Malformed++
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			got.Shed++
+		case http.StatusGatewayTimeout:
+			got.Expired++
+		default:
+			got.Failed++
+		}
+	}
+
+	// The accounting invariant, checked from the outside against the
+	// daemon's own counters.
+	delta := server.Stats{
+		Received:  after.Received - before.Received,
+		Malformed: after.Malformed - before.Malformed,
+		Shed:      after.Shed - before.Shed,
+		Completed: after.Completed - before.Completed,
+		Failed:    after.Failed - before.Failed,
+		Expired:   after.Expired - before.Expired,
+	}
+	fmt.Fprintf(out, "sent %d in %.2fs (%.1f req/s): completed %d, malformed %d, shed %d, failed %d, expired %d\n",
+		got.Received, wall.Seconds(), float64(got.Received)/wall.Seconds(),
+		got.Completed, got.Malformed, got.Shed, got.Failed, got.Expired)
+	if delta != got {
+		return fmt.Errorf("accounting mismatch: daemon delta %+v, client observed %+v", delta, got)
+	}
+	if sum := got.Malformed + got.Shed + got.Completed + got.Failed + got.Expired; sum != got.Received {
+		return fmt.Errorf("outcome taxonomy leaks: %d outcomes for %d requests", sum, got.Received)
+	}
+
+	verified := 0
+	if *verify {
+		for i, o := range outcomes {
+			if o.status != http.StatusOK || reqs[i].kind != "evaluate" {
+				continue
+			}
+			want, err := offlineEvaluate(reqs[i], *voters, *reps, *seed)
+			if err != nil {
+				return fmt.Errorf("offline verify request %d: %w", i, err)
+			}
+			if !bytes.Equal(o.body, want) {
+				return fmt.Errorf("request %d (seed %d) not bit-identical to offline evaluation:\n got: %s\nwant: %s",
+					i, reqs[i].seed, o.body, want)
+			}
+			verified++
+		}
+		fmt.Fprintf(out, "verified %d completed evaluate responses bit-identical to offline evaluation\n", verified)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p := func(q float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(latencies)-1))
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+	fmt.Fprintf(out, "latency ms: p50 %.2f, p90 %.2f, p99 %.2f, max %.2f\n", p(0.50), p(0.90), p(0.99), p(1))
+
+	if *benchOut != "" {
+		snap := benchSnapshot{
+			Schema:    "liquid-bench-serve/1",
+			Go:        runtime.Version(),
+			Seed:      *seed,
+			Requests:  *requests,
+			RatePerS:  *rate,
+			Voters:    *voters,
+			Completed: got.Completed, Malformed: got.Malformed, Shed: got.Shed,
+			Failed: got.Failed, Expired: got.Expired,
+			ReqPerSec: float64(got.Received) / wall.Seconds(),
+			P50MS:     p(0.50), P90MS: p(0.90), P99MS: p(0.99), MaxMS: p(1),
+			Verified: verified,
+		}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(errOut, "bench snapshot: %s\n", *benchOut)
+	}
+	return nil
+}
+
+// benchSnapshot is the schema-stable serving benchmark record. Timings are
+// machine-dependent; the outcome counts are seed-deterministic up to
+// scheduling (how many requests shed depends on timing, their sum does
+// not).
+type benchSnapshot struct {
+	Schema    string  `json:"schema"`
+	Go        string  `json:"go"`
+	Seed      uint64  `json:"seed"`
+	Requests  int     `json:"requests"`
+	RatePerS  float64 `json:"rate_per_sec"`
+	Voters    int     `json:"voters"`
+	Completed uint64  `json:"completed"`
+	Malformed uint64  `json:"malformed"`
+	Shed      uint64  `json:"shed"`
+	Failed    uint64  `json:"failed"`
+	Expired   uint64  `json:"expired"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50MS     float64 `json:"p50_ms"`
+	P90MS     float64 `json:"p90_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
+	Verified  int     `json:"verified"`
+}
+
+// buildSchedule derives the full request mix from the seed. Request i's
+// randomness comes from stream Derive(i), so the schedule is independent
+// of evaluation order.
+func buildSchedule(seed uint64, n, voters, reps int, deadlineMS int64, whatifF, faultF, malformedF, slowF float64) ([]request, error) {
+	root := rng.New(seed).DeriveString("liquidload")
+	reqs := make([]request, n)
+	for i := range reqs {
+		s := root.Derive(uint64(i))
+		rq := request{seed: s.Uint64(), slow: s.Float64() < slowF, path: "/v1/evaluate"}
+		inst := instanceSpec(voters, s)
+		switch u := s.Float64(); {
+		case u < malformedF:
+			rq.kind = "malformed"
+			rq.body = []byte(fmt.Sprintf(`{"instance": {"n": %d}, "mech`, i))
+		case u < malformedF+whatifF:
+			rq.kind = "whatif"
+			rq.path = "/v1/whatif"
+			// Mostly upward delegations (acyclic by construction) so the bulk
+			// of what-ifs complete; a 10% slice delegates uniformly, which is
+			// nearly always cyclic — legal wire input that the daemon answers
+			// with a typed 400, counted as malformed.
+			cyclicProne := s.Float64() < 0.1
+			deleg := make([]int, voters)
+			for v := range deleg {
+				switch {
+				case cyclicProne:
+					if to := int(s.Uint64() % uint64(voters+1)); to != v && to < voters {
+						deleg[v] = to
+					} else {
+						deleg[v] = -1
+					}
+				case v < voters-1 && s.Float64() < 0.5:
+					deleg[v] = v + 1 + int(s.Uint64()%uint64(voters-v-1))
+				default:
+					deleg[v] = -1
+				}
+			}
+			body, err := json.Marshal(server.WhatIfRequest{Instance: inst, Delegations: deleg, DeadlineMS: deadlineMS})
+			if err != nil {
+				return nil, err
+			}
+			rq.body = body
+		case u < malformedF+whatifF+faultF:
+			rq.kind = "fault"
+			body, err := json.Marshal(server.EvaluateRequest{
+				Instance:     inst,
+				Mechanism:    server.MechanismSpec{Name: "greedy-best", Alpha: 0.05},
+				Seed:         rq.seed,
+				Replications: reps,
+				DeadlineMS:   deadlineMS,
+				Fault:        &server.FaultSpec{Policy: "fallback-to-direct", DownRate: 0.2},
+			})
+			if err != nil {
+				return nil, err
+			}
+			rq.body = body
+		default:
+			rq.kind = "evaluate"
+			rq.alpha = 0.05 * float64(s.Uint64()%5)
+			body, err := json.Marshal(server.EvaluateRequest{
+				Instance:     inst,
+				Mechanism:    server.MechanismSpec{Name: "approval-threshold", Alpha: rq.alpha},
+				Seed:         rq.seed,
+				Replications: reps,
+				DeadlineMS:   deadlineMS,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rq.body = body
+		}
+		reqs[i] = rq
+	}
+	return reqs, nil
+}
+
+// instanceSpec derives a deterministic competency profile. The values are
+// a fixed grid (not draws) so -verify can rebuild the same instance.
+func instanceSpec(voters int, s *rng.Stream) server.InstanceSpec {
+	ps := make([]float64, voters)
+	for i := range ps {
+		ps[i] = 0.4 + 0.5*float64(i)/float64(voters)
+	}
+	_ = s
+	return server.InstanceSpec{N: voters, Complete: true, P: ps}
+}
+
+// send issues one request, optionally through the slow-client fault
+// (trickling the body a few bytes at a time).
+func send(base string, rq request) outcome {
+	var body io.Reader = bytes.NewReader(rq.body)
+	if rq.slow {
+		body = &slowReader{data: rq.body, chunk: 64, delay: 2 * time.Millisecond}
+	}
+	start := time.Now()
+	req, err := http.NewRequest("POST", base+rq.path, body)
+	if err != nil {
+		return outcome{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if rq.slow {
+		// Defeat transparent buffering so the daemon really sees a trickle.
+		req.ContentLength = -1
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return outcome{err: err, latency: time.Since(start)}
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return outcome{status: resp.StatusCode, body: data, latency: time.Since(start), err: err}
+}
+
+// slowReader trickles its payload chunk by chunk with a delay, simulating
+// a slow or adversarial client holding a connection open.
+type slowReader struct {
+	data  []byte
+	off   int
+	chunk int
+	delay time.Duration
+}
+
+func (r *slowReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	if r.off > 0 {
+		time.Sleep(r.delay)
+	}
+	n := r.chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if rem := len(r.data) - r.off; n > rem {
+		n = rem
+	}
+	copy(p, r.data[r.off:r.off+n])
+	r.off += n
+	return n, nil
+}
+
+// fetchStats reads the daemon's accounting counters.
+func fetchStats(base string) (server.Stats, error) {
+	var st server.Stats
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("statsz: status %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// offlineEvaluate rebuilds a completed evaluate response from the exact
+// engine with the request's own seed and options.
+func offlineEvaluate(rq request, voters, reps int, scheduleSeed uint64) ([]byte, error) {
+	spec := instanceSpec(voters, rng.New(scheduleSeed))
+	in, err := core.NewInstance(graph.NewComplete(voters), spec.P)
+	if err != nil {
+		return nil, err
+	}
+	res, err := election.EvaluateMechanism(context.Background(), in, mechanism.ApprovalThreshold{Alpha: rq.alpha}, election.Options{
+		Replications: reps, Seed: rq.seed, Workers: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := server.EvaluateResponse{Results: []server.PointResult{{
+		Mechanism: res.Mechanism, Alpha: rq.alpha, N: res.N,
+		PM: res.PM, PMStdErr: res.PMStdErr, PD: res.PD,
+		Gain: res.Gain, GainLo: res.GainLo, GainHi: res.GainHi,
+		MeanDelegators: res.MeanDelegators, MeanSinks: res.MeanSinks,
+		MeanMaxWeight: res.MeanMaxWeight, MaxMaxWeight: res.MaxMaxWeight,
+		MeanLongestChain: res.MeanLongestChain,
+	}}}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

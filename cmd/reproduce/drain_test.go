@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSIGTERMDrainFlushesPartialOutput runs the real binary, interrupts it
+// mid-run with SIGTERM, and asserts the drain contract: completed results
+// are still rendered as well-formed JSON, the manifest is flushed, and the
+// exit code is the stable cancellation code (1).
+func TestSIGTERMDrainFlushesPartialOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a subprocess")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "reproduce")
+	if out, err := exec.Command("go", "build", "-o", bin, "liquid/cmd/reproduce").CombinedOutput(); err != nil {
+		t.Fatalf("building reproduce: %v\n%s", err, out)
+	}
+
+	manifest := filepath.Join(dir, "manifest.json")
+	cmd := exec.Command(bin, "-run", "all", "-scale", "1", "-seed", "1", "-json", "-quiet", "-manifest", manifest)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Let it get into the suite, then interrupt mid-run. Full scale takes
+	// far longer than this, so the signal lands with experiments in flight.
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	killer := time.AfterFunc(60*time.Second, func() { _ = cmd.Process.Kill() })
+	err := cmd.Wait()
+	killer.Stop()
+
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("wait: %v (stderr: %s)", err, stderr.String())
+	}
+	if code := exitErr.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want the stable cancellation code 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "cancelled") {
+		t.Fatalf("stderr does not report cancellation:\n%s", stderr.String())
+	}
+
+	// Partial output must still be a well-formed document.
+	var outs []any
+	if err := json.Unmarshal(stdout.Bytes(), &outs); err != nil {
+		t.Fatalf("drained stdout is not valid JSON: %v\n%s", err, stdout.String())
+	}
+
+	// The manifest was flushed before exit.
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("manifest not flushed on drain: %v", err)
+	}
+	var man map[string]any
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if man["schema"] != "liquid-manifest/1" {
+		t.Fatalf("manifest schema = %v", man["schema"])
+	}
+}

@@ -1,0 +1,127 @@
+package election_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/rng"
+)
+
+func approxTestInstance(t *testing.T, n int, seed uint64) *core.Instance {
+	t.Helper()
+	s := rng.New(seed)
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.3 + 0.19*s.Float64()
+	}
+	in, err := core.NewInstance(graph.NewComplete(n), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestApproxWithinCertifiedBound is the degradation ladder's correctness
+// contract: the approximate evaluator's PD and PM must sit within their
+// certified Berry–Esseen bounds of the exact evaluator's, for the same
+// seed (same realizations, scored by DP on one side and by normal
+// approximation on the other).
+func TestApproxWithinCertifiedBound(t *testing.T) {
+	in := approxTestInstance(t, 301, 7)
+	mech := mechanism.ApprovalThreshold{Alpha: 0.05}
+	opts := election.Options{Replications: 16, Seed: 11}
+
+	exact, err := election.EvaluateMechanism(context.Background(), in, mech, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := election.EvaluateMechanismApprox(context.Background(), in, mech, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.ErrorBound <= 0 || approx.ErrorBound > 1 {
+		t.Fatalf("ErrorBound = %g, want in (0, 1]", approx.ErrorBound)
+	}
+	if approx.ErrorBound != approx.PDErrorBound+approx.PMErrorBound {
+		t.Fatalf("ErrorBound %g != PD %g + PM %g", approx.ErrorBound, approx.PDErrorBound, approx.PMErrorBound)
+	}
+	if diff := math.Abs(exact.PD - approx.PD); diff > approx.PDErrorBound {
+		t.Fatalf("|PD diff| = %g exceeds certified %g", diff, approx.PDErrorBound)
+	}
+	if diff := math.Abs(exact.PM - approx.PM); diff > approx.PMErrorBound {
+		t.Fatalf("|PM diff| = %g exceeds certified %g", diff, approx.PMErrorBound)
+	}
+	if diff := math.Abs(exact.Gain - approx.Gain); diff > approx.ErrorBound {
+		t.Fatalf("|gain diff| = %g exceeds certified %g", diff, approx.ErrorBound)
+	}
+	// The realizations themselves are exact, so the structural statistics
+	// must agree bit-for-bit with the exact evaluator's.
+	if exact.MeanDelegators != approx.MeanDelegators ||
+		exact.MeanSinks != approx.MeanSinks ||
+		exact.MeanMaxWeight != approx.MeanMaxWeight ||
+		exact.MaxMaxWeight != approx.MaxMaxWeight ||
+		exact.MeanLongestChain != approx.MeanLongestChain {
+		t.Fatalf("structural stats diverge: exact %+v approx %+v", exact, approx.Result)
+	}
+}
+
+func TestApproxDeterministic(t *testing.T) {
+	in := approxTestInstance(t, 150, 9)
+	mech := mechanism.ApprovalThreshold{Alpha: 0.05}
+	opts := election.Options{Replications: 8, Seed: 5}
+	a, err := election.EvaluateMechanismApprox(context.Background(), in, mech, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := election.EvaluateMechanismApprox(context.Background(), in, mech, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestApproxCancellation(t *testing.T) {
+	in := approxTestInstance(t, 100, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := election.EvaluateMechanismApprox(ctx, in, mechanism.Direct{}, election.Options{Replications: 4, Seed: 1})
+	if err == nil {
+		t.Fatal("cancelled context should abort")
+	}
+}
+
+func TestApproximateResolution(t *testing.T) {
+	in := approxTestInstance(t, 201, 13)
+	d := core.NewDelegationGraph(in.N())
+	// A couple of concrete delegations toward higher-competency voters.
+	order := in.CompetencyOrder()
+	top := order[len(order)-1]
+	for i := 0; i < 20; i++ {
+		v := order[i]
+		if v == top {
+			continue
+		}
+		if err := d.SetDelegate(v, top); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := election.ResolutionProbabilityExact(in, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, bound := election.ApproximateResolution(in, res)
+	if diff := math.Abs(exact - pm); diff > bound {
+		t.Fatalf("|exact-approx| = %g exceeds certified %g", diff, bound)
+	}
+}

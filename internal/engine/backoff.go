@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff is the engine's capped-doubling retry schedule, factored out so
+// the serving layer's transient-failure retries pace themselves exactly
+// like the experiment runner's: first wait Initial, double per attempt,
+// never exceed Cap. The zero value uses the runner's historical defaults
+// (100ms doubling to 2s). Not safe for concurrent use; each retry loop
+// owns its own Backoff.
+type Backoff struct {
+	// Initial is the first wait; 0 means 100ms.
+	Initial time.Duration
+	// Cap bounds the doubling; 0 means 2s.
+	Cap time.Duration
+
+	cur time.Duration
+}
+
+// Next returns the wait before the upcoming retry and advances the
+// schedule.
+func (b *Backoff) Next() time.Duration {
+	if b.cur <= 0 {
+		b.cur = b.Initial
+		if b.cur <= 0 {
+			b.cur = 100 * time.Millisecond
+		}
+	}
+	d := b.cur
+	limit := b.Cap
+	if limit <= 0 {
+		limit = 2 * time.Second
+	}
+	b.cur *= 2
+	if b.cur > limit {
+		b.cur = limit
+	}
+	return d
+}
+
+// Reset restarts the schedule from Initial.
+func (b *Backoff) Reset() { b.cur = 0 }
+
+// Wait sleeps for the schedule's next interval, returning early (with
+// ctx's error) when the context is cancelled first. A nil error means the
+// full wait elapsed and the caller should retry.
+func (b *Backoff) Wait(ctx context.Context) error {
+	t := time.NewTimer(b.Next())
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{Initial: 10 * time.Millisecond, Cap: 35 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		35 * time.Millisecond, // 40ms capped
+		35 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("Next()[%d] = %v, want %v", i, got, w)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("after Reset, Next() = %v, want 10ms", got)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.Next(); got != 100*time.Millisecond {
+		t.Fatalf("zero-value first wait = %v, want 100ms", got)
+	}
+	for i := 0; i < 10; i++ {
+		if got := b.Next(); got > 2*time.Second {
+			t.Fatalf("wait %v exceeded default 2s cap", got)
+		}
+	}
+}
+
+func TestBackoffWaitCancelled(t *testing.T) {
+	b := Backoff{Initial: 10 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := b.Wait(ctx); err == nil {
+		t.Fatal("Wait on a cancelled context should return its error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled Wait blocked")
+	}
+}
+
+func TestBackoffWaitElapses(t *testing.T) {
+	b := Backoff{Initial: time.Millisecond, Cap: time.Millisecond}
+	if err := b.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait = %v, want nil after the interval", err)
+	}
+}

@@ -283,14 +283,7 @@ func (r *Runner) runOne(ctx context.Context, def experiment.Definition, cfg expe
 		runCtx, cancel = context.WithTimeout(runCtx, r.opts.Timeout)
 		defer cancel()
 	}
-	backoff := r.opts.RetryBackoff
-	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
-	}
-	maxBackoff := r.opts.RetryBackoffCap
-	if maxBackoff <= 0 {
-		maxBackoff = 2 * time.Second
-	}
+	backoff := Backoff{Initial: r.opts.RetryBackoff, Cap: r.opts.RetryBackoffCap}
 	var out *experiment.Outcome
 	var err error
 	for attempt := 1; ; attempt++ {
@@ -301,13 +294,9 @@ func (r *Runner) runOne(ctx context.Context, def experiment.Definition, cfg expe
 		}
 		reg.Counter("engine/experiment_retries").Inc()
 		r.emit(Event{Kind: ExperimentRetried, ID: def.ID, Title: def.Title, Err: err.Error(), Attempt: attempt})
-		select {
-		case <-runCtx.Done():
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
-		}
+		// A cancelled wait falls through to the loop condition, which exits
+		// on runCtx.Err() exactly as the pre-Backoff code did.
+		_ = backoff.Wait(runCtx)
 	}
 	res := Result{Def: def, Outcome: out, Err: err}
 	reg.Histogram("engine/experiment_seconds", 0.01, 0.1, 1, 10, 60, 600).

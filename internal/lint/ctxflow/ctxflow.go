@@ -19,6 +19,15 @@
 //     forks subtrees without consulting ctx would keep burning cores after
 //     the caller cancelled, exactly the leak rule 1 guards against one
 //     layer up.
+//  4. (internal/server) An HTTP handler — any function taking both an
+//     http.ResponseWriter and a *http.Request — must derive its context
+//     from r.Context() (or forward the request to something that does).
+//     Per-request deadline propagation is the serving layer's entire
+//     cancellation story: a handler that evaluates on a context not rooted
+//     in the request's keeps computing for clients that hung up, and rule 2
+//     already bans the usual way that happens (context.Background below
+//     cmd/). Passing the *http.Request itself onward counts as use, so
+//     middleware that only wraps and delegates stays clean.
 package ctxflow
 
 import (
@@ -64,6 +73,16 @@ func inForkScope(path string) bool {
 	return tail == "prob"
 }
 
+// inHandlerScope reports whether path is the serving layer whose HTTP
+// handlers rule 4 covers.
+func inHandlerScope(path string) bool {
+	tail := analysis.PackageTail(path)
+	if i := strings.IndexByte(tail, '/'); i >= 0 {
+		tail = tail[:i]
+	}
+	return tail == "server"
+}
+
 // loopWords are the identifier fragments that mark a replication loop.
 var loopWords = []string{"trial", "round", "replic", "iter", "sweep", "epoch"}
 
@@ -106,8 +125,95 @@ func run(pass *analysis.Pass) error {
 				checkForkFunc(pass, fd)
 			}
 		}
+		if inHandlerScope(pass.Path) {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkHandlerFunc(pass, fd)
+			}
+		}
 	}
 	return nil
+}
+
+// checkHandlerFunc enforces rule 4: a function shaped like an HTTP handler
+// (takes an http.ResponseWriter and a *http.Request) must consult
+// r.Context() or forward the request value onward.
+func checkHandlerFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	reqObj := requestParam(pass, fd)
+	if reqObj == nil || !hasResponseWriterParam(pass, fd) {
+		return
+	}
+	callsContext := false
+	forwardsRequest := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if callsContext {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Context" {
+			if id, ok := sel.X.(*ast.Ident); ok && pass.Info.Uses[id] == reqObj {
+				callsContext = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == reqObj {
+				forwardsRequest = true
+			}
+		}
+		return true
+	})
+	if !callsContext && !forwardsRequest {
+		pass.Reportf(fd.Name.Pos(), "HTTP handler %s never uses r.Context(): derive the request context and thread it into every evaluation call so deadlines propagate", fd.Name.Name)
+	}
+}
+
+// requestParam returns the object of the first *net/http.Request parameter.
+func requestParam(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		t := pass.TypeOf(star.X)
+		if t == nil || !isNamed(t, "net/http", "Request") {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Info.ObjectOf(name); obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// hasResponseWriterParam reports whether fd declares an
+// http.ResponseWriter parameter (what distinguishes a handler from a
+// decode helper that merely reads the request body).
+func hasResponseWriterParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if t := pass.TypeOf(field.Type); t != nil && isNamed(t, "net/http", "ResponseWriter") {
+			return true
+		}
+	}
+	return false
+}
+
+// isNamed reports whether t is the named type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
 }
 
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {

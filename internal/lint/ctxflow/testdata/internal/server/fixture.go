@@ -1,0 +1,48 @@
+// Package server is a ctxflow fixture for rule 4: HTTP handlers — functions
+// taking both an http.ResponseWriter and a *http.Request — must derive their
+// context from r.Context() or forward the request onward.
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+)
+
+func evaluate(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// handleWithContext is the compliant shape: the handler roots its work in
+// the request's context so client hang-ups cancel the evaluation.
+func handleWithContext(w http.ResponseWriter, r *http.Request) {
+	if err := evaluate(r.Context()); err != nil {
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	}
+}
+
+// handleForwarding delegates the whole request; middleware that only wraps
+// stays clean because passing r onward counts as use.
+func handleForwarding(w http.ResponseWriter, r *http.Request) {
+	handleWithContext(w, r)
+}
+
+// handleIgnoringContext computes on no context at all: the evaluation keeps
+// running after the client hangs up.
+func handleIgnoringContext(w http.ResponseWriter, r *http.Request) { // want `HTTP handler handleIgnoringContext never uses r.Context\(\)`
+	io.WriteString(w, "ok")
+}
+
+// decodeOnly takes just the request, no writer: decode helpers that read the
+// body without evaluating are not handlers and stay out of scope.
+func decodeOnly(r *http.Request) ([]byte, error) {
+	return io.ReadAll(r.Body)
+}
+
+// Keep the unexported fixtures referenced so the module compiles vet-clean.
+var (
+	_ = handleWithContext
+	_ = handleForwarding
+	_ = handleIgnoringContext
+	_ = decodeOnly
+)

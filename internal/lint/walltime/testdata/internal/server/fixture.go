@@ -1,0 +1,17 @@
+// Package server is on the walltime allowlist: the serving layer reads the
+// clock for deadline budgets and latency histograms, never for results.
+package server
+
+import "time"
+
+// DeadlineBudget computes the remaining budget of a deadline, legally.
+func DeadlineBudget(deadline time.Time) time.Duration {
+	return time.Until(deadline)
+}
+
+// Latency times a request, legally.
+func Latency(handle func()) float64 {
+	start := time.Now()
+	handle()
+	return time.Since(start).Seconds()
+}

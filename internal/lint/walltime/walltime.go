@@ -37,6 +37,11 @@ var allowed = map[string]bool{
 	// The telemetry layer owns spans and manifest timing; its reads never
 	// feed back into results (that direction is telemflow's job to police).
 	"telemetry": true,
+	// The serving layer's clock reads are deadline mechanics and latency
+	// telemetry; its evaluation results come from the election engine,
+	// which stays in scope. telemflow still forbids the server reading
+	// telemetry back, so a clock read cannot round-trip into a response.
+	"server": true,
 }
 
 func inScope(path string) bool {

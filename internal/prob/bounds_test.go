@@ -1,0 +1,97 @@
+package prob
+
+import (
+	"math"
+	"testing"
+
+	"liquid/internal/rng"
+)
+
+func TestBerryEsseenBoundCertifiesPoissonBinomial(t *testing.T) {
+	s := rng.New(41)
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + s.IntN(200)
+		ps := make([]float64, n)
+		for i := range ps {
+			ps[i] = 0.05 + 0.9*s.Float64()
+		}
+		pb, err := NewPoissonBinomial(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := pb.ProbMajority()
+		norm := pb.NormalApproximation()
+		// P[S > n/2] = P[S >= floor(n/2)+1]; the approximation evaluates the
+		// survival function at the majority threshold.
+		approx := norm.SF(float64(n) / 2)
+		bound := BerryEsseenBound(ps)
+		if diff := math.Abs(exact - approx); diff > bound {
+			t.Fatalf("n=%d: |exact-approx| = %g exceeds certified bound %g", n, diff, bound)
+		}
+	}
+}
+
+func TestBerryEsseenWeightedBoundCertifiesWeightedMajority(t *testing.T) {
+	s := rng.New(43)
+	for trial := 0; trial < 20; trial++ {
+		k := 10 + s.IntN(60)
+		voters := make([]WeightedVoter, k)
+		weights := make([]float64, k)
+		ps := make([]float64, k)
+		total := 0
+		for i := range voters {
+			w := 1 + s.IntN(4)
+			p := 0.1 + 0.8*s.Float64()
+			voters[i] = WeightedVoter{Weight: w, P: p}
+			weights[i] = float64(w)
+			ps[i] = p
+			total += w
+		}
+		wm, err := NewWeightedMajority(voters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := wm.ProbCorrectDecision()
+		norm := Normal{Mu: wm.Mean(), Sigma: math.Sqrt(wm.Variance())}
+		approx := norm.SF(float64(total) / 2)
+		bound := BerryEsseenWeightedBound(weights, ps)
+		if diff := math.Abs(exact - approx); diff > bound {
+			t.Fatalf("k=%d: |exact-approx| = %g exceeds certified bound %g", k, diff, bound)
+		}
+	}
+}
+
+func TestBerryEsseenBoundDegenerate(t *testing.T) {
+	if b := BerryEsseenBound(nil); b != 1 {
+		t.Fatalf("empty bound = %g, want trivial 1", b)
+	}
+	if b := BerryEsseenBound([]float64{0, 1, 0, 1}); b != 1 {
+		t.Fatalf("zero-variance bound = %g, want trivial 1", b)
+	}
+	if b := BerryEsseenBound(make([]float64, 5000)); b != 1 {
+		t.Fatalf("all-zero bound = %g, want trivial 1", b)
+	}
+	// A large balanced electorate has a tiny certified error.
+	ps := make([]float64, 4000)
+	for i := range ps {
+		ps[i] = 0.5
+	}
+	if b := BerryEsseenBound(ps); b <= 0 || b > 0.01 {
+		t.Fatalf("n=4000 balanced bound = %g, want small positive", b)
+	}
+}
+
+func TestDPCostHelpers(t *testing.T) {
+	if c := PoissonBinomialDPCost(0); c != 0 {
+		t.Fatalf("PB cost(0) = %d", c)
+	}
+	if c := PoissonBinomialDPCost(100); c != 5050 {
+		t.Fatalf("PB cost(100) = %d, want 5050", c)
+	}
+	if c := WeightedMajorityDPCost(10, 50); c != 500 {
+		t.Fatalf("WM cost(10,50) = %d, want 500", c)
+	}
+	if c := WeightedMajorityDPCost(-1, 50); c != 0 {
+		t.Fatalf("WM cost(-1,50) = %d, want 0", c)
+	}
+}

@@ -41,6 +41,29 @@ func fftMergeCost(resultLen int) int64 {
 // sum_{i=1..k} i updates.
 func pbDPCost(k int64) int64 { return k * (k + 1) / 2 }
 
+// PoissonBinomialDPCost returns the DP-unit cost of the exact n-voter
+// Poisson-binomial table (the naive quadratic DP; the D&C evaluator only
+// ever does less work). Exported so admission control in the serving layer
+// can price a request in the same units the kernel cost model uses.
+func PoissonBinomialDPCost(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return pbDPCost(int64(n))
+}
+
+// WeightedMajorityDPCost returns the DP-unit cost of exactly scoring a
+// weighted-majority distribution over k sinks with total weight w: each
+// sink sweeps the support, k*w updates. This is the election engine's
+// per-resolution cost estimate (election.Options.ExactCostLimit bounds it),
+// re-exported so callers above the engine can budget with the same model.
+func WeightedMajorityDPCost(k, w int) int64 {
+	if k <= 0 || w <= 0 {
+		return 0
+	}
+	return int64(k) * int64(w)
+}
+
 // pbDC computes the PMF of ps[lo:hi] into an arena slice of length
 // hi-lo+1.
 func (ws *Workspace) pbDC(ps []float64, lo, hi int) []float64 {

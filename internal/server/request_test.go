@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func validEvaluateBody() string {
+	return `{
+		"instance": {"n": 5, "complete": true, "p": [0.6, 0.6, 0.7, 0.5, 0.8]},
+		"mechanism": {"name": "approval-threshold", "alpha": 0.1},
+		"alphas": [0, 0.05, 0.1],
+		"seed": 7,
+		"replications": 8
+	}`
+}
+
+func TestParseEvaluateRequestValid(t *testing.T) {
+	parsed, aerr := ParseEvaluateRequest([]byte(validEvaluateBody()))
+	if aerr != nil {
+		t.Fatalf("ParseEvaluateRequest: %v", aerr)
+	}
+	if parsed.Instance.N() != 5 {
+		t.Fatalf("n = %d", parsed.Instance.N())
+	}
+	if len(parsed.Mechanisms) != 3 || len(parsed.Alphas) != 3 {
+		t.Fatalf("mechanisms = %d, alphas = %d, want 3 each", len(parsed.Mechanisms), len(parsed.Alphas))
+	}
+	if parsed.Req.Seed != 7 || parsed.Req.Replications != 8 {
+		t.Fatalf("seed/replications = %d/%d", parsed.Req.Seed, parsed.Req.Replications)
+	}
+}
+
+func TestParseEvaluateRequestRejections(t *testing.T) {
+	cases := []struct {
+		name, body, code string
+	}{
+		{"garbage", `{]`, CodeBadJSON},
+		{"unknown field", `{"instance": {"n": 1, "p": [0.5]}, "mechanism": {"name": "direct"}, "bogus": 1}`, CodeBadJSON},
+		{"trailing data", `{"instance": {"n": 1, "p": [0.5]}, "mechanism": {"name": "direct"}} {"again": true}`, CodeBadJSON},
+		{"competency below zero", `{"instance": {"n": 1, "p": [-0.5]}, "mechanism": {"name": "direct"}}`, CodeBadCompetency},
+		{"competency above one", `{"instance": {"n": 1, "p": [1.5]}, "mechanism": {"name": "direct"}}`, CodeBadCompetency},
+		{"alpha above one", `{"instance": {"n": 1, "p": [0.5]}, "mechanism": {"name": "approval-threshold"}, "alphas": [1.5]}`, CodeBadAlpha},
+		{"alpha negative", `{"instance": {"n": 1, "p": [0.5]}, "mechanism": {"name": "approval-threshold", "alpha": -0.1}}`, CodeBadAlpha},
+		{"duplicate edge", `{"instance": {"n": 3, "edges": [[0,1],[1,0]], "p": [0.5,0.5,0.5]}, "mechanism": {"name": "direct"}}`, CodeDuplicateEdge},
+		{"self loop", `{"instance": {"n": 3, "edges": [[1,1]], "p": [0.5,0.5,0.5]}, "mechanism": {"name": "direct"}}`, CodeBadEdge},
+		{"edge out of range", `{"instance": {"n": 3, "edges": [[0,7]], "p": [0.5,0.5,0.5]}, "mechanism": {"name": "direct"}}`, CodeBadEdge},
+		{"unknown mechanism", `{"instance": {"n": 1, "p": [0.5]}, "mechanism": {"name": "telepathy"}}`, CodeBadMechanism},
+		{"zero voters", `{"instance": {"n": 0, "p": []}, "mechanism": {"name": "direct"}}`, CodeBadRequest},
+		{"p length mismatch", `{"instance": {"n": 2, "p": [0.5]}, "mechanism": {"name": "direct"}}`, CodeBadRequest},
+		{"complete with edges", `{"instance": {"n": 2, "complete": true, "edges": [[0,1]], "p": [0.5,0.5]}, "mechanism": {"name": "direct"}}`, CodeBadRequest},
+		{"negative replications", `{"instance": {"n": 1, "p": [0.5]}, "mechanism": {"name": "direct"}, "replications": -1}`, CodeBadRequest},
+		{"negative deadline", `{"instance": {"n": 1, "p": [0.5]}, "mechanism": {"name": "direct"}, "deadline_ms": -5}`, CodeBadRequest},
+		{"unknown policy", `{"instance": {"n": 1, "p": [0.5]}, "mechanism": {"name": "direct"}, "fault": {"policy": "wish"}}`, CodeBadRequest},
+		{"down rate one", `{"instance": {"n": 1, "p": [0.5]}, "mechanism": {"name": "direct"}, "fault": {"policy": "lose-weight", "down_rate": 1}}`, CodeBadRequest},
+		{"fault alpha", `{"instance": {"n": 1, "p": [0.5]}, "mechanism": {"name": "direct"}, "fault": {"policy": "redelegate", "alpha": 2}}`, CodeBadAlpha},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			parsed, aerr := ParseEvaluateRequest([]byte(tc.body))
+			if aerr == nil {
+				t.Fatalf("accepted: %+v", parsed)
+			}
+			if aerr.Code != tc.code {
+				t.Fatalf("code = %s (%s), want %s", aerr.Code, aerr.Message, tc.code)
+			}
+			if aerr.Status != 400 {
+				t.Fatalf("status = %d, want 400", aerr.Status)
+			}
+		})
+	}
+}
+
+// NaN and Inf cannot ride in as JSON literals, but the validator is also
+// the guard for programmatic construction (and for any future binary
+// decoding), so it must reject them directly.
+func TestValidateInstanceNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		spec := &InstanceSpec{N: 1, Complete: false, P: []float64{bad}}
+		if _, aerr := validateInstance(spec); aerr == nil || aerr.Code != CodeBadCompetency {
+			t.Fatalf("p = %v accepted (err %v)", bad, aerr)
+		}
+	}
+	if validAlpha(math.NaN()) || validAlpha(math.Inf(1)) {
+		t.Fatal("non-finite alpha accepted")
+	}
+}
+
+func TestParseWhatIfRequest(t *testing.T) {
+	body := `{
+		"instance": {"n": 3, "complete": true, "p": [0.5, 0.6, 0.9]},
+		"delegations": [2, 2, -1]
+	}`
+	parsed, aerr := ParseWhatIfRequest([]byte(body))
+	if aerr != nil {
+		t.Fatalf("ParseWhatIfRequest: %v", aerr)
+	}
+	if got := parsed.Graph.Delegate; got[0] != 2 || got[1] != 2 || got[2] != -1 {
+		t.Fatalf("delegations = %v", got)
+	}
+
+	for _, tc := range []struct{ name, body, code string }{
+		{"length mismatch", `{"instance": {"n": 3, "complete": true, "p": [0.5,0.5,0.5]}, "delegations": [1]}`, CodeBadRequest},
+		{"self delegation", `{"instance": {"n": 2, "complete": true, "p": [0.5,0.5]}, "delegations": [0, -1]}`, CodeBadRequest},
+		{"out of range", `{"instance": {"n": 2, "complete": true, "p": [0.5,0.5]}, "delegations": [5, -1]}`, CodeBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, aerr := ParseWhatIfRequest([]byte(tc.body)); aerr == nil || aerr.Code != tc.code {
+				t.Fatalf("err = %v, want code %s", aerr, tc.code)
+			}
+		})
+	}
+}
+
+// FuzzDecodeEvaluateRequest is the decode-hardening fuzz target: whatever
+// the bytes, the parser must not panic, and anything it accepts must
+// satisfy the invariants the handlers rely on.
+func FuzzDecodeEvaluateRequest(f *testing.F) {
+	f.Add([]byte(validEvaluateBody()))
+	f.Add([]byte(`{"instance": {"n": 3, "edges": [[0,1],[1,2]], "p": [0.1,0.2,0.3]}, "mechanism": {"name": "half-neighborhood", "alpha": 0.2}, "seed": 1}`))
+	f.Add([]byte(`{"instance": {"n": 1, "p": [1e999]}, "mechanism": {"name": "direct"}}`))
+	f.Add([]byte(`{"instance": {"n": 2, "edges": [[0,1],[0,1]], "p": [0.5,0.5]}, "mechanism": {"name": "greedy-best"}}`))
+	f.Add([]byte(`{"instance": {"n": -1, "p": []}, "mechanism": {"name": "direct"}, "fault": {"policy": "redelegate"}}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		parsed, aerr := ParseEvaluateRequest(body)
+		if aerr != nil {
+			if parsed != nil {
+				t.Fatal("error with non-nil result")
+			}
+			if aerr.Code == "" || aerr.Status != 400 {
+				t.Fatalf("malformed rejection: %+v", aerr)
+			}
+			return
+		}
+		if parsed.Instance == nil || parsed.Instance.N() <= 0 || parsed.Instance.N() > maxVoters {
+			t.Fatalf("accepted instance out of bounds: %+v", parsed.Instance)
+		}
+		if len(parsed.Mechanisms) != len(parsed.Alphas) || len(parsed.Mechanisms) == 0 {
+			t.Fatalf("mechanisms/alphas mismatch: %d vs %d", len(parsed.Mechanisms), len(parsed.Alphas))
+		}
+		for _, a := range parsed.Alphas {
+			if !validAlpha(a) {
+				t.Fatalf("accepted alpha %v", a)
+			}
+		}
+		for _, p := range parsed.Instance.Competencies() {
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				t.Fatalf("accepted competency %v", p)
+			}
+		}
+		// Accepted requests must re-encode: the handlers marshal responses
+		// that embed request-derived values.
+		if _, err := json.Marshal(parsed.Req); err != nil {
+			t.Fatalf("re-encoding accepted request: %v", err)
+		}
+	})
+}

@@ -1,0 +1,633 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/engine"
+	"liquid/internal/fault"
+	"liquid/internal/prob"
+	"liquid/internal/telemetry"
+)
+
+// Config tunes the serving stack. The zero value serves with the defaults
+// documented per field.
+type Config struct {
+	// MaxBody caps request bodies in bytes (default 1 MiB).
+	MaxBody int64
+	// Shards is the worker-pool width (default GOMAXPROCS).
+	Shards int
+	// QueueDepth bounds each shard's queue (default 64). The admission
+	// controller's global queue bound is Shards*QueueDepth.
+	QueueDepth int
+	// MaxCost bounds the DP-unit cost of admitted-but-unfinished work
+	// (default 1 << 28). See EstimateCost.
+	MaxCost int64
+	// CostRate calibrates the degradation ladder: DP units the exact engine
+	// is assumed to process per second (default 50e6, deliberately
+	// conservative so the ladder degrades early rather than blowing a
+	// deadline late).
+	CostRate float64
+	// DefaultDeadline applies when a request names none (default 5s);
+	// MaxDeadline clamps what a request may ask for (default 60s).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// RetryAfter is the hint sent with 429/503 sheds (default 1s).
+	RetryAfter time.Duration
+	// Retries bounds transient-failure retries per request (default 2);
+	// Backoff's zero value uses the engine defaults (100ms doubling to 2s).
+	Retries int
+	Backoff engine.Backoff
+	// ExactCostLimit is forwarded to election.Options (default 1 << 23);
+	// Replications likewise (default 64). Workers bounds the per-request
+	// evaluation parallelism (default 1: the serving layer's parallelism is
+	// across requests, not within them).
+	ExactCostLimit int64
+	Replications   int
+	Workers        int
+	// ChaosHook, when set, runs before each task executes (shard index and
+	// the shard's task sequence number). Errors are returned as the task's
+	// result; panics exercise the recovery path. Test-only.
+	ChaosHook func(shard int, seq uint64) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxCost <= 0 {
+		c.MaxCost = 1 << 28
+	}
+	if c.CostRate <= 0 {
+		c.CostRate = 50e6
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Retries <= 0 {
+		c.Retries = 2
+	}
+	if c.ExactCostLimit <= 0 {
+		c.ExactCostLimit = 1 << 23
+	}
+	if c.Replications <= 0 {
+		c.Replications = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Stats is the server's request accounting. Every request the listener
+// delivered lands in exactly one bucket:
+//
+//	Received == Malformed + Shed + Completed + Failed + Expired
+//
+// at any quiescent point. Load generators check the same identity from the
+// outside.
+type Stats struct {
+	Received  uint64 `json:"received"`
+	Malformed uint64 `json:"malformed"`
+	Shed      uint64 `json:"shed"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Expired   uint64 `json:"expired"`
+}
+
+// Server is the election-evaluation daemon: handlers, admission control,
+// and the worker pool. Create with New, serve via Handler, stop with Close.
+type Server struct {
+	cfg  Config
+	adm  *admission
+	pool *pool
+	mux  *http.ServeMux
+	seq  atomic.Uint64
+
+	// drainMu guards submission against Close: submitters hold it shared,
+	// Close exclusively.
+	drainMu  sync.RWMutex
+	draining bool
+
+	received  atomic.Uint64
+	malformed atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	expired   atomic.Uint64
+
+	hLatency  *telemetry.Histogram
+	cRequests *telemetry.Counter
+}
+
+// New builds a Server and starts its worker shards.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		adm:       newAdmission(cfg.Shards*cfg.QueueDepth, cfg.MaxCost),
+		pool:      newPool(cfg.Shards, cfg.QueueDepth, cfg.Retries, cfg.Backoff, cfg.ChaosHook),
+		mux:       http.NewServeMux(),
+		hLatency:  telemetry.NewHistogram("server/latency_seconds", 0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10),
+		cRequests: telemetry.NewCounter("server/requests"),
+	}
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool: in-flight and queued tasks finish (their
+// deadlines still apply), new requests are shed with 503, and the workers
+// exit. Safe to call once.
+func (s *Server) Close() {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	s.pool.close()
+}
+
+// Stats returns the current request accounting.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Received:  s.received.Load(),
+		Malformed: s.malformed.Load(),
+		Shed:      s.adm.shed.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Expired:   s.expired.Load(),
+	}
+}
+
+// PointResult is one sweep point of an evaluate response: an
+// election.Result (or fault.ElectionResult) without the cache-traffic
+// telemetry fields, which depend on goroutine scheduling and would break
+// the bit-identity contract with offline evaluation.
+type PointResult struct {
+	Mechanism string  `json:"mechanism"`
+	Alpha     float64 `json:"alpha"`
+	N         int     `json:"n"`
+	PM        float64 `json:"pm"`
+	PMStdErr  float64 `json:"pm_stderr"`
+	PD        float64 `json:"pd"`
+	Gain      float64 `json:"gain"`
+	GainLo    float64 `json:"gain_lo,omitempty"`
+	GainHi    float64 `json:"gain_hi,omitempty"`
+
+	MeanDelegators   float64 `json:"mean_delegators"`
+	MeanSinks        float64 `json:"mean_sinks"`
+	MeanMaxWeight    float64 `json:"mean_max_weight"`
+	MaxMaxWeight     int     `json:"max_max_weight"`
+	MeanLongestChain float64 `json:"mean_longest_chain"`
+
+	// Fault-evaluation extras (requests with a fault block).
+	Policy          string  `json:"policy,omitempty"`
+	MeanDown        float64 `json:"mean_down,omitempty"`
+	MeanLost        float64 `json:"mean_lost,omitempty"`
+	MeanFellBack    float64 `json:"mean_fell_back,omitempty"`
+	MeanRedelegated float64 `json:"mean_redelegated,omitempty"`
+
+	// ErrorBound is the certified Berry–Esseen bound on |reported − exact|
+	// for approximate results (see election.ApproxResult).
+	ErrorBound float64 `json:"error_bound,omitempty"`
+}
+
+// EvaluateResponse is the /v1/evaluate reply: one result per alpha point,
+// flagged when the degradation ladder substituted the certified normal
+// approximation for the exact engine.
+type EvaluateResponse struct {
+	Results     []PointResult `json:"results"`
+	Approximate bool          `json:"approximate,omitempty"`
+}
+
+// WhatIfResponse is the /v1/whatif reply: one explicit delegation profile
+// scored against its instance.
+type WhatIfResponse struct {
+	PM           float64 `json:"pm"`
+	PD           float64 `json:"pd"`
+	Gain         float64 `json:"gain"`
+	Sinks        int     `json:"sinks"`
+	MaxWeight    int     `json:"max_weight"`
+	TotalWeight  int     `json:"total_weight"`
+	Delegators   int     `json:"delegators"`
+	LongestChain int     `json:"longest_chain"`
+	Approximate  bool    `json:"approximate,omitempty"`
+	ErrorBound   float64 `json:"error_bound,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// The request context is unused on purpose: liveness has no evaluation
+	// to cancel. Forwarding r keeps the handler honest under ctxflow rule 4.
+	_ = r.Context()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	_ = r.Context()
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleEvaluate serves /v1/evaluate: decode and validate, derive the
+// request deadline, admit or shed, then run the degradation ladder on a
+// worker shard.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.received.Add(1)
+	s.cRequests.Inc()
+	defer func() { s.hLatency.Observe(time.Since(start).Seconds()) }()
+
+	body, aerr := s.readBody(w, r.Body)
+	if aerr != nil {
+		s.malformed.Add(1)
+		writeError(w, aerr)
+		return
+	}
+	parsed, aerr := ParseEvaluateRequest(body)
+	if aerr != nil {
+		s.malformed.Add(1)
+		writeError(w, aerr)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(parsed.Req.DeadlineMS))
+	defer cancel()
+
+	reps := parsed.Req.Replications
+	if reps == 0 {
+		reps = s.cfg.Replications
+	}
+	cost := int64(len(parsed.Alphas)) * EstimateCost(parsed.Instance.N(), reps, s.cfg.ExactCostLimit)
+
+	var resp *EvaluateResponse
+	s.dispatch(ctx, w, cost, func(ctx context.Context) error {
+		var err error
+		resp, err = s.evaluate(ctx, parsed, reps, cost)
+		return err
+	}, func() { writeJSON(w, http.StatusOK, resp) })
+}
+
+// handleWhatIf serves /v1/whatif.
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.received.Add(1)
+	s.cRequests.Inc()
+	defer func() { s.hLatency.Observe(time.Since(start).Seconds()) }()
+
+	body, aerr := s.readBody(w, r.Body)
+	if aerr != nil {
+		s.malformed.Add(1)
+		writeError(w, aerr)
+		return
+	}
+	parsed, aerr := ParseWhatIfRequest(body)
+	if aerr != nil {
+		s.malformed.Add(1)
+		writeError(w, aerr)
+		return
+	}
+	// Cycles are a property of the request, not of evaluation: resolve once
+	// up front so a cyclic profile is a typed 400, before admission.
+	res, err := parsed.Graph.Resolve()
+	if err != nil {
+		s.malformed.Add(1)
+		writeError(w, badRequest(CodeBadRequest, "resolving delegations: %v", err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(parsed.Req.DeadlineMS))
+	defer cancel()
+
+	cost := EstimateCost(parsed.Instance.N(), 1, s.cfg.ExactCostLimit)
+	var resp *WhatIfResponse
+	s.dispatch(ctx, w, cost, func(ctx context.Context) error {
+		var err error
+		resp, err = s.whatIf(ctx, parsed, res, cost)
+		return err
+	}, func() { writeJSON(w, http.StatusOK, resp) })
+}
+
+// readBody drains the capped request body.
+func (s *Server) readBody(w http.ResponseWriter, rc io.ReadCloser) ([]byte, *Error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, rc, s.cfg.MaxBody))
+	if err != nil {
+		if aerr := maxBytesError(err); aerr != nil {
+			return nil, aerr
+		}
+		return nil, badRequest(CodeBadRequest, "reading body: %v", err)
+	}
+	return body, nil
+}
+
+// deadline resolves a request's deadline_ms against the server bounds.
+func (s *Server) deadline(ms int64) time.Duration {
+	d := s.cfg.DefaultDeadline
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d
+}
+
+// dispatch pushes fn through admission and the worker pool, accounts the
+// outcome, and writes the response: ok on success, a typed error
+// otherwise. It returns by ctx's deadline no matter what the workers do.
+func (s *Server) dispatch(ctx context.Context, w http.ResponseWriter, cost int64, fn func(context.Context) error, ok func()) {
+	// The task's reservation is released by the worker (via task.release)
+	// once it finishes or skips the task — not when this handler returns,
+	// because an abandoned task still occupies its shard.
+	t := s.newTask(ctx, cost, fn)
+	if status, admitted := s.admitAndSubmit(t, cost); !admitted {
+		s.shedResponse(w, status)
+		return
+	}
+	select {
+	case err := <-t.done:
+		s.writeOutcome(w, err, ok)
+	case <-ctx.Done():
+		s.expired.Add(1)
+		writeError(w, &Error{Code: CodeDeadlineExceeded, Message: "deadline expired before evaluation completed", Status: http.StatusGatewayTimeout})
+	}
+}
+
+// admitAndSubmit applies the admission gate and queues the task, all under
+// the drain lock so Close cannot close a shard channel between the two
+// steps. On refusal it returns the shed status: 503 while draining, 429
+// otherwise.
+func (s *Server) admitAndSubmit(t *task, cost int64) (status int, admitted bool) {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		s.adm.shed.Add(1)
+		s.adm.cShed.Inc()
+		return http.StatusServiceUnavailable, false
+	}
+	if !s.adm.admit(cost) {
+		return http.StatusTooManyRequests, false
+	}
+	if !s.pool.submit(s.seq.Add(1), t) {
+		s.adm.release(cost)
+		s.adm.shed.Add(1)
+		s.adm.cShed.Inc()
+		return http.StatusTooManyRequests, false
+	}
+	return 0, true
+}
+
+// newTask wraps fn with the admission release.
+func (s *Server) newTask(ctx context.Context, cost int64, fn func(context.Context) error) *task {
+	return &task{
+		ctx:     ctx,
+		run:     fn,
+		release: func() { s.adm.release(cost) },
+		done:    make(chan error, 1),
+	}
+}
+
+// writeOutcome classifies a finished task's error and writes the response.
+func (s *Server) writeOutcome(w http.ResponseWriter, err error, ok func()) {
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+		ok()
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.expired.Add(1)
+		writeError(w, &Error{Code: CodeDeadlineExceeded, Message: "deadline expired during evaluation", Status: http.StatusGatewayTimeout})
+	default:
+		s.failed.Add(1)
+		if aerr, okErr := err.(*Error); okErr {
+			writeError(w, aerr)
+		} else {
+			writeError(w, &Error{Code: CodeInternal, Message: err.Error(), Status: http.StatusInternalServerError})
+		}
+	}
+}
+
+func (s *Server) shedResponse(w http.ResponseWriter, status int) {
+	w.Header().Set("Retry-After", itoa(int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
+	writeError(w, &Error{Code: CodeShed, Message: "admission budget exhausted; retry later", Status: status})
+}
+
+// evaluate runs the degradation ladder for one evaluate request on a
+// worker shard. Rungs: exact sweep when the deadline budget affords its
+// DP-unit cost at the calibrated rate; otherwise the certified normal
+// approximation; otherwise (no budget at all) the deadline error.
+func (s *Server) evaluate(ctx context.Context, parsed *ParsedEvaluate, reps int, cost int64) (*EvaluateResponse, error) {
+	opts := election.Options{
+		Replications:   reps,
+		ExactCostLimit: s.cfg.ExactCostLimit,
+		Workers:        s.cfg.Workers,
+		Seed:           parsed.Req.Seed,
+	}
+	budget := s.budget(ctx)
+	if budget <= 0 {
+		return nil, context.DeadlineExceeded
+	}
+	if parsed.Req.Fault != nil {
+		// Fault evaluation has no approximate rung: the fault engine's
+		// replications are the quantity of interest, so it runs exact and
+		// lets the deadline cancel it if the budget was optimistic.
+		return s.evaluateFault(ctx, parsed, opts)
+	}
+	if s.affords(cost, budget) {
+		plan, err := election.NewPlan(parsed.Instance, opts)
+		if err != nil {
+			return nil, err
+		}
+		plan.PrewarmApproval(parsed.Alphas...)
+		points := make([]election.SweepPoint, len(parsed.Mechanisms))
+		for i, mech := range parsed.Mechanisms {
+			points[i] = election.SweepPoint{Mechanism: mech, Seed: parsed.Req.Seed, Replications: reps}
+		}
+		results, err := election.EvaluateSweep(ctx, plan, points)
+		if err != nil {
+			return nil, err
+		}
+		resp := &EvaluateResponse{}
+		for i, res := range results {
+			resp.Results = append(resp.Results, exactPoint(res, parsed.Alphas[i]))
+		}
+		return resp, nil
+	}
+	// Approximate rung: mechanism realizations stay exact (same RNG
+	// discipline), scoring drops to the certified normal approximation.
+	resp := &EvaluateResponse{Approximate: true}
+	for i, mech := range parsed.Mechanisms {
+		res, err := election.EvaluateMechanismApprox(ctx, parsed.Instance, mech, opts)
+		if err != nil {
+			return nil, err
+		}
+		pt := exactPoint(&res.Result, parsed.Alphas[i])
+		pt.ErrorBound = res.ErrorBound
+		resp.Results = append(resp.Results, pt)
+	}
+	return resp, nil
+}
+
+// evaluateFault routes a fault-block request through the fault engine,
+// sharing the score cache across the sweep's points.
+func (s *Server) evaluateFault(ctx context.Context, parsed *ParsedEvaluate, opts election.Options) (*EvaluateResponse, error) {
+	f := parsed.Req.Fault
+	points := make([]fault.SweepPoint, len(parsed.Mechanisms))
+	for i, mech := range parsed.Mechanisms {
+		points[i] = fault.SweepPoint{Mechanism: mech, Opts: fault.ElectionOptions{
+			Options:     opts,
+			DownRate:    f.DownRate,
+			AbstainRate: f.AbstainRate,
+			Policy:      parsed.Policy,
+			Alpha:       f.Alpha,
+		}}
+	}
+	results, err := fault.EvaluateSweep(ctx, parsed.Instance, points)
+	if err != nil {
+		return nil, err
+	}
+	resp := &EvaluateResponse{}
+	for i, res := range results {
+		resp.Results = append(resp.Results, PointResult{
+			Mechanism:       res.Mechanism,
+			Alpha:           parsed.Alphas[i],
+			N:               res.N,
+			PM:              res.PM,
+			PMStdErr:        res.PMStdErr,
+			PD:              res.PD,
+			Gain:            res.Gain,
+			Policy:          res.Policy.String(),
+			MeanDown:        res.MeanDown,
+			MeanLost:        res.MeanLost,
+			MeanFellBack:    res.MeanFellBack,
+			MeanRedelegated: res.MeanRedelegated,
+		})
+	}
+	return resp, nil
+}
+
+// whatIf scores one explicit delegation profile: exact when the budget
+// affords it, else the certified normal approximation.
+func (s *Server) whatIf(ctx context.Context, parsed *ParsedWhatIf, res *core.Resolution, cost int64) (*WhatIfResponse, error) {
+	budget := s.budget(ctx)
+	if budget <= 0 {
+		return nil, context.DeadlineExceeded
+	}
+	in := parsed.Instance
+	resp := &WhatIfResponse{
+		Sinks:        len(res.Sinks),
+		MaxWeight:    res.MaxWeight,
+		TotalWeight:  res.TotalWeight,
+		Delegators:   res.Delegators,
+		LongestChain: res.LongestChain,
+	}
+	exactOK := in.N() <= 4096 && s.affords(cost, budget)
+	if exactOK {
+		pm, err := election.ResolutionProbabilityExact(in, res)
+		if err != nil {
+			return nil, err
+		}
+		pd, err := election.DirectProbabilityExact(in)
+		if err != nil {
+			return nil, err
+		}
+		resp.PM, resp.PD = pm, pd
+	} else {
+		pm, pmBound := election.ApproximateResolution(in, res)
+		pd := election.DirectNormalApproximation(in).SF(float64(in.N()) / 2)
+		pdBound := prob.BerryEsseenBound(in.Competencies())
+		resp.PM, resp.PD = pm, pd
+		resp.Approximate = true
+		resp.ErrorBound = pmBound + pdBound
+	}
+	resp.Gain = resp.PM - resp.PD
+	return resp, nil
+}
+
+// budget is the wall-clock time remaining before ctx's deadline.
+func (s *Server) budget(ctx context.Context) time.Duration {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return s.cfg.MaxDeadline
+	}
+	return time.Until(deadline)
+}
+
+// affords reports whether a DP-unit cost fits a time budget at the
+// calibrated rate, with a 20% safety margin for everything the cost model
+// does not see (encode, queueing noise, allocator).
+func (s *Server) affords(cost int64, budget time.Duration) bool {
+	return float64(cost)/s.cfg.CostRate <= 0.8*budget.Seconds()
+}
+
+// exactPoint projects an election.Result onto the wire form, dropping the
+// scheduling-dependent cache-traffic fields.
+func exactPoint(res *election.Result, alpha float64) PointResult {
+	return PointResult{
+		Mechanism:        res.Mechanism,
+		Alpha:            alpha,
+		N:                res.N,
+		PM:               res.PM,
+		PMStdErr:         res.PMStdErr,
+		PD:               res.PD,
+		Gain:             res.Gain,
+		GainLo:           res.GainLo,
+		GainHi:           res.GainHi,
+		MeanDelegators:   res.MeanDelegators,
+		MeanSinks:        res.MeanSinks,
+		MeanMaxWeight:    res.MeanMaxWeight,
+		MaxMaxWeight:     res.MaxMaxWeight,
+		MeanLongestChain: res.MeanLongestChain,
+	}
+}
+
+// writeJSON writes v as the response body. encoding/json's shortest
+// round-trip float form makes the bytes deterministic, which is what lets
+// clients diff completed responses against offline evaluation.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+	_, _ = w.Write([]byte{'\n'})
+}
+
+type errorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, aerr *Error) {
+	writeJSON(w, aerr.Status, errorEnvelope{Error: aerr})
+}
+
+// itoa renders the Retry-After seconds, clamping to at least 1.
+func itoa(v int) string {
+	if v <= 0 {
+		return "1"
+	}
+	return strconv.Itoa(v)
+}

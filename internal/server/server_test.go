@@ -1,0 +1,415 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"liquid/internal/core"
+	"liquid/internal/election"
+	"liquid/internal/engine"
+	"liquid/internal/experiment"
+	"liquid/internal/graph"
+	"liquid/internal/mechanism"
+	"liquid/internal/server"
+	"liquid/internal/telemetry"
+)
+
+// newTestServer boots a Server behind httptest and registers teardown.
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, data
+}
+
+func errorCode(t *testing.T, data []byte) string {
+	t.Helper()
+	var env struct {
+		Error *server.Error `json:"error"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil || env.Error == nil {
+		t.Fatalf("not an error envelope: %s", data)
+	}
+	return env.Error.Code
+}
+
+func testInstance(t *testing.T, n int) (*core.Instance, string) {
+	t.Helper()
+	ps := make([]float64, n)
+	spec := make([]string, n)
+	for i := range ps {
+		ps[i] = 0.4 + 0.5*float64(i)/float64(n)
+		spec[i] = fmt.Sprintf("%g", ps[i])
+	}
+	in, err := core.NewInstance(graph.NewComplete(n), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, fmt.Sprintf(`{"n": %d, "complete": true, "p": [%s]}`, n, strings.Join(spec, ","))
+}
+
+// TestEvaluateBitIdenticalToOffline is the serving layer's core contract: a
+// completed exact response carries byte-for-byte the same numbers as the
+// offline evaluator with the same seed and options.
+func TestEvaluateBitIdenticalToOffline(t *testing.T) {
+	in, instJSON := testInstance(t, 25)
+	_, ts := newTestServer(t, server.Config{})
+
+	alphas := []float64{0, 0.05, 0.1}
+	body := fmt.Sprintf(`{"instance": %s, "mechanism": {"name": "approval-threshold"}, "alphas": [0, 0.05, 0.1], "seed": 7, "replications": 16}`, instJSON)
+	resp, data := post(t, ts.URL, "/v1/evaluate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+
+	expected := server.EvaluateResponse{}
+	for _, a := range alphas {
+		res, err := election.EvaluateMechanism(t.Context(), in, mechanism.ApprovalThreshold{Alpha: a}, election.Options{
+			Replications: 16, Seed: 7, Workers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected.Results = append(expected.Results, server.PointResult{
+			Mechanism: res.Mechanism, Alpha: a, N: res.N,
+			PM: res.PM, PMStdErr: res.PMStdErr, PD: res.PD,
+			Gain: res.Gain, GainLo: res.GainLo, GainHi: res.GainHi,
+			MeanDelegators: res.MeanDelegators, MeanSinks: res.MeanSinks,
+			MeanMaxWeight: res.MeanMaxWeight, MaxMaxWeight: res.MaxMaxWeight,
+			MeanLongestChain: res.MeanLongestChain,
+		})
+	}
+	want, err := json.Marshal(expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(data, want) {
+		t.Fatalf("response differs from offline evaluation:\n got: %s\nwant: %s", data, want)
+	}
+}
+
+// TestEvaluateApproximateDegradation starves the cost rate so the ladder
+// drops to the certified normal approximation.
+func TestEvaluateApproximateDegradation(t *testing.T) {
+	in, instJSON := testInstance(t, 25)
+	_, ts := newTestServer(t, server.Config{CostRate: 0.001})
+
+	body := fmt.Sprintf(`{"instance": %s, "mechanism": {"name": "approval-threshold", "alpha": 0.1}, "seed": 3, "replications": 8}`, instJSON)
+	resp, data := post(t, ts.URL, "/v1/evaluate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var got server.EvaluateResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Approximate {
+		t.Fatal("response not flagged approximate")
+	}
+	if len(got.Results) != 1 || got.Results[0].ErrorBound <= 0 || got.Results[0].ErrorBound > 1 {
+		t.Fatalf("results = %+v, want one point with a certified bound in (0,1]", got.Results)
+	}
+
+	// The numbers must match the offline approximate evaluator exactly.
+	res, err := election.EvaluateMechanismApprox(t.Context(), in, mechanism.ApprovalThreshold{Alpha: 0.1}, election.Options{
+		Replications: 8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results[0].PM != res.PM || got.Results[0].PD != res.PD || got.Results[0].ErrorBound != res.ErrorBound {
+		t.Fatalf("approximate point %+v differs from offline %+v", got.Results[0], res)
+	}
+}
+
+// TestEvaluateDeadline asserts a request never hangs past its deadline:
+// with a worker stuck in a slow task, the handler answers 504 on time.
+func TestEvaluateDeadline(t *testing.T) {
+	_, instJSON := testInstance(t, 5)
+	srv, ts := newTestServer(t, server.Config{
+		Shards: 1,
+		ChaosHook: func(int, uint64) error {
+			time.Sleep(600 * time.Millisecond)
+			return nil
+		},
+	})
+
+	body := fmt.Sprintf(`{"instance": %s, "mechanism": {"name": "direct"}, "deadline_ms": 100}`, instJSON)
+	start := time.Now()
+	resp, data := post(t, ts.URL, "/v1/evaluate", body)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	if code := errorCode(t, data); code != server.CodeDeadlineExceeded {
+		t.Fatalf("code = %s", code)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("handler held the request %v past a 100ms deadline", elapsed)
+	}
+	if st := srv.Stats(); st.Expired != 1 {
+		t.Fatalf("stats = %+v, want Expired = 1", st)
+	}
+}
+
+// TestShedding fills the single shard and asserts the 429 + Retry-After
+// path and its accounting.
+func TestShedding(t *testing.T) {
+	_, instJSON := testInstance(t, 5)
+	release := make(chan struct{})
+	running := make(chan struct{}, 8)
+	srv, ts := newTestServer(t, server.Config{
+		Shards:     1,
+		QueueDepth: 1,
+		ChaosHook: func(int, uint64) error {
+			running <- struct{}{}
+			<-release
+			return nil
+		},
+	})
+
+	body := fmt.Sprintf(`{"instance": %s, "mechanism": {"name": "direct"}, "deadline_ms": 5000}`, instJSON)
+	firstDone := make(chan int)
+	go func() {
+		resp, _ := post(t, ts.URL, "/v1/evaluate", body)
+		firstDone <- resp.StatusCode
+	}()
+	<-running // the worker is now occupied and the queue+cost budget is held
+
+	resp, data := post(t, ts.URL, "/v1/evaluate", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	if code := errorCode(t, data); code != server.CodeShed {
+		t.Fatalf("code = %s", code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+
+	close(release)
+	if status := <-firstDone; status != http.StatusOK {
+		t.Fatalf("first request status = %d", status)
+	}
+	st := srv.Stats()
+	if st.Received != 2 || st.Completed != 1 || st.Shed != 1 {
+		t.Fatalf("stats = %+v, want received 2 = completed 1 + shed 1", st)
+	}
+}
+
+// TestPanicIsTyped500 exercises the worker's recovery path.
+func TestPanicIsTyped500(t *testing.T) {
+	_, instJSON := testInstance(t, 5)
+	srv, ts := newTestServer(t, server.Config{
+		Shards:    1,
+		ChaosHook: func(int, uint64) error { panic("chaos: injected crash") },
+	})
+
+	body := fmt.Sprintf(`{"instance": %s, "mechanism": {"name": "direct"}}`, instJSON)
+	resp, data := post(t, ts.URL, "/v1/evaluate", body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	if code := errorCode(t, data); code != server.CodeInternalPanic {
+		t.Fatalf("code = %s", code)
+	}
+	if st := srv.Stats(); st.Failed != 1 {
+		t.Fatalf("stats = %+v, want Failed = 1", st)
+	}
+}
+
+// TestTransientRetry asserts the worker retries transient failures on the
+// engine backoff and the request still completes.
+func TestTransientRetry(t *testing.T) {
+	_, instJSON := testInstance(t, 5)
+	var attempts atomic.Int32
+	srv, ts := newTestServer(t, server.Config{
+		Shards:  1,
+		Retries: 3,
+		Backoff: engine.Backoff{Initial: time.Millisecond, Cap: 2 * time.Millisecond},
+		ChaosHook: func(int, uint64) error {
+			if attempts.Add(1) <= 2 {
+				return fmt.Errorf("%w: simulated exhaustion", experiment.ErrTransient)
+			}
+			return nil
+		},
+	})
+
+	body := fmt.Sprintf(`{"instance": %s, "mechanism": {"name": "direct"}}`, instJSON)
+	resp, data := post(t, ts.URL, "/v1/evaluate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if st := srv.Stats(); st.Completed != 1 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestMalformedAccounting covers the typed 400s end to end, including the
+// MaxBytesReader cap.
+func TestMalformedAccounting(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{MaxBody: 256})
+
+	resp, data := post(t, ts.URL, "/v1/evaluate", `{]`)
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, data) != server.CodeBadJSON {
+		t.Fatalf("garbage: status %d, body %s", resp.StatusCode, data)
+	}
+
+	big := fmt.Sprintf(`{"instance": {"n": 1, "p": [0.5]}, "mechanism": {"name": "direct"}, "alphas": [%s]}`,
+		strings.Repeat("0.1,", 200)+"0.1")
+	resp, data = post(t, ts.URL, "/v1/evaluate", big)
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, data) != server.CodeBodyTooLarge {
+		t.Fatalf("oversized: status %d, body %s", resp.StatusCode, data)
+	}
+
+	if st := srv.Stats(); st.Received != 2 || st.Malformed != 2 {
+		t.Fatalf("stats = %+v, want 2 received = 2 malformed", st)
+	}
+}
+
+// TestWhatIfExact compares the what-if scoring against the exact kernels.
+func TestWhatIfExact(t *testing.T) {
+	in, instJSON := testInstance(t, 9)
+	_, ts := newTestServer(t, server.Config{})
+
+	// Voters 0..3 delegate to 8 (the most competent); the rest vote direct.
+	body := fmt.Sprintf(`{"instance": %s, "delegations": [8, 8, 8, 8, -1, -1, -1, -1, -1]}`, instJSON)
+	resp, data := post(t, ts.URL, "/v1/whatif", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var got server.WhatIfResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Approximate {
+		t.Fatal("small exact what-if flagged approximate")
+	}
+
+	d := core.NewDelegationGraph(9)
+	for v := 0; v < 4; v++ {
+		if err := d.SetDelegate(v, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := election.ResolutionProbabilityExact(in, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := election.DirectProbabilityExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PM != pm || got.PD != pd || got.Gain != pm-pd {
+		t.Fatalf("whatif = %+v, want pm %v pd %v", got, pm, pd)
+	}
+	if got.Sinks != 5 || got.MaxWeight != 5 || got.TotalWeight != 9 || got.Delegators != 4 {
+		t.Fatalf("structure = %+v", got)
+	}
+}
+
+// TestWhatIfCycleIsTyped400 asserts cyclic profiles are rejected before
+// admission.
+func TestWhatIfCycleIsTyped400(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{})
+	body := `{"instance": {"n": 2, "complete": true, "p": [0.5, 0.5]}, "delegations": [1, 0]}`
+	resp, data := post(t, ts.URL, "/v1/whatif", body)
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, data) != server.CodeBadRequest {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	if st := srv.Stats(); st.Malformed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDrainSheds503 asserts a draining server refuses work instead of
+// accepting requests it may never finish.
+func TestDrainSheds503(t *testing.T) {
+	_, instJSON := testInstance(t, 5)
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	s.Close()
+
+	body := fmt.Sprintf(`{"instance": %s, "mechanism": {"name": "direct"}}`, instJSON)
+	resp, data := post(t, ts.URL, "/v1/evaluate", body)
+	if resp.StatusCode != http.StatusServiceUnavailable || errorCode(t, data) != server.CodeShed {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	if st := s.Stats(); st.Shed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/statsz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz: %v %v", resp, err)
+	}
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st != srv.Stats() {
+		t.Fatalf("statsz %+v != Stats() %+v", st, srv.Stats())
+	}
+}
+
+// TestLatencyTelemetryIsWritten asserts the serving metrics reach the
+// default registry (read here, at the test boundary, where reads are
+// legal).
+func TestLatencyTelemetryIsWritten(t *testing.T) {
+	_, instJSON := testInstance(t, 5)
+	_, ts := newTestServer(t, server.Config{})
+	before := telemetry.Default.Snapshot().Counter("server/requests")
+	body := fmt.Sprintf(`{"instance": %s, "mechanism": {"name": "direct"}}`, instJSON)
+	if resp, data := post(t, ts.URL, "/v1/evaluate", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	after := telemetry.Default.Snapshot().Counter("server/requests")
+	if after != before+1 {
+		t.Fatalf("server/requests went %d -> %d, want +1", before, after)
+	}
+}
