@@ -2,24 +2,25 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short test-race test-faults cover fuzz-smoke bench bench-smoke bench-json bench-serve serve-smoke reproduce reproduce-fast examples fmt
+.PHONY: all check build vet lint lint-facts lint-baseline test test-short test-race test-faults cover fuzz-smoke bench bench-smoke bench-json bench-serve serve-smoke reproduce reproduce-fast examples fmt
 
 all: check
 
 # check is the gate for a change, in order: compile, go vet, the repo's own
 # determinism analyzers (cmd/liquidlint — see DESIGN.md "Static invariants"),
-# tests, the race detector over the parallel engine and election sampling,
-# the coverage floor against COVERAGE.baseline, a short fuzz pass over the
-# simulator's message-validation invariants and the convolution kernels,
-# and a one-iteration smoke run of the kernel benchmarks (catches crashes
-# in benchmark-only code paths, not timings).
+# the lint baseline ratchet (lint-facts), tests, the race detector over the
+# parallel engine and election sampling, the coverage floor against
+# COVERAGE.baseline, a short fuzz pass over the simulator's
+# message-validation invariants and the convolution kernels, and a
+# one-iteration smoke run of the kernel benchmarks (catches crashes in
+# benchmark-only code paths, not timings).
 # Lint sits between vet and test so cheap structural violations fail the
 # gate before the expensive suites run. The recipe runs every stage it can
 # reach, prints a one-line pass/fail summary, and exits nonzero on the
 # first failure (later stages report as skip).
 check:
 	@rc=0; summary=""; \
-	for stage in build vet lint test test-race cover fuzz-smoke bench-smoke serve-smoke; do \
+	for stage in build vet lint lint-facts test test-race cover fuzz-smoke bench-smoke serve-smoke; do \
 		if [ $$rc -ne 0 ]; then summary="$$summary $$stage:skip"; continue; fi; \
 		echo "== $$stage"; \
 		if $(MAKE) --no-print-directory $$stage; then summary="$$summary $$stage:ok"; \
@@ -33,11 +34,35 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the determinism multichecker over the module. Suppress an
-# individual finding with `//lint:ignore <analyzer> <reason>` on or above
-# the flagged line; disable a whole analyzer with -disable for triage.
+# lint runs the determinism multichecker over the module with the
+# per-package cache, so incremental runs only re-analyze packages whose
+# content hash (or dependency cone, or the lint tree itself) changed.
+# Suppress an individual finding with `//lint:ignore <analyzer> <reason>`
+# on or above the flagged line; disable a whole analyzer with -disable for
+# triage, or run one with -only while developing it.
 lint:
-	$(GO) run ./cmd/liquidlint ./...
+	$(GO) run ./cmd/liquidlint -cache .lintcache ./...
+
+# lint-facts is the baseline ratchet: the schema-stable -json report
+# (analyzer roster, sorted findings, live suppressions) must match the
+# committed LINT.baseline byte for byte. New findings, new suppressions,
+# and roster changes all fail here until LINT.baseline is regenerated
+# deliberately with `make lint-baseline` — same contract as
+# COVERAGE.baseline: the committed file is the decision record.
+lint-facts:
+	@$(GO) run ./cmd/liquidlint -cache .lintcache -json ./... > .lint.report.json 2>/dev/null; st=$$?; \
+	if [ $$st -ge 2 ]; then rm -f .lint.report.json; $(GO) run ./cmd/liquidlint -cache .lintcache -json ./...; exit $$st; fi; \
+	if diff -u LINT.baseline .lint.report.json; then \
+		echo "lint-facts: report matches LINT.baseline"; rm -f .lint.report.json; \
+	else \
+		echo "lint-facts: report drifted from committed LINT.baseline — fix the findings, or regenerate deliberately with 'make lint-baseline'"; \
+		rm -f .lint.report.json; exit 1; \
+	fi
+
+lint-baseline:
+	@$(GO) run ./cmd/liquidlint -json ./... > LINT.baseline; st=$$?; \
+	if [ $$st -ge 2 ]; then exit $$st; fi; \
+	echo "wrote LINT.baseline"
 
 test:
 	$(GO) test ./...

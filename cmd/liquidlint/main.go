@@ -5,37 +5,64 @@
 //
 // Usage:
 //
-//	liquidlint [-json] [-disable name,name] [-list] [packages]
+//	liquidlint [-json] [-only name,name] [-disable name,name] [-cache dir] [-list] [packages]
 //
-// With no package arguments it analyzes ./... . Exit status: 0 clean,
-// 1 findings, 2 usage or load failure. Findings print as
-// file:line:col: analyzer: message, or as a JSON array with -json.
+// With no package arguments it analyzes ./... . Packages are analyzed in
+// dependency order so the fact-based analyzers (lockorder, goroleak,
+// hotalloc, walltime, seedflow) can reason across package boundaries;
+// packages pulled in only as dependencies of the named patterns are analyzed
+// for facts but report no diagnostics of their own. With -cache, per-package
+// results and facts are reused across runs, keyed on a content hash of the
+// package, its dependency cone, and the lint tree itself, so incremental
+// runs only re-analyze what changed.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Findings print
+// as file:line:col: analyzer: message, or with -json as a schema-stable
+// object {version, analyzers, diagnostics, suppressions} with diagnostics
+// sorted by position — the format LINT.baseline pins in make check. A
+// summary of live suppressions goes to stderr.
+//
 // Suppress an individual finding with a justified annotation:
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// on the flagged line or the line above it.
+// on the flagged line, the line above it, or the first line of the
+// enclosing multi-line statement. Unused or reasonless directives are
+// themselves findings, reported under the lintdirective pseudo-analyzer.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"liquid/internal/lint/analysis"
 	"liquid/internal/lint/ctxflow"
 	"liquid/internal/lint/floatacc"
+	"liquid/internal/lint/goroleak"
+	"liquid/internal/lint/hotalloc"
 	"liquid/internal/lint/load"
+	"liquid/internal/lint/lockorder"
 	"liquid/internal/lint/maporder"
 	"liquid/internal/lint/seedflow"
 	"liquid/internal/lint/telemflow"
 	"liquid/internal/lint/walltime"
 )
 
-// analyzers is the full suite, in documentation order.
+// jsonVersion is bumped whenever the -json schema changes shape, so baseline
+// diffs fail loudly instead of misreading fields.
+const jsonVersion = 1
+
+// analyzers is the full ten-analyzer suite, in documentation order. The
+// lintdirective entry is a framework pseudo-analyzer: directive auditing
+// runs inside analysis.RunPackage, and listing it here makes its name
+// addressable by -only/-disable and -list.
 var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	seedflow.Analyzer,
@@ -43,6 +70,19 @@ var analyzers = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	floatacc.Analyzer,
 	telemflow.Analyzer,
+	lockorder.Analyzer,
+	goroleak.Analyzer,
+	hotalloc.Analyzer,
+	analysis.Directive,
+}
+
+// report is the -json output schema. Field order, sorted diagnostics, and
+// json's sorted map keys make the encoding byte-stable for a given tree.
+type report struct {
+	Version      int                   `json:"version"`
+	Analyzers    []string              `json:"analyzers"`
+	Diagnostics  []analysis.Diagnostic `json:"diagnostics"`
+	Suppressions map[string]int        `json:"suppressions"`
 }
 
 func main() {
@@ -54,12 +94,14 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("liquidlint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
-		disable = fs.String("disable", "", "comma-separated analyzer names to skip")
-		list    = fs.Bool("list", false, "list analyzers and exit")
+		jsonOut  = fs.Bool("json", false, "emit findings as a schema-stable JSON object")
+		only     = fs.String("only", "", "comma-separated analyzer names to run exclusively")
+		disable  = fs.String("disable", "", "comma-separated analyzer names to skip")
+		cacheDir = fs.String("cache", "", "directory for the per-package analysis cache")
+		list     = fs.Bool("list", false, "list analyzers and exit")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(errOut, "usage: liquidlint [-json] [-disable name,name] [-list] [packages]")
+		fmt.Fprintln(errOut, "usage: liquidlint [-json] [-only name,name] [-disable name,name] [-cache dir] [-list] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -67,54 +109,140 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(out, "%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(out, "%-13s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 
-	active, err := selectAnalyzers(*disable)
+	active, err := selectAnalyzers(*only, *disable)
 	if err != nil {
 		fmt.Fprintln(errOut, "liquidlint:", err)
 		return 2
+	}
+	activeNames := make([]string, len(active))
+	activeSet := make(map[string]bool, len(active))
+	for i, a := range active {
+		activeNames[i] = a.Name
+		activeSet[a.Name] = true
 	}
 
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := load.Packages(".", patterns...)
+	pkgs, err := load.List(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(errOut, "liquidlint:", err)
 		return 2
 	}
-	var targets []*analysis.Target
+
+	cache, err := load.NewCache(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(errOut, "liquidlint:", err)
+		return 2
+	}
+	keys := load.Keys(pkgs, suiteSalt(activeNames, pkgs))
+
+	store := analysis.NewFactStore(active)
+	total := &analysis.Result{Suppressions: make(map[string]int)}
 	loadBroken := false
 	for _, p := range pkgs {
-		for _, te := range p.TypeErrors {
-			// A package that fails to type-check must not pass lint silently.
-			fmt.Fprintf(errOut, "liquidlint: %s: %v\n", p.ImportPath, te)
-			loadBroken = true
+		key := keys[p.ImportPath]
+		if entry, hit := cache.Get(p.ImportPath, key); hit {
+			if err := store.DecodePackage(p.ImportPath, entry.Facts); err == nil {
+				if !p.DepOnly {
+					total.Diagnostics = append(total.Diagnostics, entry.Diagnostics...)
+					for name, n := range entry.Suppressions {
+						total.Suppressions[name] += n
+					}
+				}
+				continue
+			}
+			// Undecodable facts: fall through to a clean re-analysis.
 		}
-		targets = append(targets, &analysis.Target{
+		if err := p.Load(); err != nil {
+			if p.DepOnly {
+				fmt.Fprintf(errOut, "liquidlint: warning: dependency %s: %v (its facts are unavailable)\n", p.ImportPath, err)
+				continue
+			}
+			fmt.Fprintln(errOut, "liquidlint:", err)
+			return 2
+		}
+		if len(p.TypeErrors) > 0 && !p.DepOnly {
+			// A package that fails to type-check must not pass lint silently.
+			for _, te := range p.TypeErrors {
+				fmt.Fprintf(errOut, "liquidlint: %s: %v\n", p.ImportPath, te)
+			}
+			loadBroken = true
+			continue
+		}
+		res, err := analysis.RunPackage(&analysis.Target{
 			Path: p.ImportPath, Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info,
-		})
+			Imports: p.Imports,
+		}, active, store)
+		if err != nil {
+			fmt.Fprintln(errOut, "liquidlint:", err)
+			return 2
+		}
+		facts, err := store.EncodePackage(p.ImportPath)
+		if err == nil {
+			// Cache write failures only cost speed, never correctness.
+			_ = cache.Put(p.ImportPath, &load.Entry{
+				Key: key, Diagnostics: res.Diagnostics, Suppressions: res.Suppressions, Facts: facts,
+			})
+		}
+		if !p.DepOnly {
+			total.Diagnostics = append(total.Diagnostics, res.Diagnostics...)
+			for name, n := range res.Suppressions {
+				total.Suppressions[name] += n
+			}
+		}
 	}
 	if loadBroken {
 		return 2
 	}
 
-	diags, err := analysis.Run(targets, active)
-	if err != nil {
-		fmt.Fprintln(errOut, "liquidlint:", err)
-		return 2
+	diags := total.Diagnostics[:0]
+	for _, d := range total.Diagnostics {
+		if activeSet[d.Analyzer] {
+			diags = append(diags, d)
+		}
 	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	if n := len(total.Suppressions); n > 0 {
+		parts := make([]string, 0, n)
+		for name := range total.Suppressions {
+			parts = append(parts, name)
+		}
+		sort.Strings(parts)
+		for i, name := range parts {
+			parts[i] = fmt.Sprintf("%s=%d", name, total.Suppressions[name])
+		}
+		fmt.Fprintf(errOut, "liquidlint: live suppressions: %s\n", strings.Join(parts, " "))
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []analysis.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(report{
+			Version:      jsonVersion,
+			Analyzers:    activeNames,
+			Diagnostics:  diags,
+			Suppressions: total.Suppressions,
+		}); err != nil {
 			fmt.Fprintln(errOut, "liquidlint:", err)
 			return 2
 		}
@@ -132,29 +260,68 @@ func run(args []string, out, errOut io.Writer) int {
 	return 0
 }
 
-// selectAnalyzers filters the suite by the -disable flag.
-func selectAnalyzers(disable string) ([]*analysis.Analyzer, error) {
-	skip := make(map[string]bool)
-	for _, name := range strings.Split(disable, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			skip[name] = true
+// suiteSalt derives the cache-key salt from the schema version, the active
+// analyzer set, and the content of the lint tree itself, so editing an
+// analyzer — not just the analyzed code — invalidates cached results.
+func suiteSalt(activeNames []string, pkgs []*load.Package) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "liquidlint v%d\nactive %s\n", jsonVersion, strings.Join(activeNames, ","))
+	for _, p := range pkgs {
+		if strings.HasPrefix(p.ImportPath, "liquid/internal/lint") || p.ImportPath == "liquid/cmd/liquidlint" {
+			fmt.Fprintf(h, "lintpkg %s %s\n", p.ImportPath, p.Sum)
 		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// selectAnalyzers filters the suite by the -only and -disable flags.
+func selectAnalyzers(only, disable string) ([]*analysis.Analyzer, error) {
+	if only != "" && disable != "" {
+		return nil, fmt.Errorf("-only and -disable are mutually exclusive")
 	}
 	known := make(map[string]bool, len(analyzers))
-	var active []*analysis.Analyzer
-	for _, a := range analyzers {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
 		known[a.Name] = true
-		if !skip[a.Name] {
-			active = append(active, a)
-		}
+		names[i] = a.Name
 	}
-	for name := range skip {
-		if !known[name] {
-			return nil, fmt.Errorf("unknown analyzer %q in -disable (have: maporder, seedflow, walltime, ctxflow, floatacc, telemflow)", name)
+	parse := func(flagName, value string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		for _, name := range strings.Split(value, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				if !known[name] {
+					return nil, fmt.Errorf("unknown analyzer %q in %s (have: %s)", name, flagName, strings.Join(names, ", "))
+				}
+				set[name] = true
+			}
+		}
+		return set, nil
+	}
+	var active []*analysis.Analyzer
+	switch {
+	case only != "":
+		keep, err := parse("-only", only)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				active = append(active, a)
+			}
+		}
+	default:
+		skip, err := parse("-disable", disable)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range analyzers {
+			if !skip[a.Name] {
+				active = append(active, a)
+			}
 		}
 	}
 	if len(active) == 0 {
-		return nil, fmt.Errorf("-disable turned off every analyzer")
+		return nil, fmt.Errorf("no analyzers selected")
 	}
 	return active, nil
 }

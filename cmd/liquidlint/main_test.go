@@ -3,15 +3,17 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
-
-	"liquid/internal/lint/analysis"
 )
 
 // TestRepoIsClean is the smoke test required by the lint gate: the full
-// analyzer suite over the whole module must report nothing. The test runs
-// from cmd/liquidlint, so name the module explicitly rather than ./... .
+// ten-analyzer suite over the whole module must report nothing on stdout.
+// The live-suppression summary goes to stderr and must account for exactly
+// the justified floatacc ignores the tree carries. The test runs from
+// cmd/liquidlint, so name the module explicitly rather than ./... .
 func TestRepoIsClean(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"liquid/..."}, &out, &errOut); code != 0 {
@@ -19,6 +21,9 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Fatalf("clean run produced output:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "live suppressions: floatacc=4") {
+		t.Fatalf("suppression summary missing or wrong (want floatacc=4):\n%s", errOut.String())
 	}
 }
 
@@ -39,7 +44,9 @@ func TestFindingsExitOne(t *testing.T) {
 	}
 }
 
-// TestJSONOutput checks that -json emits a decodable array of diagnostics.
+// TestJSONOutput checks that -json emits the schema-stable report object:
+// version, the analyzer roster, sorted diagnostics, and suppressions — the
+// exact shape LINT.baseline pins.
 func TestJSONOutput(t *testing.T) {
 	t.Chdir("../../internal/lint/maporder/testdata")
 	var out, errOut bytes.Buffer
@@ -47,17 +54,61 @@ func TestJSONOutput(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errOut.String())
 	}
-	var diags []analysis.Diagnostic
-	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 		t.Fatalf("decoding -json output: %v\n%s", err, out.String())
 	}
-	if len(diags) == 0 {
-		t.Fatal("-json produced an empty array for a fixture with violations")
+	if rep.Version != jsonVersion {
+		t.Fatalf("version %d, want %d", rep.Version, jsonVersion)
 	}
-	for _, d := range diags {
-		if d.Analyzer != "maporder" {
-			t.Fatalf("unexpected analyzer %q in %v", d.Analyzer, d)
+	if len(rep.Analyzers) != len(analyzers) {
+		t.Fatalf("analyzer roster has %d entries, want %d: %v", len(rep.Analyzers), len(analyzers), rep.Analyzers)
+	}
+	if len(rep.Diagnostics) == 0 {
+		t.Fatal("-json produced no diagnostics for a fixture with violations")
+	}
+	sawMaporder := false
+	for i, d := range rep.Diagnostics {
+		if d.Analyzer == "maporder" {
+			sawMaporder = true
 		}
+		if i > 0 {
+			prev := rep.Diagnostics[i-1]
+			if prev.File > d.File || (prev.File == d.File && prev.Line > d.Line) {
+				t.Fatalf("diagnostics not sorted: %v before %v", prev, d)
+			}
+		}
+	}
+	if !sawMaporder {
+		t.Fatalf("no maporder diagnostics in %v", rep.Diagnostics)
+	}
+}
+
+// TestOnly restricts the run to a single analyzer.
+func TestOnly(t *testing.T) {
+	t.Chdir("../../internal/lint/maporder/testdata")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "maporder", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("-only maporder: exit %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "maporder:") {
+		t.Fatalf("-only maporder produced no maporder findings:\n%s", out.String())
+	}
+	out.Reset()
+	// -only an analyzer that is quiet on this fixture: clean exit.
+	if code := run([]string{"-only", "lockorder", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("-only lockorder: exit %d, want 0\nstdout:\n%s", code, out.String())
+	}
+}
+
+// TestOnlyDisableConflict: the two selection flags are mutually exclusive.
+func TestOnlyDisableConflict(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "maporder", "-disable", "seedflow", "liquid/..."}, &out, &errOut); code != 2 {
+		t.Fatalf("-only with -disable: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "mutually exclusive") {
+		t.Fatalf("missing mutual-exclusion error:\n%s", errOut.String())
 	}
 }
 
@@ -82,20 +133,74 @@ func TestDisableValidation(t *testing.T) {
 		t.Fatalf("missing unknown-analyzer error:\n%s", errOut.String())
 	}
 	errOut.Reset()
-	if code := run([]string{"-disable", "maporder,seedflow,walltime,ctxflow,floatacc,telemflow", "liquid/..."}, &out, &errOut); code != 2 {
+	all := "maporder,seedflow,walltime,ctxflow,floatacc,telemflow,lockorder,goroleak,hotalloc,lintdirective"
+	if code := run([]string{"-disable", all, "liquid/..."}, &out, &errOut); code != 2 {
 		t.Fatalf("disabling every analyzer: exit %d, want 2", code)
 	}
 }
 
-// TestList checks that -list names all six analyzers.
+// TestList checks that -list names the full ten-analyzer suite.
 func TestList(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list: exit %d", code)
 	}
-	for _, name := range []string{"maporder", "seedflow", "walltime", "ctxflow", "floatacc", "telemflow"} {
+	for _, name := range []string{
+		"maporder", "seedflow", "walltime", "ctxflow", "floatacc", "telemflow",
+		"lockorder", "goroleak", "hotalloc", "lintdirective",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Fatalf("-list output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestCacheWarmRunMatchesCold: with -cache, a second run over an unchanged
+// tree is served from the cache and must produce byte-identical output —
+// including findings and the suppression summary.
+func TestCacheWarmRunMatchesCold(t *testing.T) {
+	cacheDir := t.TempDir()
+	t.Chdir("../../internal/lint/maporder/testdata")
+	var cold, coldErr bytes.Buffer
+	if code := run([]string{"-cache", cacheDir, "./..."}, &cold, &coldErr); code != 1 {
+		t.Fatalf("cold run: exit %d, want 1\nstderr:\n%s", code, coldErr.String())
+	}
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cold run left no cache entries (err=%v)", err)
+	}
+	var warm, warmErr bytes.Buffer
+	if code := run([]string{"-cache", cacheDir, "./..."}, &warm, &warmErr); code != 1 {
+		t.Fatalf("warm run: exit %d, want 1\nstderr:\n%s", code, warmErr.String())
+	}
+	if cold.String() != warm.String() {
+		t.Fatalf("warm output differs from cold:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+}
+
+// TestCacheCorruptionDegrades: trashing every cache entry must not change
+// the outcome — corrupt entries are misses, re-analyzed cleanly.
+func TestCacheCorruptionDegrades(t *testing.T) {
+	cacheDir := t.TempDir()
+	t.Chdir("../../internal/lint/maporder/testdata")
+	var cold bytes.Buffer
+	if code := run([]string{"-cache", cacheDir, "./..."}, &cold, &bytes.Buffer{}); code != 1 {
+		t.Fatalf("cold run: exit %d, want 1", code)
+	}
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(filepath.Join(cacheDir, e.Name()), []byte("{corrupt"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var again bytes.Buffer
+	if code := run([]string{"-cache", cacheDir, "./..."}, &again, &bytes.Buffer{}); code != 1 {
+		t.Fatalf("run over corrupt cache: exit %d, want 1", code)
+	}
+	if cold.String() != again.String() {
+		t.Fatalf("corrupt cache changed the findings:\ncold:\n%s\nagain:\n%s", cold.String(), again.String())
 	}
 }

@@ -3,15 +3,21 @@
 // the repository's custom static analyzers (see cmd/liquidlint) without
 // pulling x/tools into the module.
 //
-// An Analyzer inspects one type-checked package at a time through a Pass and
-// reports Diagnostics. Suppression is uniform across analyzers: a comment of
-// the form
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports Diagnostics. Analyzers may also attach Facts to package-level
+// objects (and to packages themselves); when the driver feeds packages in
+// dependency order — internal/lint/load returns them topologically sorted —
+// a dependent package's Pass can import those facts and reason across
+// package boundaries (see facts.go). Suppression is uniform across
+// analyzers: a comment of the form
 //
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// on the flagged line, or on the line immediately above it, silences the
-// named analyzers there. The reason is mandatory; a bare directive is itself
-// reported as a violation so suppressions stay auditable.
+// on the flagged line, on the line immediately above it, or on (or above)
+// the first line of the multi-line statement containing the flagged
+// position, silences the named analyzers there. The reason is mandatory; a
+// bare directive is itself reported as a violation so suppressions stay
+// auditable.
 package analysis
 
 import (
@@ -25,13 +31,27 @@ import (
 
 // Analyzer is one named static check.
 type Analyzer struct {
-	// Name identifies the analyzer in diagnostics, -disable flags, and
-	// lint:ignore directives. Lowercase, no spaces.
+	// Name identifies the analyzer in diagnostics, -disable/-only flags,
+	// and lint:ignore directives. Lowercase, no spaces.
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
-	// Run inspects a package and reports findings via pass.Report.
+	// Run inspects a package and reports findings via pass.Report. A nil
+	// Run marks a pseudo-analyzer handled by the framework itself
+	// (Directive); drivers list it but never invoke it.
 	Run func(pass *Pass) error
+	// FactTypes lists the fact types this analyzer exports, one zero value
+	// per type. Required for facts to round-trip through the driver cache.
+	FactTypes []Fact
+}
+
+// Directive is the pseudo-analyzer under which the framework reports
+// malformed and unused lint:ignore directives. It has no Run of its own —
+// directive auditing happens inside RunPackage — but listing it in the
+// suite makes the name addressable by -only/-disable and -list.
+var Directive = &Analyzer{
+	Name: "lintdirective",
+	Doc:  "audits lint:ignore directives: reasonless or dead suppressions are findings",
 }
 
 // Pass carries one package's syntax and type information to an analyzer.
@@ -44,8 +64,12 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Imports lists the package's direct imports (import paths), for
+	// analyzers that aggregate package facts across the dependency edge.
+	Imports []string
 
 	report func(Diagnostic)
+	facts  *FactStore
 }
 
 // Reportf records a diagnostic at pos.
@@ -60,6 +84,34 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // TypeOf returns the type of expression e, or nil if unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
+}
+
+// ExportObjectFact attaches f to the package-level object obj. Objects
+// facts cannot attach to (locals, struct fields) are silently skipped.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.facts != nil {
+		p.facts.exportObject(obj, f)
+	}
+}
+
+// ImportObjectFact copies the fact of f's type attached to obj into f,
+// reporting whether one was found. obj may come from export data: facts are
+// keyed by the object's textual path, not its identity.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	return p.facts != nil && p.facts.importObject(obj, f)
+}
+
+// ExportPackageFact attaches f to the package being analyzed.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if p.facts != nil {
+		p.facts.facts[factKey{pkg: p.Path, typ: factTypeName(f)}] = f
+	}
+}
+
+// ImportPackageFact copies the package fact of f's type attached to path
+// into f, reporting whether one was found.
+func (p *Pass) ImportPackageFact(path string, f Fact) bool {
+	return p.facts != nil && p.facts.copyInto(factKey{pkg: path, typ: factTypeName(f)}, f)
 }
 
 // Diagnostic is one finding, locatable in the source tree.
@@ -84,6 +136,45 @@ type Target struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Imports lists the package's direct imports; drivers that feed
+	// packages in dependency order populate it so package facts can be
+	// aggregated edge by edge.
+	Imports []string
+}
+
+// Result is the outcome of running a suite over one or more packages.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Suppressions counts live lint:ignore directives per analyzer: a
+	// directive is live when it suppressed at least one diagnostic of that
+	// analyzer in this run. Dead directives are not counted here — they are
+	// lintdirective findings instead.
+	Suppressions map[string]int
+}
+
+// merge folds o into r.
+func (r *Result) merge(o *Result) {
+	r.Diagnostics = append(r.Diagnostics, o.Diagnostics...)
+	for name, n := range o.Suppressions {
+		r.Suppressions[name] += n
+	}
+}
+
+// sortDiagnostics orders diagnostics by position for stable output.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.
@@ -92,10 +183,29 @@ type ignoreDirective struct {
 	line      int
 	analyzers []string // names, or ["all"]
 	hasReason bool
-	used      bool
+	used      map[string]bool // analyzer names this directive suppressed
 }
 
 const ignorePrefix = "//lint:ignore"
+
+// HotpathDirective is the annotation hotalloc keys on: a function whose doc
+// comment (or the line above its declaration) carries it must stay free of
+// heap allocation. Parsed here so the directive grammar lives in one place.
+const HotpathDirective = "//lint:hotpath"
+
+// HasHotpath reports whether fd carries a lint:hotpath annotation in its
+// doc comment.
+func HasHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, HotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
 
 // parseIgnores extracts lint:ignore directives from a file's comments.
 func parseIgnores(fset *token.FileSet, f *ast.File) []*ignoreDirective {
@@ -108,7 +218,7 @@ func parseIgnores(fset *token.FileSet, f *ast.File) []*ignoreDirective {
 			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
 			fields := strings.Fields(rest)
 			pos := fset.Position(c.Pos())
-			d := &ignoreDirective{file: pos.Filename, line: pos.Line}
+			d := &ignoreDirective{file: pos.Filename, line: pos.Line, used: make(map[string]bool)}
 			if len(fields) > 0 {
 				for _, name := range strings.Split(fields[0], ",") {
 					if name != "" {
@@ -123,13 +233,22 @@ func parseIgnores(fset *token.FileSet, f *ast.File) []*ignoreDirective {
 	return out
 }
 
-func (d *ignoreDirective) matches(diag Diagnostic) bool {
+// matches reports whether the directive covers diag. stmtStart is the first
+// line of the innermost multi-line statement containing the diagnostic (0
+// when none): a directive on that line, or the line above it, covers
+// diagnostics anywhere inside the statement — the flagged expression of a
+// wrapped call or composite is often lines below where a suppression can
+// syntactically go.
+func (d *ignoreDirective) matches(diag Diagnostic, stmtStart int) bool {
 	if diag.Pos.Filename != d.file {
 		return false
 	}
-	// A directive covers its own line (inline comment) and the line
-	// immediately below (stand-alone comment above the flagged statement).
-	if diag.Pos.Line != d.line && diag.Pos.Line != d.line+1 {
+	// A directive covers its own line (inline comment), the line
+	// immediately below (stand-alone comment above the flagged statement),
+	// and the extent of the statement whose first line it sits on or above.
+	covered := diag.Pos.Line == d.line || diag.Pos.Line == d.line+1 ||
+		(stmtStart > 0 && (stmtStart == d.line || stmtStart == d.line+1))
+	if !covered {
 		return false
 	}
 	for _, name := range d.analyzers {
@@ -140,41 +259,93 @@ func (d *ignoreDirective) matches(diag Diagnostic) bool {
 	return false
 }
 
-// Run applies analyzers to targets and returns the surviving diagnostics
-// sorted by position. lint:ignore directives are honored; malformed or
-// unused directives produce their own diagnostics so dead suppressions get
-// cleaned up rather than rotting.
-func Run(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+// stmtStarts indexes the statements of a file by line extent so suppression
+// matching can find the statement enclosing a diagnostic.
+type stmtStarts struct {
+	fset  *token.FileSet
+	files map[string]*ast.File
+}
+
+func newStmtStarts(fset *token.FileSet, files []*ast.File) *stmtStarts {
+	idx := &stmtStarts{fset: fset, files: make(map[string]*ast.File, len(files))}
+	for _, f := range files {
+		idx.files[fset.Position(f.Pos()).Filename] = f
+	}
+	return idx
+}
+
+// enclosingStart returns the first line of the innermost statement (blocks
+// excluded — a block would cover a whole function body) that spans the
+// diagnostic's line in its file, or 0 when there is none or the statement
+// is single-line.
+func (idx *stmtStarts) enclosingStart(d Diagnostic) int {
+	f, ok := idx.files[d.Pos.Filename]
+	if !ok {
+		return 0
+	}
+	best, bestEnd := 0, 1<<31
+	ast.Inspect(f, func(n ast.Node) bool {
+		s, isStmt := n.(ast.Stmt)
+		if !isStmt {
+			return true
+		}
+		if _, isBlock := s.(*ast.BlockStmt); isBlock {
+			return true
+		}
+		start := idx.fset.Position(s.Pos()).Line
+		end := idx.fset.Position(s.End()).Line
+		if start == end || d.Pos.Line < start || d.Pos.Line > end {
+			return true
+		}
+		// Innermost wins: latest start, then tightest end.
+		if start > best || (start == best && end < bestEnd) {
+			best, bestEnd = start, end
+		}
+		return true
+	})
+	return best
+}
+
+// RunPackage applies analyzers to one package, sharing facts through store
+// (which must have been built with NewFactStore over a suite including
+// these analyzers). Suppression directives are resolved within the package;
+// the returned diagnostics are sorted by position.
+func RunPackage(tgt *Target, analyzers []*Analyzer, store *FactStore) (*Result, error) {
 	var diags []Diagnostic
 	var directives []*ignoreDirective
-	for _, tgt := range targets {
-		for _, f := range tgt.Files {
-			directives = append(directives, parseIgnores(tgt.Fset, f)...)
+	for _, f := range tgt.Files {
+		directives = append(directives, parseIgnores(tgt.Fset, f)...)
+	}
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
 		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Path:     tgt.Path,
-				Fset:     tgt.Fset,
-				Files:    tgt.Files,
-				Pkg:      tgt.Pkg,
-				Info:     tgt.Info,
-				report: func(d Diagnostic) {
-					diags = append(diags, d)
-				},
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, tgt.Path, err)
-			}
+		pass := &Pass{
+			Analyzer: a,
+			Path:     tgt.Path,
+			Fset:     tgt.Fset,
+			Files:    tgt.Files,
+			Pkg:      tgt.Pkg,
+			Info:     tgt.Info,
+			Imports:  tgt.Imports,
+			facts:    store,
+			report: func(d Diagnostic) {
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, tgt.Path, err)
 		}
 	}
 
+	idx := newStmtStarts(tgt.Fset, tgt.Files)
 	kept := diags[:0]
 	for _, d := range diags {
+		stmtStart := idx.enclosingStart(d)
 		suppressed := false
 		for _, dir := range directives {
-			if dir.hasReason && len(dir.analyzers) > 0 && dir.matches(d) {
-				dir.used = true
+			if dir.hasReason && len(dir.analyzers) > 0 && dir.matches(d, stmtStart) {
+				dir.used[d.Analyzer] = true
 				suppressed = true
 			}
 		}
@@ -182,6 +353,7 @@ func Run(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 			kept = append(kept, d)
 		}
 	}
+	result := &Result{Suppressions: make(map[string]int)}
 	active := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		active[a.Name] = true
@@ -189,13 +361,16 @@ func Run(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 	for _, dir := range directives {
 		if len(dir.analyzers) == 0 || !dir.hasReason {
 			kept = append(kept, Diagnostic{
-				Analyzer: "lintdirective",
+				Analyzer: Directive.Name,
 				Pos:      token.Position{Filename: dir.file, Line: dir.line, Column: 1},
 				Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
 			})
 			continue
 		}
-		if dir.used {
+		if len(dir.used) > 0 {
+			for name := range dir.used {
+				result.Suppressions[name]++
+			}
 			continue
 		}
 		// Only call a directive dead when every analyzer it names actually
@@ -210,7 +385,7 @@ func Run(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		if ran {
 			kept = append(kept, Diagnostic{
-				Analyzer: "lintdirective",
+				Analyzer: Directive.Name,
 				Pos:      token.Position{Filename: dir.file, Line: dir.line, Column: 1},
 				Message:  fmt.Sprintf("unused lint:ignore directive (%s): nothing here is flagged; delete it", strings.Join(dir.analyzers, ",")),
 			})
@@ -221,20 +396,29 @@ func Run(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 		kept[i].Line = kept[i].Pos.Line
 		kept[i].Column = kept[i].Pos.Column
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+	sortDiagnostics(kept)
+	result.Diagnostics = kept
+	return result, nil
+}
+
+// Run applies analyzers to targets — which must be in dependency order for
+// cross-package facts to resolve — and returns the surviving diagnostics
+// sorted by position plus per-analyzer live-suppression counts.
+// lint:ignore directives are honored; malformed or unused directives
+// produce their own diagnostics so dead suppressions get cleaned up rather
+// than rotting.
+func Run(targets []*Target, analyzers []*Analyzer) (*Result, error) {
+	store := NewFactStore(analyzers)
+	total := &Result{Suppressions: make(map[string]int)}
+	for _, tgt := range targets {
+		r, err := RunPackage(tgt, analyzers, store)
+		if err != nil {
+			return nil, err
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
-	return kept, nil
+		total.merge(r)
+	}
+	sortDiagnostics(total.Diagnostics)
+	return total, nil
 }
 
 // PackageTail returns the path segment(s) after the last "internal/"

@@ -1,0 +1,208 @@
+package analysis
+
+// Facts are how one package's analysis informs another's. An analyzer
+// attaches a Fact to a package-level object (a function, method, or
+// package-scope var) or to the package itself; when a dependent package is
+// analyzed later — the driver feeds packages in dependency order — the
+// analyzer imports those facts and reasons interprocedurally without
+// re-walking the dependency's source. This is a stdlib-only rendition of
+// golang.org/x/tools/go/analysis facts: keys are stable textual object
+// paths rather than types.Object identity, because a dependent package sees
+// its imports through export data, where object identities differ but
+// names do not.
+//
+// Facts serialize to JSON per package (see FactStore.EncodePackage), which
+// is what cmd/liquidlint's cache persists, keyed on content hashes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a datum attached to an object or package. Implementations must be
+// pointer-to-struct, JSON-serializable, and registered through the owning
+// Analyzer's FactTypes so the cache can round-trip them by name.
+type Fact interface {
+	// AFact is a marker method: it does nothing, it only makes the fact
+	// types of the suite enumerable and keeps arbitrary values out of the
+	// store.
+	AFact()
+}
+
+// factKey identifies one stored fact: the defining package, the object's
+// path within it ("" for package-level facts), and the registered fact type
+// name.
+type factKey struct {
+	pkg string
+	obj string
+	typ string
+}
+
+// FactStore accumulates facts across one analysis run. A single store is
+// shared by every analyzer and every package in the run; analyzer-distinct
+// fact types keep entries from colliding.
+type FactStore struct {
+	facts map[factKey]Fact
+	types map[string]reflect.Type
+}
+
+// NewFactStore returns an empty store with the fact types of analyzers
+// registered.
+func NewFactStore(analyzers []*Analyzer) *FactStore {
+	s := &FactStore{
+		facts: make(map[factKey]Fact),
+		types: make(map[string]reflect.Type),
+	}
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			s.types[factTypeName(f)] = reflect.TypeOf(f).Elem()
+		}
+	}
+	return s
+}
+
+// factTypeName derives the registry name of a fact's dynamic type,
+// e.g. "lockorder.Acquires".
+func factTypeName(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return fmt.Sprintf("%s.%s", pathTail(t.PkgPath()), t.Name())
+}
+
+func pathTail(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// ObjectKey returns the stable textual path of a package-level object:
+// "Name" for functions and vars, "Recv.Name" for methods (pointer receivers
+// and value receivers share a key — lock identity and call taint do not
+// care). It returns "" for objects facts cannot attach to (locals, fields,
+// imported package names).
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, ok := o.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed {
+				return named.Obj().Name() + "." + o.Name()
+			}
+			return ""
+		}
+		return o.Name()
+	case *types.Var:
+		if o.IsField() || o.Pkg().Scope().Lookup(o.Name()) != o {
+			return ""
+		}
+		return o.Name()
+	}
+	return ""
+}
+
+// exportObject records fact f for obj. Unsupported objects are ignored.
+func (s *FactStore) exportObject(obj types.Object, f Fact) {
+	key := ObjectKey(obj)
+	if key == "" {
+		return
+	}
+	s.facts[factKey{pkg: obj.Pkg().Path(), obj: key, typ: factTypeName(f)}] = f
+}
+
+// importObject copies the stored fact for obj into f, reporting whether one
+// existed.
+func (s *FactStore) importObject(obj types.Object, f Fact) bool {
+	key := ObjectKey(obj)
+	if key == "" || obj.Pkg() == nil {
+		return false
+	}
+	return s.copyInto(factKey{pkg: obj.Pkg().Path(), obj: key, typ: factTypeName(f)}, f)
+}
+
+func (s *FactStore) copyInto(k factKey, f Fact) bool {
+	stored, ok := s.facts[k]
+	if !ok {
+		return false
+	}
+	dst := reflect.ValueOf(f)
+	src := reflect.ValueOf(stored)
+	if dst.Kind() != reflect.Pointer || src.Kind() != reflect.Pointer || dst.Type() != src.Type() {
+		return false
+	}
+	dst.Elem().Set(src.Elem())
+	return true
+}
+
+// encodedFact is the serialized form of one fact.
+type encodedFact struct {
+	Object string          `json:"object,omitempty"`
+	Type   string          `json:"type"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// EncodePackage serializes every fact attached to path (object and package
+// facts alike), sorted for byte-stable output.
+func (s *FactStore) EncodePackage(path string) ([]byte, error) {
+	var out []encodedFact
+	for k, f := range s.facts {
+		if k.pkg != path {
+			continue
+		}
+		data, err := json.Marshal(f)
+		if err != nil {
+			return nil, fmt.Errorf("encoding fact %s on %s.%s: %w", k.typ, k.pkg, k.obj, err)
+		}
+		out = append(out, encodedFact{Object: k.obj, Type: k.typ, Data: data})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return out[i].Type < out[j].Type
+	})
+	return json.Marshal(out)
+}
+
+// DecodePackage loads facts previously produced by EncodePackage back into
+// the store under path. Unknown fact types are an error: they mean the
+// cache was written by a different analyzer suite and must not be trusted.
+func (s *FactStore) DecodePackage(path string, data []byte) error {
+	if len(data) == 0 {
+		return nil // a package with no facts is a valid fast path
+	}
+	var in []encodedFact
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("decoding facts for %s: %w", path, err)
+	}
+	for _, ef := range in {
+		rt, ok := s.types[ef.Type]
+		if !ok {
+			return fmt.Errorf("decoding facts for %s: unregistered fact type %q", path, ef.Type)
+		}
+		fv := reflect.New(rt)
+		if err := json.Unmarshal(ef.Data, fv.Interface()); err != nil {
+			return fmt.Errorf("decoding fact %s for %s: %w", ef.Type, path, err)
+		}
+		f, ok := fv.Interface().(Fact)
+		if !ok {
+			return fmt.Errorf("decoding facts for %s: %q does not implement Fact", path, ef.Type)
+		}
+		s.facts[factKey{pkg: path, obj: ef.Object, typ: ef.Type}] = f
+	}
+	return nil
+}

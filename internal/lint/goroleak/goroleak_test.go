@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"liquid/internal/lint/goroleak"
+	"liquid/internal/lint/lintest"
+)
+
+func TestGoroLeak(t *testing.T) {
+	lintest.Run(t, "testdata", goroleak.Analyzer)
+}

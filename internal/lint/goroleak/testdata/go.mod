@@ -1,0 +1,3 @@
+module liquid
+
+go 1.24

@@ -1,0 +1,66 @@
+// Package goro exercises every joining idiom goroleak accepts and seeds the
+// leaks it must flag, including a cross-package leak only a missing
+// Completes fact can reveal.
+package goro
+
+import (
+	"context"
+	"sync"
+
+	"liquid/internal/worker"
+)
+
+func collected() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+
+	ch := make(chan int, 3)
+	go func() { ch <- 1 }()
+	go worker.Pump(ch)
+	go worker.Relay(ch)
+	<-ch
+	<-ch
+	<-ch
+}
+
+func ctxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func drains(in <-chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+func namedLocal() {
+	done := make(chan struct{})
+	go announce(done)
+	<-done
+}
+
+// announce closes its channel: a local named worker with a signal.
+func announce(done chan struct{}) {
+	close(done)
+}
+
+func leaks() {
+	go func() { // want `not joined`
+		n := 0
+		for {
+			n++
+		}
+	}()
+	go worker.Spin() // want `not joined`
+}
+
+func leaksFuncValue(f func()) {
+	go f() // want `not joined`
+}

@@ -1,0 +1,22 @@
+// Package worker is the dependency side of the goroleak fixture: dependents
+// spawn these functions as goroutines and the analyzer must judge them by
+// their Completes facts alone.
+package worker
+
+// Pump sends its result on out, so it earns a Completes fact.
+func Pump(out chan<- int) {
+	out <- 1
+}
+
+// Relay completes indirectly: its only signal is through Pump.
+func Relay(out chan<- int) {
+	Pump(out)
+}
+
+// Spin never signals anyone; spawning it is a leak wherever it happens.
+func Spin() {
+	n := 0
+	for {
+		n++
+	}
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"liquid/internal/lint/hotalloc"
+	"liquid/internal/lint/lintest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	lintest.Run(t, "testdata", hotalloc.Analyzer)
+}

@@ -1,0 +1,19 @@
+// Package alloc is the dependency side of the hotalloc fixture: one callee
+// that allocates and one that is clean, judged from the hot package purely
+// through Allocates facts.
+package alloc
+
+// Grow allocates: the append earns it an Allocates fact.
+func Grow(xs []int) []int {
+	return append(xs, 1)
+}
+
+// Chain allocates only transitively, through Grow.
+func Chain(xs []int) []int {
+	return Grow(xs)
+}
+
+// Fma is allocation-free and exports no fact.
+func Fma(a, b, c float64) float64 {
+	return a*b + c
+}

@@ -1,0 +1,67 @@
+// Package hot exercises every construct hotalloc flags inside annotated
+// functions, plus the cross-package callee checks in both directions.
+package hot
+
+import "liquid/internal/alloc"
+
+// kernel is hot and clean: pure arithmetic over preallocated buffers, and
+// its only callee is allocation-free by fact.
+//
+//lint:hotpath
+func kernel(dst, src []float64) {
+	for i := range dst {
+		dst[i] = alloc.Fma(dst[i], 2, src[i])
+	}
+}
+
+//lint:hotpath
+func bad(dst []float64, n int) []float64 {
+	buf := make([]float64, n) // want `make allocates`
+	tmp := []float64{1, 2}    // want `slice literal allocates`
+	dst = append(dst, tmp...) // want `append may grow`
+	copy(dst, buf)
+	return dst
+}
+
+//lint:hotpath
+func escapes(n int) *int {
+	type box struct{ v int }
+	b := &box{v: n} // want `escaping composite`
+	return &b.v
+}
+
+//lint:hotpath
+func closure(n int) func() int {
+	f := func() int { return n } // want `closure captures`
+	return f
+}
+
+//lint:hotpath
+func boxed(v float64) any {
+	return v // want `boxes a concrete value`
+}
+
+//lint:hotpath
+func callsAllocator(xs []int) []int {
+	return alloc.Grow(xs) // want `calls alloc.Grow, which allocates`
+}
+
+//lint:hotpath
+func callsChain(xs []int) []int {
+	return alloc.Chain(xs) // want `calls alloc.Chain, which allocates`
+}
+
+//lint:hotpath
+func callsLocalAllocator(n int) []int {
+	return helper(n) // want `calls hot.helper, which allocates`
+}
+
+// helper allocates; it is flagged only at hot call sites, never here.
+func helper(n int) []int {
+	return make([]int, n)
+}
+
+// unannotated may allocate freely.
+func unannotated() []int {
+	return append([]int{}, 1)
+}

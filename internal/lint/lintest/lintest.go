@@ -76,6 +76,7 @@ func Check(dir string, a *analysis.Analyzer) (problems []string, err error) {
 		}
 		targets = append(targets, &analysis.Target{
 			Path: p.ImportPath, Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info,
+			Imports: p.Imports,
 		})
 		for _, f := range p.Files {
 			ws, err := parseWants(p.Fset, f)
@@ -85,11 +86,11 @@ func Check(dir string, a *analysis.Analyzer) (problems []string, err error) {
 			wants = append(wants, ws...)
 		}
 	}
-	diags, err := analysis.Run(targets, []*analysis.Analyzer{a})
+	res, err := analysis.Run(targets, []*analysis.Analyzer{a})
 	if err != nil {
 		return nil, fmt.Errorf("running %s on fixture %s: %w", a.Name, dir, err)
 	}
-	for _, d := range diags {
+	for _, d := range res.Diagnostics {
 		if !consume(wants, d) {
 			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
 		}

@@ -1,0 +1,122 @@
+package load
+
+// The analysis cache: one JSON file per package holding the diagnostics,
+// live-suppression counts, and exported facts of its last analysis,
+// guarded by a key derived from the package's content hash and the keys of
+// its dependencies. Every failure mode — missing file, unreadable JSON,
+// key mismatch after a source edit, an entry written by a different
+// analyzer suite — degrades to a cache miss and a clean re-analysis, never
+// an error: a cache must not be able to make lint wrong, only slow.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"liquid/internal/lint/analysis"
+)
+
+// Entry is one package's cached analysis.
+type Entry struct {
+	// Key guards the entry: it must equal the driver-computed key for the
+	// package (content hash + dependency keys + suite salt) to be usable.
+	Key          string                `json:"key"`
+	Diagnostics  []analysis.Diagnostic `json:"diagnostics"`
+	Suppressions map[string]int        `json:"suppressions,omitempty"`
+	// Facts holds the package's exported facts as produced by
+	// analysis.FactStore.EncodePackage.
+	Facts json.RawMessage `json:"facts,omitempty"`
+}
+
+// Cache stores entries under a directory, one file per package.
+type Cache struct {
+	dir string
+}
+
+// NewCache returns a cache rooted at dir, creating it if needed. An empty
+// dir disables caching: every Get misses and every Put is dropped.
+func NewCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return &Cache{}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("load: creating cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// entryPath flattens an import path into a file name.
+func (c *Cache) entryPath(importPath string) string {
+	return filepath.Join(c.dir, strings.ReplaceAll(importPath, "/", "_")+".json")
+}
+
+// Get returns the cached entry for importPath if it exists, parses, and
+// carries the expected key. Anything else — corrupt JSON, a stale key after
+// a source edit, a missing file — is reported as a miss so the caller falls
+// back to re-analysis.
+func (c *Cache) Get(importPath, key string) (*Entry, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.entryPath(importPath))
+	if err != nil {
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Key != key {
+		return nil, false
+	}
+	// Rebuild the display positions dropped by the Diagnostic JSON schema.
+	for i := range e.Diagnostics {
+		d := &e.Diagnostics[i]
+		d.Pos = token.Position{Filename: d.File, Line: d.Line, Column: d.Column}
+	}
+	return &e, true
+}
+
+// Put stores the entry for importPath. Write failures are returned but are
+// safe to ignore: the cache is an accelerator, not a source of truth.
+func (c *Cache) Put(importPath string, e *Entry) error {
+	if c.dir == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(e, "", "\t")
+	if err != nil {
+		return err
+	}
+	tmp := c.entryPath(importPath) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.entryPath(importPath))
+}
+
+// Keys computes the cache key of every package in pkgs (which must be in
+// dependency order, as List returns them): a hash over the suite salt, the
+// package's content sum, and the keys of its module-local dependencies, so
+// an edit anywhere in a package's dependency cone invalidates it.
+func Keys(pkgs []*Package, salt string) map[string]string {
+	keys := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		h := sha256.New()
+		fmt.Fprintf(h, "salt %s\npkg %s\nsum %s\n", salt, p.ImportPath, p.Sum)
+		deps := append([]string(nil), p.Imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			// A dependency outside pkgs (pattern-restricted run) hashes as
+			// absent; its facts are absent too, consistently.
+			fmt.Fprintf(h, "dep %s %s\n", dep, keys[dep])
+		}
+		keys[p.ImportPath] = hex.EncodeToString(h.Sum(nil))
+	}
+	return keys
+}

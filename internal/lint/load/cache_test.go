@@ -1,0 +1,152 @@
+package load_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"liquid/internal/lint/analysis"
+	"liquid/internal/lint/load"
+)
+
+func testEntry(key string) *load.Entry {
+	return &load.Entry{
+		Key: key,
+		Diagnostics: []analysis.Diagnostic{{
+			Analyzer: "fake", File: "x.go", Line: 3, Column: 1, Message: "finding",
+		}},
+		Suppressions: map[string]int{"fake": 1},
+		Facts:        json.RawMessage(`[{"object":"F","type":"fake.Mark","data":{}}]`),
+	}
+}
+
+// TestCacheRoundTrip: a stored entry comes back intact, with display
+// positions rebuilt so cached diagnostics print like fresh ones.
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := load.NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("liquid/internal/graph", testEntry("k1")); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Get("liquid/internal/graph", "k1")
+	if !ok {
+		t.Fatal("fresh entry missed")
+	}
+	if len(e.Diagnostics) != 1 || e.Diagnostics[0].Pos.Filename != "x.go" || e.Diagnostics[0].Pos.Line != 3 {
+		t.Fatalf("diagnostic positions not rebuilt: %+v", e.Diagnostics)
+	}
+	if e.Suppressions["fake"] != 1 {
+		t.Fatalf("suppressions lost: %v", e.Suppressions)
+	}
+}
+
+// TestCacheStaleKeyMisses: after a source edit the driver-computed key
+// changes, and the old entry must read as a miss — not an error, and
+// certainly not a hit.
+func TestCacheStaleKeyMisses(t *testing.T) {
+	c, err := load.NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("liquid/internal/graph", testEntry("before-edit")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("liquid/internal/graph", "after-edit"); ok {
+		t.Fatal("stale entry served as a hit")
+	}
+}
+
+// TestCacheCorruptEntryMisses: a truncated or garbage entry file degrades
+// to a miss (clean re-analysis), never an error.
+func TestCacheCorruptEntryMisses(t *testing.T) {
+	dir := t.TempDir()
+	c, err := load.NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("liquid/internal/graph", testEntry("k1")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the entry in place.
+	path := filepath.Join(dir, "liquid_internal_graph.json")
+	if err := os.WriteFile(path, []byte(`{"key":"k1","diagnostics":[{broken`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("liquid/internal/graph", "k1"); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+}
+
+// TestCacheMissingEntryMisses: a package never analyzed before (no facts,
+// no entry) is a plain miss.
+func TestCacheMissingEntryMisses(t *testing.T) {
+	c, err := load.NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("liquid/internal/never", "k"); ok {
+		t.Fatal("missing entry served as a hit")
+	}
+}
+
+// TestCacheDisabled: the zero-dir cache misses and swallows puts, so the
+// driver code needs no branches.
+func TestCacheDisabled(t *testing.T) {
+	c, err := load.NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("p", testEntry("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("p", "k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+}
+
+// TestCacheEmptyFactsRoundTrip: packages with no facts at all (Facts nil)
+// round-trip without error — decoding nothing is a valid fast path.
+func TestCacheEmptyFactsRoundTrip(t *testing.T) {
+	c, err := load.NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &load.Entry{Key: "k"}
+	if err := c.Put("liquid/internal/bare", e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("liquid/internal/bare", "k")
+	if !ok {
+		t.Fatal("bare entry missed")
+	}
+	if len(got.Facts) != 0 || len(got.Diagnostics) != 0 {
+		t.Fatalf("bare entry not bare: %+v", got)
+	}
+}
+
+// TestKeysPropagateThroughDeps: editing a dependency changes the dependent
+// package's key even when the dependent's own bytes are unchanged — the
+// facts it imported may differ.
+func TestKeysPropagateThroughDeps(t *testing.T) {
+	a1 := &load.Package{ImportPath: "m/a", Sum: "s-a"}
+	b := &load.Package{ImportPath: "m/b", Sum: "s-b", Imports: []string{"m/a"}}
+	before := load.Keys([]*load.Package{a1, b}, "salt")
+
+	a2 := &load.Package{ImportPath: "m/a", Sum: "s-a-edited"}
+	after := load.Keys([]*load.Package{a2, b}, "salt")
+
+	if before["m/a"] == after["m/a"] {
+		t.Fatal("dependency edit did not change its own key")
+	}
+	if before["m/b"] == after["m/b"] {
+		t.Fatal("dependency edit did not propagate to the dependent's key")
+	}
+	// Different suite salt invalidates everything.
+	salted := load.Keys([]*load.Package{a1, b}, "other-salt")
+	if salted["m/a"] == before["m/a"] {
+		t.Fatal("salt change did not rotate keys")
+	}
+}

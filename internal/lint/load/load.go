@@ -4,10 +4,19 @@
 // go/parser, and type checking uses the gc importer fed with the export data
 // the go command already produced. This is a deliberately small stand-in for
 // golang.org/x/tools/go/packages, which the module does not depend on.
+//
+// Packages come back in dependency order (imports before importers), which
+// is what lets the analysis framework's facts flow across package
+// boundaries: by the time a dependent package is analyzed, every fact its
+// dependencies exported is already in the store. Each package also carries
+// a content hash (Sum) so drivers can key incremental caches on exactly
+// the bytes that were analyzed.
 package load
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,18 +32,44 @@ import (
 	"sort"
 )
 
-// Package is one type-checked root package.
+// Package is one listed package. Syntax and type information are populated
+// lazily by Load, so a driver with a warm cache can skip parsing and
+// type-checking entirely for unchanged packages.
 type Package struct {
 	ImportPath string
 	Dir        string
-	Fset       *token.FileSet
-	Files      []*ast.File
-	Types      *types.Package
-	Info       *types.Info
+	// DepOnly marks packages pulled in only as dependencies of the
+	// requested patterns. They can be analyzed for facts but are not
+	// lint-reporting roots.
+	DepOnly bool
+	// Imports holds the package's direct imports, restricted to packages
+	// that are part of the same List result (module-local edges); stdlib
+	// imports are dropped — no facts ever come from there.
+	Imports []string
+	// GoFiles are the absolute paths of the non-test Go sources.
+	GoFiles []string
+	// Sum is a hex SHA-256 over the package's file names and contents: the
+	// cache key ingredient that changes exactly when the analyzed bytes do.
+	Sum string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
 	// TypeErrors holds non-fatal type-checker complaints (missing export
 	// data for an import, for example). Analyzers still run; the driver
 	// surfaces these so a broken load is never mistaken for a clean lint.
 	TypeErrors []error
+
+	loaded bool
+	ld     *loader
+}
+
+// loader shares one FileSet and one export-data importer across the
+// packages of a List result.
+type loader struct {
+	fset *token.FileSet
+	imp  types.Importer
 }
 
 // listedPackage is the subset of `go list -json` output the loader consumes.
@@ -42,15 +77,21 @@ type listedPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
+	Standard   bool
 	DepOnly    bool
 	Incomplete bool
 	Error      *struct{ Err string }
 }
 
-// Packages loads and type-checks the packages matching patterns, resolved
-// relative to dir (any directory inside the target module).
-func Packages(dir string, patterns ...string) ([]*Package, error) {
+// List discovers the packages matching patterns (resolved relative to dir)
+// without parsing or type-checking them; call Load on each package that
+// actually needs analysis. The result contains the matched roots plus every
+// module-local (non-stdlib) dependency, in dependency order. An error in a
+// root package is a hard error — lint must never report "clean" on a tree
+// it could not see.
+func List(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -60,36 +101,158 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	exports := make(map[string]string, len(listed))
-	var roots []*listedPackage
+	byPath := make(map[string]*listedPackage, len(listed))
+	var keep []*listedPackage
 	for _, lp := range listed {
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
 		}
-		if !lp.DepOnly {
-			if lp.Error != nil {
-				return nil, fmt.Errorf("load: package %s: %s", lp.ImportPath, lp.Error.Err)
-			}
-			roots = append(roots, lp)
+		byPath[lp.ImportPath] = lp
+		if lp.Standard {
+			continue
 		}
+		if !lp.DepOnly && lp.Error != nil {
+			return nil, fmt.Errorf("load: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		keep = append(keep, lp)
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
 
 	fset := token.NewFileSet()
-	imp := newExportImporter(fset, exports)
-	var out []*Package
-	for _, lp := range roots {
-		pkg, err := typeCheck(fset, imp, lp)
+	ld := &loader{fset: fset, imp: newExportImporter(fset, exports)}
+	pkgs := make(map[string]*Package, len(keep))
+	for _, lp := range keep {
+		p := &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			DepOnly:    lp.DepOnly,
+			ld:         ld,
+		}
+		for _, name := range lp.GoFiles {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(lp.Dir, name)
+			}
+			p.GoFiles = append(p.GoFiles, path)
+		}
+		for _, imp := range lp.Imports {
+			if dep, ok := byPath[imp]; ok && !dep.Standard {
+				p.Imports = append(p.Imports, imp)
+			}
+		}
+		sort.Strings(p.Imports)
+		if p.Sum, err = contentSum(p.GoFiles); err != nil {
+			return nil, fmt.Errorf("load: hashing %s: %w", lp.ImportPath, err)
+		}
+		pkgs[lp.ImportPath] = p
+	}
+	return topoSort(pkgs), nil
+}
+
+// topoSort orders packages dependencies-first, ties broken by import path
+// so the order is deterministic.
+func topoSort(pkgs map[string]*Package) []*Package {
+	paths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(pkgs))
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := pkgs[path]
+		if !ok || state[path] != 0 {
+			// Import cycles cannot occur in compiled Go; a revisit means
+			// the package is already placed (or being placed) and can be
+			// skipped.
+			return
+		}
+		state[path] = 1
+		for _, imp := range p.Imports {
+			visit(imp)
+		}
+		state[path] = 2
+		out = append(out, p)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
+}
+
+// contentSum hashes file names and contents.
+func contentSum(files []string) (string, error) {
+	h := sha256.New()
+	for _, f := range files {
+		data, err := os.ReadFile(f)
 		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s %d\n", filepath.Base(f), len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Load parses and type-checks the package if it has not been already.
+func (p *Package) Load() error {
+	if p.loaded {
+		return nil
+	}
+	p.loaded = true
+	for _, path := range p.GoFiles {
+		f, err := parser.ParseFile(p.ld.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("load: parse %s: %w", path, err)
+		}
+		p.Files = append(p.Files, f)
+	}
+	p.Fset = p.ld.fset
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: p.ld.imp,
+		Error: func(err error) {
+			p.TypeErrors = append(p.TypeErrors, err)
+		},
+	}
+	// Type-check errors are collected, not fatal: analyzers degrade
+	// gracefully on partial information.
+	tpkg, _ := conf.Check(p.ImportPath, p.ld.fset, p.Files, p.Info)
+	p.Types = tpkg
+	return nil
+}
+
+// Packages loads and type-checks the root packages matching patterns,
+// resolved relative to dir (any directory inside the target module), in
+// dependency order. It is List plus an eager Load of every root.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly {
+			continue
+		}
+		if err := p.Load(); err != nil {
 			return nil, err
 		}
-		out = append(out, pkg)
+		out = append(out, p)
 	}
 	return out, nil
 }
 
 // goList runs `go list -e -deps -export -json` and decodes the stream.
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Incomplete,Error"}, patterns...)
+	args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Imports,Export,Standard,DepOnly,Incomplete,Error"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -111,41 +274,6 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 		out = append(out, lp)
 	}
 	return out, nil
-}
-
-// typeCheck parses and type-checks one listed package from source.
-func typeCheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
-	pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir, Fset: fset}
-	for _, name := range lp.GoFiles {
-		path := name
-		if !filepath.IsAbs(path) {
-			path = filepath.Join(lp.Dir, name)
-		}
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, fmt.Errorf("load: parse %s: %w", path, err)
-		}
-		pkg.Files = append(pkg.Files, f)
-	}
-	pkg.Info = &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		Implicits:  make(map[ast.Node]types.Object),
-		Scopes:     make(map[ast.Node]*types.Scope),
-	}
-	conf := types.Config{
-		Importer: imp,
-		Error: func(err error) {
-			pkg.TypeErrors = append(pkg.TypeErrors, err)
-		},
-	}
-	// Type-check errors are collected, not fatal: analyzers degrade
-	// gracefully on partial information.
-	tpkg, _ := conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
-	pkg.Types = tpkg
-	return pkg, nil
 }
 
 // exportImporter resolves imports from the export-data files `go list

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"liquid/internal/lint/lintest"
+	"liquid/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	lintest.Run(t, "testdata", lockorder.Analyzer)
+}

@@ -1,0 +1,39 @@
+// Package locka is the dependency side of the lockorder fixture: it owns a
+// package-level mutex and exports a function that acquires it, so dependent
+// packages exercise the Acquires fact rather than seeing the lock directly.
+package locka
+
+import "sync"
+
+// Mu is the package lock dependents acquire through AcquireMu.
+var Mu sync.Mutex
+
+// Pair holds two mutexes always taken in the same order.
+type Pair struct {
+	mu    sync.Mutex
+	other sync.Mutex
+}
+
+// AcquireMu briefly holds Mu; its Acquires fact is what the cross-package
+// half of the cycle in lockb is built from.
+func AcquireMu() {
+	Mu.Lock()
+	defer Mu.Unlock()
+}
+
+// Straight nests the pair in a consistent order: an edge, but no cycle.
+func (p *Pair) Straight() {
+	p.mu.Lock()
+	p.other.Lock()
+	p.other.Unlock()
+	p.mu.Unlock()
+}
+
+// StraightAgain repeats the same order; the duplicate edge must not turn
+// into a finding.
+func (p *Pair) StraightAgain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.other.Lock()
+	defer p.other.Unlock()
+}

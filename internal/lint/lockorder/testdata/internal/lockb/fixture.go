@@ -1,0 +1,59 @@
+// Package lockb seeds the two deadlock shapes lockorder must catch: an
+// intra-package pair of functions that nest the same two mutexes in
+// opposite orders, and a cross-package cycle whose second half is only
+// visible through locka's Acquires fact.
+package lockb
+
+import (
+	"sync"
+
+	"liquid/internal/locka"
+)
+
+// Store pairs a local mutex against locka.Mu across package boundaries.
+type Store struct {
+	mu sync.Mutex
+}
+
+var state sync.Mutex
+var journal sync.Mutex
+
+// LockStateThenJournal and LockJournalThenState disagree on nesting order:
+// the classic seeded deadlock. The cycle is reported once, at the edge that
+// is created first in source order.
+func LockStateThenJournal() {
+	state.Lock()
+	journal.Lock() // want `lock order cycle`
+	journal.Unlock()
+	state.Unlock()
+}
+
+func LockJournalThenState() {
+	journal.Lock()
+	state.Lock()
+	state.Unlock()
+	journal.Unlock()
+}
+
+// TakeThenDep holds the store lock across a call into locka; AcquireMu's
+// Acquires fact turns that call into the edge Store.mu -> locka.Mu.
+func (s *Store) TakeThenDep() {
+	s.mu.Lock()
+	locka.AcquireMu() // want `lock order cycle`
+	s.mu.Unlock()
+}
+
+// DepThenTake closes the cross-package cycle in the other direction.
+func (s *Store) DepThenTake() {
+	locka.Mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	locka.Mu.Unlock()
+}
+
+// Sequential acquires both locks without overlap: no edge, no finding.
+func (s *Store) Sequential() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	locka.AcquireMu()
+}

@@ -1,0 +1,23 @@
+// Package mixer is the laundering half of the seedflow fixture: nothing in
+// it mentions a seed, so the syntactic rule is blind here, and only the
+// RawRand facts exported from this package let callers be judged.
+package mixer
+
+// Scramble looks innocent, but its parameter feeds raw arithmetic: RawRand
+// on parameter 0.
+func Scramble(x uint64) uint64 {
+	return x*2862933555777941757 + 3037000493
+}
+
+// Forward only hands its parameter on to Scramble: raw transitively.
+func Forward(x uint64) uint64 {
+	return Scramble(x)
+}
+
+// Label never does arithmetic on its parameter; passing a seed here is fine.
+func Label(x uint64) string {
+	if x == 0 {
+		return "zero"
+	}
+	return "nonzero"
+}

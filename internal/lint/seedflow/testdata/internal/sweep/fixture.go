@@ -1,0 +1,40 @@
+// Package sweep exercises the RawRand call-site rule: seeds passed verbatim
+// into parameters that do unblessed arithmetic, across packages and within
+// one.
+package sweep
+
+import (
+	"liquid/internal/mixer"
+	"liquid/internal/rng"
+)
+
+// Trial launders its seed through mixer.Scramble, which the fact exposes.
+func Trial(seed uint64) uint64 {
+	return mixer.Scramble(seed) // want `raw-mixing parameter`
+}
+
+// Chain hits the transitive fact on mixer.Forward.
+func Chain(seed uint64) uint64 {
+	return mixer.Forward(seed) // want `raw-mixing parameter`
+}
+
+// Tag passes the seed into a parameter that never feeds arithmetic: fine.
+func Tag(seed uint64) string {
+	return mixer.Label(seed)
+}
+
+// Blessed routes the seed through rng, the one mixing layer that is always
+// allowed to take it.
+func Blessed(seed uint64) uint64 {
+	return rng.Mix(seed)
+}
+
+// localMix is the same-package variant of a disguised mixer.
+func localMix(x uint64) uint64 {
+	return x ^ (x >> 31)
+}
+
+// Local is judged by the local raw-parameter set, not a fact.
+func Local(seed uint64) uint64 {
+	return localMix(seed) // want `raw-mixing parameter`
+}

@@ -10,3 +10,32 @@ func Telemetry(f func()) float64 {
 	f()
 	return time.Since(start).Seconds()
 }
+
+// Wrapped is clock-tainted only transitively, through Telemetry; its
+// ReadsClock fact is what dependents are judged by.
+func Wrapped(f func()) float64 {
+	return Telemetry(f)
+}
+
+// Describe never touches the clock: calling it from a result-bearing
+// package is fine.
+func Describe() string {
+	return "engine"
+}
+
+// Span is an opaque timing handle; the clock readings it carries never
+// leave the engine package through its API.
+type Span struct {
+	start time.Time
+}
+
+// StartSpan reads the clock but returns only the opaque handle: calling it
+// from a result-bearing package is not laundering.
+func StartSpan() *Span {
+	return &Span{start: time.Now()}
+}
+
+// Finish reads the clock and returns nothing.
+func (s *Span) Finish() {
+	_ = time.Since(s.start)
+}

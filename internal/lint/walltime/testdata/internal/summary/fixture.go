@@ -1,0 +1,41 @@
+// Package summary exercises the interprocedural half of walltime: it is
+// result-bearing and never mentions time, but it calls into the allowlisted
+// engine package, so only the ReadsClock facts can tell which of those calls
+// launder a clock read.
+package summary
+
+import (
+	"liquid/internal/election"
+	"liquid/internal/engine"
+)
+
+// Span picks up real time through the allowlisted engine package.
+func Span(f func()) float64 {
+	return engine.Telemetry(f) // want `launders a wall-clock read`
+}
+
+// Indirect launders through a callee that is itself only transitively
+// tainted.
+func Indirect(f func()) float64 {
+	return engine.Wrapped(f) // want `launders a wall-clock read`
+}
+
+// Named calls an untainted engine function: no finding.
+func Named() string {
+	return engine.Describe()
+}
+
+// Reuse calls a clock-tainted function from another in-scope package; the
+// read is flagged at its source in election, not re-flagged here.
+func Reuse() float64 {
+	return election.Timed().Seconds()
+}
+
+// Spans uses the write-only span idiom: the callees read the clock, but
+// their signatures return only an opaque engine handle (or nothing), so the
+// timing cannot reach this package's results.
+func Spans(f func()) {
+	sp := engine.StartSpan()
+	defer sp.Finish()
+	f()
+}

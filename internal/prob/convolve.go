@@ -96,6 +96,8 @@ func pbSplitGain(k int) int64 {
 
 // pbDPInto runs the exact O(k^2) convolution DP over ps into f, which must
 // have length len(ps)+1 and may hold garbage.
+//
+//lint:hotpath
 func pbDPInto(f []float64, ps []float64) {
 	zeroFloats(f)
 	f[0] = 1
@@ -192,6 +194,8 @@ func wmSplitPoint(pw []int64, lo, hi int) int {
 
 // wmDPInto runs the exact O(k*W) DP over voters into f, which must have
 // length (sum of weights)+1 and may hold garbage.
+//
+//lint:hotpath
 func wmDPInto(f []float64, voters []WeightedVoter) {
 	zeroFloats(f)
 	f[0] = 1
@@ -255,6 +259,8 @@ func (ws *Workspace) prefixWeights(voters []WeightedVoter) []int64 {
 // copyClampNonneg copies src into dst, clamping the tiny negative values
 // FFT rounding can produce (magnitude ~1e-16) to zero so downstream code
 // always sees a valid mass function.
+//
+//lint:hotpath
 func copyClampNonneg(dst, src []float64) {
 	for i, v := range src {
 		if v < 0 {

@@ -65,6 +65,8 @@ func (ws *Workspace) tables(lg int) *fftTables {
 // the split-complex vector (re, im). The inverse transform reuses the same
 // kernel with the re and im slices swapped (conjugation trick); the caller
 // divides by n.
+//
+//lint:hotpath
 func fftCore(re, im []float64, t *fftTables, lg int) {
 	n := 1 << lg
 	rev := t.rev
@@ -213,6 +215,8 @@ func (ws *Workspace) convolve(a, b []float64) []float64 {
 
 // convDirect writes the convolution of a and b into out, each output cell
 // as its own compensated sum.
+//
+//lint:hotpath
 func convDirect(a, b, out []float64) {
 	for k := range out {
 		lo := k - len(b) + 1
@@ -238,6 +242,9 @@ func ceilLog2(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
+// zeroFloats clears s in place.
+//
+//lint:hotpath
 func zeroFloats(s []float64) {
 	for i := range s {
 		s[i] = 0

@@ -153,6 +153,8 @@ func (g *Graph) Realizer() *Realizer {
 
 // realize fills r.x with one realization, drawing exactly as Graph.Realize
 // would.
+//
+//lint:hotpath
 func (r *Realizer) realize(s *rng.Stream) []bool {
 	g, x := r.g, r.x
 	p, z, upTo := g.P, g.Z, g.UpTo
@@ -180,6 +182,8 @@ func (r *Realizer) realize(s *rng.Stream) []bool {
 }
 
 // Sum samples one realization and returns X_n, allocation-free.
+//
+//lint:hotpath
 func (r *Realizer) Sum(s *rng.Stream) int {
 	sum := 0
 	for _, v := range r.realize(s) {
@@ -212,6 +216,8 @@ func (r *Realizer) Sum(s *rng.Stream) int {
 // 2^-32 in probability — invisible at Monte Carlo sample counts but enough
 // that switching a replication loop between Sum and SumFast reseeds its
 // sampled table. Callers choose one protocol and keep it.
+//
+//lint:hotpath
 func (r *Realizer) SumFast(s *rng.Stream) int {
 	src := s.Source()
 	x, p64, up64 := r.xq, r.p64, r.up64
