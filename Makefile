@@ -101,6 +101,7 @@ fuzz-smoke:
 	$(GO) test ./internal/localsim -run='^$$' -fuzz=FuzzMessageValidation -fuzztime=5s
 	$(GO) test ./internal/prob -run='^$$' -fuzz=FuzzConvolutionEquivalence -fuzztime=5s
 	$(GO) test ./internal/server -run='^$$' -fuzz=FuzzDecodeEvaluateRequest -fuzztime=5s
+	$(GO) test ./internal/election -run='^$$' -fuzz=FuzzDeltaEquivalence -fuzztime=5s
 
 # serve-smoke is the end-to-end serving gate (also part of check): build
 # liquidd and liquidload, drive a deterministic load profile against a
@@ -110,9 +111,10 @@ serve-smoke:
 	$(GO) test ./cmd/liquidd -run='^TestServeSmoke$$' -count=1
 
 # bench-serve runs the load generator against a fresh daemon and writes
-# the schema-stable serving snapshot BENCH_SERVE_001.json (latency
-# percentiles, throughput, outcome mix); see README "Benchmark
-# trajectory".
+# the schema-stable serving snapshots: BENCH_SERVE_001.json is the base
+# evaluate-heavy profile, BENCH_SERVE_002.json the delta-what-if-heavy mix
+# that measures the incremental serving win (latency percentiles,
+# throughput, outcome mix); see README "Benchmark trajectory".
 bench-serve:
 	@$(GO) build -o /tmp/liquidd.bench ./cmd/liquidd
 	@$(GO) build -o /tmp/liquidload.bench ./cmd/liquidload
@@ -121,6 +123,9 @@ bench-serve:
 	for i in $$(seq 50); do grep -q 'serving on' /tmp/liquidd.bench.log && break; sleep 0.1; done; \
 	addr=$$(sed -n 's|.*serving on http://||p' /tmp/liquidd.bench.log | head -1); \
 	/tmp/liquidload.bench -addr $$addr -requests 400 -rate 800 -seed 1 -verify -bench BENCH_SERVE_001.json; rc=$$?; \
+	if [ $$rc -eq 0 ]; then \
+		/tmp/liquidload.bench -addr $$addr -requests 400 -rate 800 -seed 2 -whatif-delta-frac 0.5 -verify -bench BENCH_SERVE_002.json; rc=$$?; \
+	fi; \
 	kill -TERM $$pid; wait $$pid; exit $$rc
 
 bench:
@@ -131,7 +136,7 @@ bench:
 # the check gate. Timings from one iteration are meaningless; use
 # bench/bench-json for numbers.
 bench-smoke:
-	$(GO) test -run='^$$' -benchtime=1x -bench='^(BenchmarkPoissonBinomialPMF|BenchmarkWeightedMajorityDP|BenchmarkResolutionScoreCached|BenchmarkEvaluateMechanismSmall|BenchmarkEvaluateSweepSmall)$$' .
+	$(GO) test -run='^$$' -benchtime=1x -bench='^(BenchmarkPoissonBinomialPMF|BenchmarkWeightedMajorityDP|BenchmarkResolutionScoreCached|BenchmarkEvaluateMechanismSmall|BenchmarkEvaluateSweepSmall|BenchmarkDeltaSingleVoter2000|BenchmarkDeltaChurn2000)$$' .
 
 # bench-json runs the full benchmark suite and appends a schema-stable
 # snapshot BENCH_<n>.json (next free index) for trajectory tracking across

@@ -292,6 +292,151 @@ func BenchmarkEvaluateSweepSmall(b *testing.B) {
 	}
 }
 
+// --- incremental re-evaluation (the BENCH_004 trajectory) ---
+
+// benchDeltaInstance is benchInstance with a designated probe voter: voter
+// 2 carries the electorate's highest competency, so a small competency
+// drift keeps its rank in the canonical sorted sequence and the retained
+// tree's diff window stays a single leaf.
+func benchDeltaInstance(b *testing.B, n int) *core.Instance {
+	b.Helper()
+	s := rng.New(99)
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.3 + 0.4*s.Float64()
+	}
+	p[2] = 0.95
+	in, err := core.NewInstance(graph.NewComplete(n), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// benchDeltaProfile is the base delegation profile the delta benchmarks
+// probe against: every third voter delegates upward, the shape liquidload
+// drives at the daemon's what-if endpoint. Voter 2 stays a weight-1 sink.
+func benchDeltaProfile(n int) *core.DelegationGraph {
+	d := core.NewDelegationGraph(n)
+	for v := 0; v+1 < n; v += 3 {
+		if err := d.SetDelegate(v, v+1); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+// deltaDriftP returns the i-th probe competency: a strictly decreasing
+// drift below 0.95 that never repeats, so neither side of the comparison
+// can hit a content-addressed cache, and never crosses another voter's
+// competency, so the probe's rank is stable.
+func deltaDriftP(i int) float64 { return 0.95 - float64(i+1)*1e-9 }
+
+// benchDeltaSingleVoter measures steady-state single-delta re-evaluation:
+// one retained scenario, each iteration applies a fresh competency delta
+// to the probe voter and re-scores, so the retained tree recomputes one
+// root path instead of rebuilding. Divide benchDeltaScratchSweep at the
+// same n by this to read off the incremental win.
+func benchDeltaSingleVoter(b *testing.B, n int) {
+	b.Helper()
+	in := benchDeltaInstance(b, n)
+	plan, err := election.NewPlan(in, election.Options{Replications: 1, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := election.NewScenario(plan, benchDeltaProfile(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sc.Score(); err != nil { // warm the retained tree
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sc.ApplyDelta(election.Delta{Kind: election.DeltaCompetency, Voter: 2, P: deltaDriftP(i)}); err != nil {
+			b.Fatal(err)
+		}
+		if s, err := sc.Score(); err != nil || s <= 0 {
+			b.Fatalf("score %v: %v", s, err)
+		}
+	}
+}
+
+// benchDeltaScratchSweep is the from-scratch cost the delta path replaces:
+// after the same single competency delta, re-run the full staged pipeline —
+// fresh plan, fresh caches, EvaluateSweep over the usual three-alpha sweep
+// — on the mutated instance. Every iteration sees a never-before-seen
+// instance, exactly as a naive re-evaluation would.
+func benchDeltaScratchSweep(b *testing.B, n int) {
+	b.Helper()
+	in := benchDeltaInstance(b, n)
+	alphas := []float64{0.02, 0.05, 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in2, err := in.WithCompetency(2, deltaDriftP(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := election.NewPlan(in2, election.Options{Replications: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan.PrewarmApproval(alphas...)
+		points := make([]election.SweepPoint, len(alphas))
+		for j, a := range alphas {
+			points[j] = election.SweepPoint{
+				Mechanism: mechanism.ApprovalThreshold{Alpha: a},
+				Seed:      uint64(i)*uint64(len(alphas)) + uint64(j) + 1,
+			}
+		}
+		if _, err := election.EvaluateSweep(context.Background(), plan, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDeltaChurn measures sustained repoint churn: the probing voter
+// rotates across the electorate and every iteration re-points a different
+// voter, so consecutive diffs wander through the weight-sorted multiset —
+// the dynamics/history workload, where windows legitimately cross the
+// rebuild threshold — rather than the single-leaf serving probe.
+func benchDeltaChurn(b *testing.B, n int) {
+	b.Helper()
+	in := benchDeltaInstance(b, n)
+	plan, err := election.NewPlan(in, election.Options{Replications: 1, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := election.NewScenario(plan, benchDeltaProfile(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sc.Score(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := 3 * (i % (n / 3))
+		target := core.NoDelegate // base profile has v -> v+1
+		if (i/(n/3))%2 == 1 {     // alternate direction per sweep over the electorate
+			target = v + 1
+		}
+		if err := sc.ApplyDelta(election.Delta{Kind: election.DeltaRepoint, Voter: v, Target: target}); err != nil {
+			b.Fatal(err)
+		}
+		if s, err := sc.Score(); err != nil || s <= 0 {
+			b.Fatalf("score %v: %v", s, err)
+		}
+	}
+}
+
+func BenchmarkDeltaSingleVoter2000(b *testing.B)   { benchDeltaSingleVoter(b, 2000) }
+func BenchmarkDeltaSingleVoter20000(b *testing.B)  { benchDeltaSingleVoter(b, 20000) }
+func BenchmarkDeltaScratchSweep2000(b *testing.B)  { benchDeltaScratchSweep(b, 2000) }
+func BenchmarkDeltaScratchSweep20000(b *testing.B) { benchDeltaScratchSweep(b, 20000) }
+func BenchmarkDeltaChurn2000(b *testing.B)         { benchDeltaChurn(b, 2000) }
+func BenchmarkDeltaChurn20000(b *testing.B)        { benchDeltaChurn(b, 20000) }
+
 func BenchmarkRecycleRealize(b *testing.B) {
 	in := benchInstance(b, 5000)
 	g, err := recycle.FromCompleteDelegation(in, 0.05, 1)

@@ -108,7 +108,7 @@ func TestServeSmoke(t *testing.T) {
 	bench := filepath.Join(dir, "bench_serve.json")
 	load := exec.Command(loader,
 		"-addr", addr, "-requests", "120", "-rate", "400", "-seed", "7",
-		"-verify", "-bench", bench)
+		"-whatif-delta-frac", "0.3", "-verify", "-bench", bench)
 	out, err := load.CombinedOutput()
 	if err != nil {
 		t.Fatalf("liquidload: %v\n%s", err, out)

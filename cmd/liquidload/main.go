@@ -11,7 +11,13 @@
 //
 // and, with -verify, recomputes every completed exact evaluate response
 // offline (election.EvaluateMechanism with the same seed and options) and
-// requires bit-identical bytes. Any violation exits nonzero.
+// every completed delta what-if (exact kernels on the post-delta election)
+// and requires bit-identical bytes. Any violation exits nonzero.
+//
+// -whatif-delta-frac carves out a slice of delta what-ifs: every such
+// request probes the same shared base election with a short list of
+// incremental edits, the traffic shape the daemon's retained-scenario
+// cache serves without re-evaluating from scratch.
 //
 // With -bench the run writes a schema-stable JSON snapshot
 // ("liquid-bench-serve/1") with the outcome counts, latency percentiles,
@@ -21,8 +27,8 @@
 //
 //	liquidload -addr host:port [-requests N] [-rate R] [-seed N]
 //	           [-voters N] [-replications N] [-deadline-ms N]
-//	           [-whatif-frac F] [-fault-frac F] [-malformed-frac F]
-//	           [-slow-frac F] [-verify] [-bench out.json]
+//	           [-whatif-frac F] [-whatif-delta-frac F] [-fault-frac F]
+//	           [-malformed-frac F] [-slow-frac F] [-verify] [-bench out.json]
 package main
 
 import (
@@ -87,6 +93,7 @@ func run(args []string, out, errOut io.Writer) error {
 		reps       = fs.Int("replications", 8, "sweep replications per request")
 		deadlineMS = fs.Int64("deadline-ms", 2000, "per-request deadline")
 		whatifF    = fs.Float64("whatif-frac", 0.2, "fraction of /v1/whatif requests")
+		whatifDF   = fs.Float64("whatif-delta-frac", 0, "fraction of delta what-ifs: incremental edits probed against one shared base election")
 		faultF     = fs.Float64("fault-frac", 0.2, "fraction of evaluate requests carrying a fault block")
 		malformedF = fs.Float64("malformed-frac", 0.1, "fraction of malformed bodies (typed 400s)")
 		slowF      = fs.Float64("slow-frac", 0.1, "fraction of slow clients (trickled request bodies)")
@@ -104,7 +111,7 @@ func run(args []string, out, errOut io.Writer) error {
 		base = "http://" + base
 	}
 
-	reqs, err := buildSchedule(*seed, *requests, *voters, *reps, *deadlineMS, *whatifF, *faultF, *malformedF, *slowF)
+	reqs, err := buildSchedule(*seed, *requests, *voters, *reps, *deadlineMS, *whatifF, *whatifDF, *faultF, *malformedF, *slowF)
 	if err != nil {
 		return err
 	}
@@ -180,23 +187,37 @@ func run(args []string, out, errOut io.Writer) error {
 		return fmt.Errorf("outcome taxonomy leaks: %d outcomes for %d requests", sum, got.Received)
 	}
 
-	verified := 0
+	verified, verifiedWhatIf := 0, 0
 	if *verify {
 		for i, o := range outcomes {
-			if o.status != http.StatusOK || reqs[i].kind != "evaluate" {
+			if o.status != http.StatusOK {
 				continue
 			}
-			want, err := offlineEvaluate(reqs[i], *voters, *reps, *seed)
-			if err != nil {
-				return fmt.Errorf("offline verify request %d: %w", i, err)
+			switch reqs[i].kind {
+			case "evaluate":
+				want, err := offlineEvaluate(reqs[i], *voters, *reps, *seed)
+				if err != nil {
+					return fmt.Errorf("offline verify request %d: %w", i, err)
+				}
+				if !bytes.Equal(o.body, want) {
+					return fmt.Errorf("request %d (seed %d) not bit-identical to offline evaluation:\n got: %s\nwant: %s",
+						i, reqs[i].seed, o.body, want)
+				}
+				verified++
+			case "whatif-delta":
+				want, err := offlineWhatIfDelta(reqs[i])
+				if err != nil {
+					return fmt.Errorf("offline verify request %d: %w", i, err)
+				}
+				if !bytes.Equal(o.body, want) {
+					return fmt.Errorf("delta what-if %d not bit-identical to offline evaluation:\n got: %s\nwant: %s",
+						i, o.body, want)
+				}
+				verifiedWhatIf++
 			}
-			if !bytes.Equal(o.body, want) {
-				return fmt.Errorf("request %d (seed %d) not bit-identical to offline evaluation:\n got: %s\nwant: %s",
-					i, reqs[i].seed, o.body, want)
-			}
-			verified++
 		}
-		fmt.Fprintf(out, "verified %d completed evaluate responses bit-identical to offline evaluation\n", verified)
+		fmt.Fprintf(out, "verified %d completed evaluate responses and %d delta what-ifs bit-identical to offline evaluation\n",
+			verified, verifiedWhatIf)
 	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -221,7 +242,8 @@ func run(args []string, out, errOut io.Writer) error {
 			Failed: got.Failed, Expired: got.Expired,
 			ReqPerSec: float64(got.Received) / wall.Seconds(),
 			P50MS:     p(0.50), P90MS: p(0.90), P99MS: p(0.99), MaxMS: p(1),
-			Verified: verified,
+			Verified: verified, VerifiedWhatIf: verifiedWhatIf,
+			WhatIfDeltas: countKind(reqs, "whatif-delta"),
 		}
 		data, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
@@ -257,13 +279,29 @@ type benchSnapshot struct {
 	P99MS     float64 `json:"p99_ms"`
 	MaxMS     float64 `json:"max_ms"`
 	Verified  int     `json:"verified"`
+	// Delta what-if extras: how many delta requests the schedule carried
+	// and how many completed responses passed offline bit-identity.
+	WhatIfDeltas   int `json:"whatif_deltas,omitempty"`
+	VerifiedWhatIf int `json:"verified_whatif,omitempty"`
+}
+
+// countKind tallies scheduled requests of one kind.
+func countKind(reqs []request, kind string) int {
+	n := 0
+	for _, rq := range reqs {
+		if rq.kind == kind {
+			n++
+		}
+	}
+	return n
 }
 
 // buildSchedule derives the full request mix from the seed. Request i's
 // randomness comes from stream Derive(i), so the schedule is independent
 // of evaluation order.
-func buildSchedule(seed uint64, n, voters, reps int, deadlineMS int64, whatifF, faultF, malformedF, slowF float64) ([]request, error) {
+func buildSchedule(seed uint64, n, voters, reps int, deadlineMS int64, whatifF, whatifDF, faultF, malformedF, slowF float64) ([]request, error) {
 	root := rng.New(seed).DeriveString("liquidload")
+	baseDeleg := baseDelegations(voters)
 	reqs := make([]request, n)
 	for i := range reqs {
 		s := root.Derive(uint64(i))
@@ -301,7 +339,36 @@ func buildSchedule(seed uint64, n, voters, reps int, deadlineMS int64, whatifF, 
 				return nil, err
 			}
 			rq.body = body
-		case u < malformedF+whatifF+faultF:
+		case u < malformedF+whatifF+whatifDF:
+			rq.kind = "whatif-delta"
+			rq.path = "/v1/whatif"
+			// Every delta what-if probes the SAME base election — that is
+			// the workload the daemon's retained-scenario cache exists for —
+			// with a short list of upward (acyclic by construction) repoints
+			// and an occasional competency edit, which forces the
+			// instance-level path.
+			k := 1 + int(s.Uint64()%3)
+			deltas := make([]server.DeltaSpec, 0, k+1)
+			for j := 0; j < k; j++ {
+				v := int(s.Uint64() % uint64(voters))
+				to := -1
+				if v+1 < voters && s.Float64() < 0.7 {
+					to = v + 1 + int(s.Uint64()%uint64(voters-v-1))
+				}
+				target := to
+				deltas = append(deltas, server.DeltaSpec{Kind: "repoint", Voter: v, Target: &target})
+			}
+			if s.Float64() < 0.3 {
+				deltas = append(deltas, server.DeltaSpec{
+					Kind: "competency", Voter: int(s.Uint64() % uint64(voters)), P: 0.35 + 0.5*s.Float64(),
+				})
+			}
+			body, err := json.Marshal(server.WhatIfRequest{Instance: inst, Delegations: baseDeleg, Deltas: deltas, DeadlineMS: deadlineMS})
+			if err != nil {
+				return nil, err
+			}
+			rq.body = body
+		case u < malformedF+whatifF+whatifDF+faultF:
 			rq.kind = "fault"
 			body, err := json.Marshal(server.EvaluateRequest{
 				Instance:     inst,
@@ -333,6 +400,22 @@ func buildSchedule(seed uint64, n, voters, reps int, deadlineMS int64, whatifF, 
 		reqs[i] = rq
 	}
 	return reqs, nil
+}
+
+// baseDelegations is the shared base profile every delta what-if probes:
+// a fixed, acyclic pattern (every third voter delegates one step up), so
+// all delta requests content-address the same retained scenario in the
+// daemon.
+func baseDelegations(voters int) []int {
+	deleg := make([]int, voters)
+	for v := range deleg {
+		if v%3 == 0 && v+1 < voters {
+			deleg[v] = v + 1
+		} else {
+			deleg[v] = -1
+		}
+	}
+	return deleg
 }
 
 // instanceSpec derives a deterministic competency profile. The values are
@@ -412,6 +495,41 @@ func fetchStats(base string) (server.Stats, error) {
 		return st, fmt.Errorf("statsz: status %d", resp.StatusCode)
 	}
 	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// offlineWhatIfDelta rebuilds a completed delta what-if response from the
+// request's own body: re-parse it with the daemon's decoder, then score
+// the post-delta election with the exact kernels — a path that shares no
+// retained scenario or patched tree with the daemon, so byte equality
+// certifies the incremental path against from-scratch evaluation.
+func offlineWhatIfDelta(rq request) ([]byte, error) {
+	parsed, aerr := server.ParseWhatIfRequest(rq.body)
+	if aerr != nil {
+		return nil, aerr
+	}
+	res, err := parsed.FinalGraph.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	pm, err := election.ResolutionProbabilityExact(parsed.FinalInstance, res)
+	if err != nil {
+		return nil, err
+	}
+	pd, err := election.DirectProbabilityExact(parsed.FinalInstance)
+	if err != nil {
+		return nil, err
+	}
+	resp := server.WhatIfResponse{
+		PM: pm, PD: pd, Gain: pm - pd,
+		Sinks: len(res.Sinks), MaxWeight: res.MaxWeight, TotalWeight: res.TotalWeight,
+		Delegators: res.Delegators, LongestChain: res.LongestChain,
+		DeltasApplied: len(parsed.Deltas),
+	}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
 }
 
 // offlineEvaluate rebuilds a completed evaluate response from the exact

@@ -13,18 +13,18 @@ import (
 // TestScheduleDeterministic: the same seed must yield byte-identical
 // request schedules — that is what makes a load run reproducible.
 func TestScheduleDeterministic(t *testing.T) {
-	a, err := buildSchedule(42, 50, 15, 4, 1000, 0.2, 0.2, 0.1, 0.1)
+	a, err := buildSchedule(42, 50, 15, 4, 1000, 0.2, 0.15, 0.2, 0.1, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := buildSchedule(42, 50, 15, 4, 1000, 0.2, 0.2, 0.1, 0.1)
+	b, err := buildSchedule(42, 50, 15, 4, 1000, 0.2, 0.15, 0.2, 0.1, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("same seed produced different schedules")
 	}
-	c, err := buildSchedule(43, 50, 15, 4, 1000, 0.2, 0.2, 0.1, 0.1)
+	c, err := buildSchedule(43, 50, 15, 4, 1000, 0.2, 0.15, 0.2, 0.1, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestScheduleDeterministic(t *testing.T) {
 // the daemon's own parser: non-malformed requests must be accepted,
 // malformed ones must draw a typed 400.
 func TestScheduleBodiesMatchServerContract(t *testing.T) {
-	reqs, err := buildSchedule(7, 80, 15, 4, 1000, 0.2, 0.2, 0.1, 0.1)
+	reqs, err := buildSchedule(7, 80, 15, 4, 1000, 0.2, 0.15, 0.2, 0.1, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,6 +55,14 @@ func TestScheduleBodiesMatchServerContract(t *testing.T) {
 			if _, aerr := server.ParseWhatIfRequest(rq.body); aerr != nil {
 				t.Fatalf("request %d (whatif) rejected by the daemon parser: %v", i, aerr)
 			}
+		case "whatif-delta":
+			parsed, aerr := server.ParseWhatIfRequest(rq.body)
+			if aerr != nil {
+				t.Fatalf("request %d (whatif-delta) rejected by the daemon parser: %v", i, aerr)
+			}
+			if len(parsed.Deltas) == 0 {
+				t.Fatalf("request %d (whatif-delta) carries no deltas", i)
+			}
 		case "malformed":
 			if _, aerr := server.ParseEvaluateRequest(rq.body); aerr == nil {
 				t.Fatalf("request %d: malformed body accepted", i)
@@ -63,7 +71,7 @@ func TestScheduleBodiesMatchServerContract(t *testing.T) {
 			t.Fatalf("request %d: unknown kind %q", i, rq.kind)
 		}
 	}
-	for _, k := range []string{"evaluate", "fault", "whatif", "malformed"} {
+	for _, k := range []string{"evaluate", "fault", "whatif", "whatif-delta", "malformed"} {
 		if kinds[k] == 0 {
 			t.Fatalf("schedule has no %s requests: %v", k, kinds)
 		}

@@ -158,6 +158,68 @@ func NewInstance(top graph.Topology, p []float64) (*Instance, error) {
 	return in, nil
 }
 
+// WithCompetency returns a new instance equal to in except that voter v's
+// competency is p — the same instance NewInstance(in.Topology(), patched)
+// would build, including the (competency-bits, id) order of the derived
+// tables, but in O(n) straight-line work instead of a full sort. The
+// incremental-evaluation path (election.Plan.ApplyDelta) patches thousands
+// of instances per churn sequence, where the construction sort would
+// dominate the delta evaluation itself. The receiver is not modified; the
+// derived instance shares the topology and, when the competency bits are
+// unchanged, the sorted tables (both immutable after construction).
+func (in *Instance) WithCompetency(v int, p float64) (*Instance, error) {
+	n := len(in.p)
+	if v < 0 || v >= n {
+		return nil, fmt.Errorf("%w: voter %d out of range [0,%d)", ErrInvalidInstance, v, n)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("%w: p[%d] = %v not in [0,1]", ErrInvalidInstance, v, p)
+	}
+	out := &Instance{top: in.top, p: append([]float64(nil), in.p...)}
+	oldBits := math.Float64bits(out.p[v])
+	newBits := math.Float64bits(p)
+	out.p[v] = p
+	if oldBits == newBits {
+		out.byCompetency = in.byCompetency
+		out.sortedP = in.sortedP
+		return out, nil
+	}
+	// Rebuild the sorted tables by deleting v's old entry and re-inserting
+	// at its new rank. Entries are ordered by (Float64bits(p), id) — the
+	// exact order NewInstance produces — so the old entry is the slot inside
+	// the old-bits run carrying id v, and the new entry precedes the first
+	// slot whose (bits, id) exceeds (newBits, v).
+	oldIdx := 0
+	for in.byCompetency[oldIdx] != v {
+		oldIdx++
+	}
+	out.byCompetency = make([]int, n)
+	out.sortedP = make([]float64, n)
+	k := 0
+	inserted := false
+	for i := 0; i < n; i++ {
+		if i == oldIdx {
+			continue
+		}
+		b := math.Float64bits(in.sortedP[i])
+		id := in.byCompetency[i]
+		if !inserted && (b > newBits || (b == newBits && id > v)) {
+			out.sortedP[k] = p
+			out.byCompetency[k] = v
+			k++
+			inserted = true
+		}
+		out.sortedP[k] = in.sortedP[i]
+		out.byCompetency[k] = id
+		k++
+	}
+	if !inserted {
+		out.sortedP[k] = p
+		out.byCompetency[k] = v
+	}
+	return out, nil
+}
+
 // N returns the number of voters.
 func (in *Instance) N() int { return len(in.p) }
 

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"liquid/internal/graph"
+)
+
+// TestWithCompetencyMatchesNewInstance is the property WithCompetency
+// promises: the patched instance's derived tables are exactly what
+// NewInstance builds for the patched vector, including the (bits, id)
+// tie-break. The coarse competency grid forces ties.
+func TestWithCompetencyMatchesNewInstance(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(30)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = float64(r.Intn(8)) / 8
+		}
+		in, err := NewInstance(graph.NewComplete(n), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := r.Intn(n)
+		np := float64(r.Intn(9)) / 9
+		got, err := in.WithCompetency(v, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := append([]float64(nil), p...)
+		p2[v] = np
+		want, err := NewInstance(graph.NewComplete(n), p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if got.byCompetency[i] != want.byCompetency[i] ||
+				math.Float64bits(got.sortedP[i]) != math.Float64bits(want.sortedP[i]) ||
+				math.Float64bits(got.p[i]) != math.Float64bits(want.p[i]) {
+				t.Fatalf("trial %d n=%d v=%d old=%v new=%v:\n got bc=%v sp=%v\nwant bc=%v sp=%v",
+					trial, n, v, p[v], np, got.byCompetency, got.sortedP, want.byCompetency, want.sortedP)
+			}
+		}
+		// The receiver must be untouched.
+		for i := 0; i < n; i++ {
+			if math.Float64bits(in.p[i]) != math.Float64bits(p[i]) {
+				t.Fatalf("trial %d: WithCompetency mutated the receiver", trial)
+			}
+		}
+	}
+}
+
+func TestWithCompetencyErrors(t *testing.T) {
+	in, err := NewInstance(graph.NewComplete(3), []float64{0.5, 0.6, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.WithCompetency(3, 0.5); err == nil {
+		t.Fatal("out-of-range voter accepted")
+	}
+	if _, err := in.WithCompetency(-1, 0.5); err == nil {
+		t.Fatal("negative voter accepted")
+	}
+	if _, err := in.WithCompetency(0, 1.5); err == nil {
+		t.Fatal("p > 1 accepted")
+	}
+	if _, err := in.WithCompetency(0, math.NaN()); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	// Same-bits patch shares the sorted tables.
+	out, err := in.WithCompetency(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out.byCompetency[0] != &in.byCompetency[0] {
+		t.Fatal("same-bits patch should share the competency order")
+	}
+}

@@ -10,14 +10,24 @@
 // increases it, so round-robin best response converges to a pure Nash
 // equilibrium. Starting from all-direct voting, the equilibrium can only
 // improve on direct voting — a game-theoretic route to positive gain.
+//
+// Scoring runs on election.Scenario, the retained incremental evaluator:
+// consecutive candidate profiles differ by one delegation edge, so each
+// candidate costs an O(log n) tree patch instead of a full weighted-majority
+// DP. Scenario scores are bit-identical to ResolutionProbabilityExact, so
+// the dynamics' accepted-move sequence — and every reproduced trace — is
+// unchanged from the transient evaluator it replaced.
 package dynamics
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"liquid/internal/core"
 	"liquid/internal/election"
+	"liquid/internal/prob"
+	"liquid/internal/rng"
 )
 
 // ErrInvalidDynamics reports invalid dynamics configuration.
@@ -78,12 +88,20 @@ func BestResponse(in *core.Instance, opts Options) (*Trace, error) {
 		return nil, fmt.Errorf("%w: empty instance", ErrInvalidDynamics)
 	}
 
-	d := core.NewDelegationGraph(n)
-	current, err := profileProbability(in, d)
+	plan, err := election.NewPlan(in, election.Options{})
 	if err != nil {
 		return nil, err
 	}
-	tr := &Trace{InitialProb: current, Delegation: d}
+	sc, err := election.NewScenario(plan, core.NewDelegationGraph(n))
+	if err != nil {
+		return nil, err
+	}
+	current, err := sc.Score()
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{InitialProb: current}
+	d := sc.Delegation()
 
 	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
 		tr.Sweeps++
@@ -93,20 +111,27 @@ func BestResponse(in *core.Instance, opts Options) (*Trace, error) {
 			bestProb := current
 			// Candidate: vote directly.
 			if d.Delegate[i] != core.NoDelegate {
-				d.Delegate[i] = core.NoDelegate
-				if p, err := profileProbability(in, d); err != nil {
+				if err := sc.SetDelegate(i, core.NoDelegate); err != nil {
+					return nil, err
+				}
+				if p, err := sc.Score(); err != nil {
 					return nil, err
 				} else if p > bestProb+opts.MinImprovement {
 					bestProb, bestTarget = p, core.NoDelegate
 				}
 			}
 			// Candidates: each approved neighbour that keeps acyclicity.
+			// createsCycle walks j's chain, which stops at i before reading
+			// d.Delegate[i], so the candidate left in place by the previous
+			// iteration cannot affect the answer.
 			for _, j := range in.ApprovalSet(i, opts.Alpha) {
 				if createsCycle(d, i, j) {
 					continue
 				}
-				d.Delegate[i] = j
-				p, err := profileProbability(in, d)
+				if err := sc.SetDelegate(i, j); err != nil {
+					return nil, err
+				}
+				p, err := sc.Score()
 				if err != nil {
 					return nil, err
 				}
@@ -114,7 +139,9 @@ func BestResponse(in *core.Instance, opts Options) (*Trace, error) {
 					bestProb, bestTarget = p, j
 				}
 			}
-			d.Delegate[i] = bestTarget
+			if err := sc.SetDelegate(i, bestTarget); err != nil {
+				return nil, err
+			}
 			if bestProb > current {
 				current = bestProb
 				tr.Moves++
@@ -127,16 +154,9 @@ func BestResponse(in *core.Instance, opts Options) (*Trace, error) {
 		}
 	}
 	tr.FinalProb = current
+	// Hand back a copy: the scenario owns its profile.
+	tr.Delegation = &core.DelegationGraph{Delegate: append([]int(nil), d.Delegate...)}
 	return tr, nil
-}
-
-// profileProbability scores the current strategy profile exactly.
-func profileProbability(in *core.Instance, d *core.DelegationGraph) (float64, error) {
-	res, err := d.Resolve()
-	if err != nil {
-		return 0, err
-	}
-	return election.ResolutionProbabilityExact(in, res)
 }
 
 // createsCycle reports whether setting i -> j would close a delegation
@@ -148,4 +168,102 @@ func createsCycle(d *core.DelegationGraph, i, j int) bool {
 		}
 	}
 	return false
+}
+
+// ChurnOptions configures a delegation-churn simulation.
+type ChurnOptions struct {
+	// Alpha is the approval margin restricting move targets.
+	Alpha float64
+	// Periods is the number of recorded steps (default 20).
+	Periods int
+	// MovesPerPeriod is the number of random re-delegations attempted per
+	// period (default 5).
+	MovesPerPeriod int
+}
+
+func (o ChurnOptions) withDefaults() (ChurnOptions, error) {
+	if o.Alpha < 0 {
+		return o, fmt.Errorf("%w: negative alpha %v", ErrInvalidDynamics, o.Alpha)
+	}
+	if o.Periods <= 0 {
+		o.Periods = 20
+	}
+	if o.MovesPerPeriod <= 0 {
+		o.MovesPerPeriod = 5
+	}
+	return o, nil
+}
+
+// ChurnStep is one recorded period of a churn run.
+type ChurnStep struct {
+	// Period is the step index (0-based).
+	Period int
+	// PM is the exact group probability of the profile after the period's
+	// moves, scored incrementally.
+	PM float64
+	// Delegators counts delegating voters after the period.
+	Delegators int
+	// Delegation snapshots the profile (core.NoDelegate for direct), so a
+	// verifier can re-score the step from scratch.
+	Delegation []int
+}
+
+// Churn simulates sustained delegation churn: each period a few voters
+// re-point — to a random approved neighbour when that keeps the graph
+// acyclic, otherwise back to direct — and the resulting profile is scored
+// through the retained incremental evaluator. It returns one step per
+// period. Cancelling ctx aborts between periods with ctx's error.
+//
+// All randomness derives from seed; equal inputs give bit-identical step
+// sequences. Each step's PM is bit-identical to from-scratch
+// ResolutionProbabilityExact on the step's Delegation snapshot (the churn
+// experiment re-verifies this per step). The returned stats are the
+// retained tree's deterministic patch/rebuild counters over the whole run.
+func Churn(ctx context.Context, in *core.Instance, opts ChurnOptions, seed uint64) ([]ChurnStep, prob.DeltaTreeStats, error) {
+	var noStats prob.DeltaTreeStats
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, noStats, err
+	}
+	n := in.N()
+	if n == 0 {
+		return nil, noStats, fmt.Errorf("%w: empty instance", ErrInvalidDynamics)
+	}
+	plan, err := election.NewPlan(in, election.Options{})
+	if err != nil {
+		return nil, noStats, err
+	}
+	sc, err := election.NewScenario(plan, core.NewDelegationGraph(n))
+	if err != nil {
+		return nil, noStats, err
+	}
+	s := rng.New(seed)
+	d := sc.Delegation()
+	steps := make([]ChurnStep, 0, opts.Periods)
+	for period := 0; period < opts.Periods; period++ {
+		if err := ctx.Err(); err != nil {
+			return nil, noStats, err
+		}
+		for m := 0; m < opts.MovesPerPeriod; m++ {
+			i := int(s.IntN(n))
+			j, ok := in.SampleApproved(i, opts.Alpha, s)
+			if !ok || createsCycle(d, i, j) {
+				j = core.NoDelegate
+			}
+			if err := sc.SetDelegate(i, j); err != nil {
+				return nil, noStats, err
+			}
+		}
+		pm, err := sc.Score()
+		if err != nil {
+			return nil, noStats, err
+		}
+		steps = append(steps, ChurnStep{
+			Period:     period,
+			PM:         pm,
+			Delegators: d.NumDelegators(),
+			Delegation: append([]int(nil), d.Delegate...),
+		})
+	}
+	return steps, sc.TreeStats(), nil
 }

@@ -149,6 +149,8 @@ var registry = []Definition{
 	{ID: "A3", Title: "Ablation: exact DP vs Monte-Carlo engine", Claim: "The exact weighted-majority DP and the sampling engine agree within sampling error.", Run: runA3},
 	{ID: "R1", Title: "Robustness: availability faults and recovery policies", Claim: "When sinks go down or voters abstain, do-no-harm degrades gracefully: losing the stranded weight hurts measurably, while fallback-to-direct and redelegation recover most of it; with no faults the recovery machinery is bit-for-bit invisible.", Run: runR1},
 	{ID: "R2", Title: "Robustness: crash faults and partitions in the distributed protocol", Claim: "The crash-tolerant convergecast accounts for every weight unit under crash-stop faults, partitions, duplication and reordering (live + trapped == n), benign plans reproduce the fault-free run exactly, and the surviving election degrades only with the weight actually trapped at crashed nodes.", Run: runR2},
+	{ID: "R3", Title: "Robustness: sustained delegation churn under incremental re-evaluation", Claim: "A retained evaluation scenario absorbs per-period delegation churn through in-place updates of a single persistent convolution tree while every period's P^M stays bit-identical to from-scratch exact scoring; below mean competency 1/2 the churned profiles still beat direct voting on average (the variance thesis is robust to who exactly delegates).", Run: runR3},
+	{ID: "R4", Title: "Robustness: evolving electorates via add-voter and competency deltas", Claim: "Growing a preferential-attachment electorate one add-voter delta at a time, and replaying a partial-participation track record through sparse competency deltas, both keep the chained plan bit-identical to from-scratch instances at every step — incremental re-evaluation is exact on structurally evolving elections, where direct voting decays below mean 1/2 and misdelegation stays controlled as records accumulate.", Run: runR4},
 }
 
 // All returns the experiment definitions in presentation order.

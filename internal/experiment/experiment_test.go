@@ -16,8 +16,8 @@ func testConfig() Config {
 
 func TestRegistryLookup(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 33 {
-		t.Fatalf("expected 33 experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 35 {
+		t.Fatalf("expected 35 experiments, got %d: %v", len(ids), ids)
 	}
 	for _, id := range ids {
 		if _, err := Lookup(id); err != nil {
@@ -129,6 +129,8 @@ func TestA4Crossover(t *testing.T)                 { runAndCheck(t, "A4") }
 func TestA5TieRules(t *testing.T)                  { runAndCheck(t, "A5") }
 func TestA6PairedDuels(t *testing.T)               { runAndCheck(t, "A6") }
 func TestR2ProtocolFaults(t *testing.T)            { runAndCheck(t, "R2") }
+func TestR3DelegationChurn(t *testing.T)           { runAndCheck(t, "R3") }
+func TestR4EvolvingElectorates(t *testing.T)       { runAndCheck(t, "R4") }
 
 func TestR1AvailabilityFaults(t *testing.T) {
 	if testing.Short() {

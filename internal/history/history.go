@@ -18,11 +18,52 @@ import (
 // ErrInvalidHistory reports invalid track-record parameters.
 var ErrInvalidHistory = errors.New("history: invalid track record")
 
-// TrackRecord holds each voter's score on T past binary issues with known
-// ground truth.
+// TrackRecord holds each voter's score on past binary issues with known
+// ground truth. Two observation models share the type:
+//
+//   - uniform participation (Simulate): every voter observed on all T
+//     issues; Counts is nil and accuracies smooth over T.
+//   - partial participation (NewTrackRecord + ObserveIssue): voters
+//     observed on per-voter Counts of issues, so one issue touches only
+//     its participants — the sparse-delta regime the incremental
+//     evaluation path (Replay) feeds through Plan.ApplyDelta.
 type TrackRecord struct {
 	T      int
 	Scores []int
+	// Counts is the per-voter observation count under partial
+	// participation, nil under the uniform model.
+	Counts []int
+}
+
+// NewTrackRecord returns an empty partial-participation record over n
+// voters (all accuracies start at the Laplace prior 1/2).
+func NewTrackRecord(n int) *TrackRecord {
+	return &TrackRecord{Scores: make([]int, n), Counts: make([]int, n)}
+}
+
+// ObserveIssue simulates one issue observed by participants only: each
+// participant is correct with its true competency, and only participants'
+// accuracies change. Returns the participants whose observation count
+// moved (the input slice), for callers that turn the issue into
+// competency deltas.
+func (tr *TrackRecord) ObserveIssue(in *core.Instance, participants []int, s *rng.Stream) error {
+	if tr.Counts == nil {
+		return fmt.Errorf("%w: ObserveIssue needs a partial-participation record (NewTrackRecord)", ErrInvalidHistory)
+	}
+	if len(tr.Scores) != in.N() {
+		return fmt.Errorf("%w: %d scores for %d voters", ErrInvalidHistory, len(tr.Scores), in.N())
+	}
+	for _, v := range participants {
+		if v < 0 || v >= in.N() {
+			return fmt.Errorf("%w: participant %d out of range", ErrInvalidHistory, v)
+		}
+		tr.Counts[v]++
+		if s.Bernoulli(in.Competency(v)) {
+			tr.Scores[v]++
+		}
+	}
+	tr.T++
+	return nil
 }
 
 // Simulate draws a track record: on each of t issues every voter is
@@ -43,8 +84,14 @@ func Simulate(in *core.Instance, t int, s *rng.Stream) (*TrackRecord, error) {
 }
 
 // Accuracy returns voter v's observed accuracy with Laplace (add-one)
-// smoothing, keeping estimates strictly inside (0, 1).
+// smoothing, keeping estimates strictly inside (0, 1). Under partial
+// participation the denominator is v's own observation count, so an issue
+// v did not participate in leaves v's accuracy untouched — that locality
+// is what makes per-issue competency deltas sparse.
 func (tr *TrackRecord) Accuracy(v int) float64 {
+	if tr.Counts != nil {
+		return (float64(tr.Scores[v]) + 1) / (float64(tr.Counts[v]) + 2)
+	}
 	return (float64(tr.Scores[v]) + 1) / (float64(tr.T) + 2)
 }
 

@@ -34,7 +34,12 @@ var fftCache struct {
 }
 
 // tables returns (building if needed) the twiddle tables for size 1 << lg.
-func (ws *Workspace) tables(lg int) *fftTables {
+func (ws *Workspace) tables(lg int) *fftTables { return fftTablesFor(lg) }
+
+// fftTablesFor is the workspace-free table accessor: retained evaluators
+// (the DeltaTree merge path) fetch tables outside their allocation-free
+// kernel, so the kernel itself never touches the builder.
+func fftTablesFor(lg int) *fftTables {
 	if t := fftCache.tabs[lg].Load(); t != nil {
 		return t
 	}

@@ -29,6 +29,20 @@ func EstimateCost(n, replications int, exactLimit int64) int64 {
 	return prob.PoissonBinomialDPCost(n) + int64(replications)*perRep
 }
 
+// EstimateWhatIfDeltaCost prices a delta what-if against an n-voter
+// post-delta election: resolving the profile is O(n), and each delta plus
+// the final rebase patches the retained trees at the root-path merge cost
+// of one leaf update. Saturated at the explicit-profile cost — a delta
+// request never out-prices the from-scratch evaluation it replaces, which
+// is exactly the admission-visible form of the incremental win.
+func EstimateWhatIfDeltaCost(n, deltas int, exactLimit int64) int64 {
+	cost := int64(n) + int64(deltas+1)*prob.DeltaUpdateCost(n)
+	if full := EstimateCost(n, 1, exactLimit); cost > full {
+		cost = full
+	}
+	return cost
+}
+
 // admission is the bounded-queue, bounded-cost gate in front of the worker
 // shards.
 type admission struct {

@@ -23,6 +23,7 @@ import (
 	"net/http"
 
 	"liquid/internal/core"
+	"liquid/internal/election"
 	"liquid/internal/fault"
 	"liquid/internal/graph"
 	"liquid/internal/mechanism"
@@ -58,6 +59,9 @@ const (
 	CodeBadEdge = "bad_edge"
 	// CodeBadMechanism: unknown mechanism name.
 	CodeBadMechanism = "bad_mechanism"
+	// CodeBadDelta: a what-if delta is malformed or inapplicable to the
+	// instance it would mutate.
+	CodeBadDelta = "bad_delta"
 	// CodeBadRequest: any other structural rejection.
 	CodeBadRequest = "bad_request"
 	// CodeShed (429): the admission controller refused the request.
@@ -124,11 +128,71 @@ type EvaluateRequest struct {
 
 // WhatIfRequest is the /v1/whatif body: an explicit delegation profile to
 // score against an instance. Delegations has one entry per voter: the
-// delegate's index, or -1 for a direct vote.
+// delegate's index, or -1 for a direct vote. Deltas, when present, are
+// incremental edits applied in order on top of the base (instance,
+// delegations) pair; the response scores the post-delta election, and the
+// daemon serves repeated deltas against the same base through a retained
+// evaluation scenario instead of re-evaluating from scratch.
 type WhatIfRequest struct {
 	Instance    InstanceSpec `json:"instance"`
 	Delegations []int        `json:"delegations"`
+	Deltas      []DeltaSpec  `json:"deltas,omitempty"`
 	DeadlineMS  int64        `json:"deadline_ms,omitempty"`
+}
+
+// DeltaSpec is the wire form of one incremental edit. Kind names an
+// election.DeltaKind: "competency" (voter, p), "repoint" (voter, target),
+// "add-voter" (p, edges on explicit graphs, optional target for an
+// initial delegation), "remove-voter" (voter), "add-edge"/"remove-edge"
+// (voter, target). Target is a pointer so that an omitted field is
+// distinguishable from voter 0: omitted means a direct vote for repoint
+// and add-voter, and is rejected for the edge kinds.
+type DeltaSpec struct {
+	Kind   string  `json:"kind"`
+	Voter  int     `json:"voter,omitempty"`
+	Target *int    `json:"target,omitempty"`
+	P      float64 `json:"p,omitempty"`
+	Edges  []int   `json:"edges,omitempty"`
+}
+
+// maxDeltas caps the delta list per request; the retained-scenario win is
+// for short edit lists, and an unbounded list is just a slow full rebuild.
+const maxDeltas = 256
+
+// parseDelta maps one wire delta onto the election type, with the typed
+// validation the election layer cannot phrase as an *Error.
+func parseDelta(i int, spec *DeltaSpec) (election.Delta, *Error) {
+	target := core.NoDelegate
+	if spec.Target != nil {
+		target = *spec.Target
+	}
+	d := election.Delta{Voter: spec.Voter, Target: target, P: spec.P, Edges: spec.Edges}
+	switch spec.Kind {
+	case "competency":
+		d.Kind = election.DeltaCompetency
+	case "repoint":
+		d.Kind = election.DeltaRepoint
+	case "add-voter":
+		d.Kind = election.DeltaAddVoter
+	case "remove-voter":
+		d.Kind = election.DeltaRemoveVoter
+	case "add-edge", "remove-edge":
+		if spec.Target == nil {
+			return election.Delta{}, badRequest(CodeBadDelta, "deltas[%d]: %s requires a target", i, spec.Kind)
+		}
+		d.Kind = election.DeltaAddEdge
+		if spec.Kind == "remove-edge" {
+			d.Kind = election.DeltaRemoveEdge
+		}
+	default:
+		return election.Delta{}, badRequest(CodeBadDelta, "deltas[%d]: unknown kind %q", i, spec.Kind)
+	}
+	if d.Kind == election.DeltaCompetency || d.Kind == election.DeltaAddVoter {
+		if math.IsNaN(spec.P) || math.IsInf(spec.P, 0) || spec.P < 0 || spec.P > 1 {
+			return election.Delta{}, badRequest(CodeBadCompetency, "deltas[%d]: p = %v not in [0,1]", i, spec.P)
+		}
+	}
+	return d, nil
 }
 
 // decodeStrict unmarshals body into dst with unknown fields rejected,
@@ -305,11 +369,19 @@ func ParseEvaluateRequest(body []byte) (*ParsedEvaluate, *Error) {
 	return parsed, nil
 }
 
-// ParsedWhatIf is a validated what-if request.
+// ParsedWhatIf is a validated what-if request. FinalInstance/FinalGraph
+// are the post-delta election (aliases of Instance/Graph when the request
+// carries no deltas), computed at parse time so every structurally invalid
+// delta is a typed 400 before admission — the worker only ever sees delta
+// lists that apply cleanly.
 type ParsedWhatIf struct {
 	Req      *WhatIfRequest
 	Instance *core.Instance
 	Graph    *core.DelegationGraph
+
+	Deltas        []election.Delta
+	FinalInstance *core.Instance
+	FinalGraph    *core.DelegationGraph
 }
 
 // ParseWhatIfRequest decodes and validates a what-if body.
@@ -338,7 +410,31 @@ func ParseWhatIfRequest(body []byte) (*ParsedWhatIf, *Error) {
 			return nil, badRequest(CodeBadRequest, "delegations[%d]: %v", i, err)
 		}
 	}
-	return &ParsedWhatIf{Req: &req, Instance: in, Graph: d}, nil
+	parsed := &ParsedWhatIf{Req: &req, Instance: in, Graph: d, FinalInstance: in, FinalGraph: d}
+	if len(req.Deltas) == 0 {
+		return parsed, nil
+	}
+	if len(req.Deltas) > maxDeltas {
+		return nil, badRequest(CodeBadRequest, "deltas has %d entries, maximum %d", len(req.Deltas), maxDeltas)
+	}
+	deltas := make([]election.Delta, len(req.Deltas))
+	for i := range req.Deltas {
+		dl, aerr := parseDelta(i, &req.Deltas[i])
+		if aerr != nil {
+			return nil, aerr
+		}
+		deltas[i] = dl
+	}
+	fin, fd, err := election.PreviewDeltas(in, d, deltas...)
+	if err != nil {
+		return nil, badRequest(CodeBadDelta, "applying deltas: %v", err)
+	}
+	if fin.N() > maxVoters {
+		return nil, badRequest(CodeBadRequest, "deltas grow the instance to %d voters, maximum %d", fin.N(), maxVoters)
+	}
+	parsed.Deltas = deltas
+	parsed.FinalInstance, parsed.FinalGraph = fin, fd
+	return parsed, nil
 }
 
 // maxBytesError maps the MaxBytesReader rejection to its typed code.

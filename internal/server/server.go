@@ -137,20 +137,25 @@ type Server struct {
 	failed    atomic.Uint64
 	expired   atomic.Uint64
 
-	hLatency  *telemetry.Histogram
-	cRequests *telemetry.Counter
+	hLatency      *telemetry.Histogram
+	cRequests     *telemetry.Counter
+	cWhatIfDeltas *telemetry.Counter
+
+	scenarios *scenarioCache
 }
 
 // New builds a Server and starts its worker shards.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		adm:       newAdmission(cfg.Shards*cfg.QueueDepth, cfg.MaxCost),
-		pool:      newPool(cfg.Shards, cfg.QueueDepth, cfg.Retries, cfg.Backoff, cfg.ChaosHook),
-		mux:       http.NewServeMux(),
-		hLatency:  telemetry.NewHistogram("server/latency_seconds", 0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10),
-		cRequests: telemetry.NewCounter("server/requests"),
+		cfg:           cfg,
+		adm:           newAdmission(cfg.Shards*cfg.QueueDepth, cfg.MaxCost),
+		pool:          newPool(cfg.Shards, cfg.QueueDepth, cfg.Retries, cfg.Backoff, cfg.ChaosHook),
+		mux:           http.NewServeMux(),
+		hLatency:      telemetry.NewHistogram("server/latency_seconds", 0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10),
+		cRequests:     telemetry.NewCounter("server/requests"),
+		cWhatIfDeltas: telemetry.NewCounter("server/whatif_deltas"),
+		scenarios:     newScenarioCache(),
 	}
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
@@ -226,18 +231,20 @@ type EvaluateResponse struct {
 }
 
 // WhatIfResponse is the /v1/whatif reply: one explicit delegation profile
-// scored against its instance.
+// scored against its instance. For delta requests every field describes
+// the post-delta election, and DeltasApplied echoes the edit count.
 type WhatIfResponse struct {
-	PM           float64 `json:"pm"`
-	PD           float64 `json:"pd"`
-	Gain         float64 `json:"gain"`
-	Sinks        int     `json:"sinks"`
-	MaxWeight    int     `json:"max_weight"`
-	TotalWeight  int     `json:"total_weight"`
-	Delegators   int     `json:"delegators"`
-	LongestChain int     `json:"longest_chain"`
-	Approximate  bool    `json:"approximate,omitempty"`
-	ErrorBound   float64 `json:"error_bound,omitempty"`
+	PM            float64 `json:"pm"`
+	PD            float64 `json:"pd"`
+	Gain          float64 `json:"gain"`
+	Sinks         int     `json:"sinks"`
+	MaxWeight     int     `json:"max_weight"`
+	TotalWeight   int     `json:"total_weight"`
+	Delegators    int     `json:"delegators"`
+	LongestChain  int     `json:"longest_chain"`
+	DeltasApplied int     `json:"deltas_applied,omitempty"`
+	Approximate   bool    `json:"approximate,omitempty"`
+	ErrorBound    float64 `json:"error_bound,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -309,9 +316,10 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
-	// Cycles are a property of the request, not of evaluation: resolve once
-	// up front so a cyclic profile is a typed 400, before admission.
-	res, err := parsed.Graph.Resolve()
+	// Cycles are a property of the request, not of evaluation: resolve the
+	// post-delta profile once up front so a cyclic profile is a typed 400,
+	// before admission. With no deltas this is the base profile itself.
+	res, err := parsed.FinalGraph.Resolve()
 	if err != nil {
 		s.malformed.Add(1)
 		writeError(w, badRequest(CodeBadRequest, "resolving delegations: %v", err))
@@ -320,7 +328,15 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(parsed.Req.DeadlineMS))
 	defer cancel()
 
+	// Delta requests get their own admission cost class: patching a
+	// retained scenario is far cheaper than a from-scratch evaluation, and
+	// pricing it honestly is what lets the daemon admit a deeper what-if
+	// stream at the same cost budget.
 	cost := EstimateCost(parsed.Instance.N(), 1, s.cfg.ExactCostLimit)
+	if len(parsed.Deltas) > 0 {
+		s.cWhatIfDeltas.Inc()
+		cost = EstimateWhatIfDeltaCost(parsed.FinalInstance.N(), len(parsed.Deltas), s.cfg.ExactCostLimit)
+	}
 	var resp *WhatIfResponse
 	s.dispatch(ctx, w, cost, func(ctx context.Context) error {
 		var err error
@@ -527,22 +543,33 @@ func (s *Server) evaluateFault(ctx context.Context, parsed *ParsedEvaluate, opts
 }
 
 // whatIf scores one explicit delegation profile: exact when the budget
-// affords it, else the certified normal approximation.
+// affords it, else the certified normal approximation. Delta requests
+// route the exact rung through the retained-scenario cache; every rung
+// scores the post-delta election, and the delta rung's answers are
+// bit-identical to the from-scratch exact path on the same election.
 func (s *Server) whatIf(ctx context.Context, parsed *ParsedWhatIf, res *core.Resolution, cost int64) (*WhatIfResponse, error) {
 	budget := s.budget(ctx)
 	if budget <= 0 {
 		return nil, context.DeadlineExceeded
 	}
-	in := parsed.Instance
+	in := parsed.FinalInstance
 	resp := &WhatIfResponse{
-		Sinks:        len(res.Sinks),
-		MaxWeight:    res.MaxWeight,
-		TotalWeight:  res.TotalWeight,
-		Delegators:   res.Delegators,
-		LongestChain: res.LongestChain,
+		Sinks:         len(res.Sinks),
+		MaxWeight:     res.MaxWeight,
+		TotalWeight:   res.TotalWeight,
+		Delegators:    res.Delegators,
+		LongestChain:  res.LongestChain,
+		DeltasApplied: len(parsed.Deltas),
 	}
 	exactOK := in.N() <= 4096 && s.affords(cost, budget)
-	if exactOK {
+	switch {
+	case exactOK && len(parsed.Deltas) > 0:
+		pm, pd, err := s.scenarios.score(parsed, s.cfg.ExactCostLimit)
+		if err != nil {
+			return nil, err
+		}
+		resp.PM, resp.PD = pm, pd
+	case exactOK:
 		pm, err := election.ResolutionProbabilityExact(in, res)
 		if err != nil {
 			return nil, err
@@ -552,7 +579,7 @@ func (s *Server) whatIf(ctx context.Context, parsed *ParsedWhatIf, res *core.Res
 			return nil, err
 		}
 		resp.PM, resp.PD = pm, pd
-	} else {
+	default:
 		pm, pmBound := election.ApproximateResolution(in, res)
 		pd := election.DirectNormalApproximation(in).SF(float64(in.N()) / 2)
 		pdBound := prob.BerryEsseenBound(in.Competencies())

@@ -413,3 +413,172 @@ func TestLatencyTelemetryIsWritten(t *testing.T) {
 		t.Fatalf("server/requests went %d -> %d, want +1", before, after)
 	}
 }
+
+// deltaBody renders a what-if body with a delta list (raw JSON for the
+// deltas so tests control exactly what goes on the wire).
+func deltaBody(instJSON string, delegations string, deltasJSON string) string {
+	return fmt.Sprintf(`{"instance": %s, "delegations": %s, "deltas": %s}`, instJSON, delegations, deltasJSON)
+}
+
+// offlineWhatIfDelta recomputes a delta what-if response from scratch:
+// apply the deltas offline, resolve, and score with the exact kernels —
+// a path that shares no retained state with the daemon.
+func offlineWhatIfDelta(t *testing.T, in *core.Instance, delegations []int, deltas []election.Delta) server.WhatIfResponse {
+	t.Helper()
+	d := core.NewDelegationGraph(in.N())
+	for i, j := range delegations {
+		if j == core.NoDelegate {
+			continue
+		}
+		if err := d.SetDelegate(i, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fin, fd, err := election.PreviewDeltas(in, d, deltas...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fd.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := election.ResolutionProbabilityExact(fin, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := election.DirectProbabilityExact(fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return server.WhatIfResponse{
+		PM: pm, PD: pd, Gain: pm - pd,
+		Sinks: len(res.Sinks), MaxWeight: res.MaxWeight, TotalWeight: res.TotalWeight,
+		Delegators: res.Delegators, LongestChain: res.LongestChain,
+		DeltasApplied: len(deltas),
+	}
+}
+
+// postWhatIfDelta posts a delta what-if and requires the response bytes to
+// equal the offline recomputation exactly.
+func postWhatIfDelta(t *testing.T, url string, in *core.Instance, instJSON, delegations, deltasJSON string, baseDeleg []int, deltas []election.Delta) {
+	t.Helper()
+	resp, data := post(t, url, "/v1/whatif", deltaBody(instJSON, delegations, deltasJSON))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	want, err := json.Marshal(offlineWhatIfDelta(t, in, baseDeleg, deltas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(data, want) {
+		t.Fatalf("delta what-if differs from offline evaluation:\n got: %s\nwant: %s", data, want)
+	}
+}
+
+// TestWhatIfDeltaBitIdentical is the delta endpoint's core contract: a
+// served delta response is byte-identical to applying the deltas and
+// scoring from scratch offline — including on repeats (retained-scenario
+// reuse) and across different edits of the same base (rebase after
+// mutation).
+func TestWhatIfDeltaBitIdentical(t *testing.T) {
+	in, instJSON := testInstance(t, 9)
+	_, ts := newTestServer(t, server.Config{})
+	delegations := `[8, 8, -1, -1, -1, -1, -1, -1, -1]`
+	baseDeleg := []int{8, 8, -1, -1, -1, -1, -1, -1, -1}
+
+	// Repoint-only probe, twice: the second hits the retained scenario.
+	repoints := `[{"kind": "repoint", "voter": 2, "target": 8}, {"kind": "repoint", "voter": 0, "target": -1}]`
+	repointDeltas := []election.Delta{
+		{Kind: election.DeltaRepoint, Voter: 2, Target: 8},
+		{Kind: election.DeltaRepoint, Voter: 0, Target: core.NoDelegate},
+	}
+	postWhatIfDelta(t, ts.URL, in, instJSON, delegations, repoints, baseDeleg, repointDeltas)
+	postWhatIfDelta(t, ts.URL, in, instJSON, delegations, repoints, baseDeleg, repointDeltas)
+
+	// A different edit of the same base: the retained scenario must rebase
+	// off the previous probe's profile, not accumulate it.
+	other := `[{"kind": "repoint", "voter": 5, "target": 8}]`
+	otherDeltas := []election.Delta{{Kind: election.DeltaRepoint, Voter: 5, Target: 8}}
+	postWhatIfDelta(t, ts.URL, in, instJSON, delegations, other, baseDeleg, otherDeltas)
+
+	// Instance-level deltas (throwaway-scenario path): competency change,
+	// voter add with an initial delegation, voter removal with id remap.
+	structural := `[{"kind": "competency", "voter": 3, "p": 0.9},
+		{"kind": "add-voter", "p": 0.7, "target": 8},
+		{"kind": "remove-voter", "voter": 1},
+		{"kind": "repoint", "voter": 4, "target": 7}]`
+	structuralDeltas := []election.Delta{
+		{Kind: election.DeltaCompetency, Voter: 3, P: 0.9},
+		{Kind: election.DeltaAddVoter, P: 0.7, Target: 8},
+		{Kind: election.DeltaRemoveVoter, Voter: 1},
+		{Kind: election.DeltaRepoint, Voter: 4, Target: 7},
+	}
+	postWhatIfDelta(t, ts.URL, in, instJSON, delegations, structural, baseDeleg, structuralDeltas)
+
+	// The retained scenario must have stayed pinned to the base election
+	// through the structural probe.
+	postWhatIfDelta(t, ts.URL, in, instJSON, delegations, repoints, baseDeleg, repointDeltas)
+}
+
+// TestWhatIfDeltaExplicitGraph exercises the edge-edit kinds, which only
+// exist on explicit topologies.
+func TestWhatIfDeltaExplicitGraph(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	instJSON := `{"n": 4, "edges": [[0,1],[1,2],[2,3]], "p": [0.55, 0.6, 0.65, 0.7]}`
+	g, err := graph.NewGraphFromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := core.NewInstance(g, []float64{0.55, 0.6, 0.65, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delegations := `[1, -1, -1, -1]`
+	deltasJSON := `[{"kind": "add-edge", "voter": 0, "target": 3},
+		{"kind": "remove-edge", "voter": 1, "target": 2},
+		{"kind": "add-voter", "p": 0.8, "edges": [0, 3]}]`
+	deltas := []election.Delta{
+		{Kind: election.DeltaAddEdge, Voter: 0, Target: 3},
+		{Kind: election.DeltaRemoveEdge, Voter: 1, Target: 2},
+		{Kind: election.DeltaAddVoter, P: 0.8, Target: core.NoDelegate, Edges: []int{0, 3}},
+	}
+	postWhatIfDelta(t, ts.URL, in, instJSON, delegations, deltasJSON, []int{1, -1, -1, -1}, deltas)
+}
+
+// TestWhatIfDeltaRejections asserts every malformed delta is a typed 400
+// counted as malformed — workers never see a delta list that does not
+// apply cleanly, so the accounting identity cannot leak through deltas.
+func TestWhatIfDeltaRejections(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{})
+	_, instJSON := testInstance(t, 4)
+	delegations := `[-1, -1, -1, -1]`
+	cases := []struct {
+		name, deltas, code string
+	}{
+		{"unknown kind", `[{"kind": "teleport", "voter": 0}]`, server.CodeBadDelta},
+		{"edge without target", `[{"kind": "add-edge", "voter": 0}]`, server.CodeBadDelta},
+		{"competency out of range", `[{"kind": "competency", "voter": 0, "p": 1.5}]`, server.CodeBadCompetency},
+		{"repoint out of range", `[{"kind": "repoint", "voter": 9, "target": 0}]`, server.CodeBadDelta},
+		{"remove out of range", `[{"kind": "remove-voter", "voter": 7}]`, server.CodeBadDelta},
+		{"edge edit on complete", `[{"kind": "add-edge", "voter": 0, "target": 1}]`, server.CodeBadDelta},
+		{"add-voter edges on complete", `[{"kind": "add-voter", "p": 0.5, "edges": [0]}]`, server.CodeBadDelta},
+	}
+	for _, tc := range cases {
+		resp, data := post(t, ts.URL, "/v1/whatif", deltaBody(instJSON, delegations, tc.deltas))
+		if resp.StatusCode != http.StatusBadRequest || errorCode(t, data) != tc.code {
+			t.Errorf("%s: status %d code %s, want 400 %s (%s)", tc.name, resp.StatusCode, errorCode(t, data), tc.code, data)
+		}
+	}
+	// A delta list that creates a cycle is rejected at the post-delta
+	// resolve, same typed 400 as a cyclic base profile.
+	resp, data := post(t, ts.URL, "/v1/whatif", deltaBody(instJSON, `[1, -1, -1, -1]`,
+		`[{"kind": "repoint", "voter": 1, "target": 0}]`))
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, data) != server.CodeBadRequest {
+		t.Fatalf("post-delta cycle: status %d: %s", resp.StatusCode, data)
+	}
+	want := uint64(len(cases) + 1)
+	if st := srv.Stats(); st.Malformed != want || st.Received != want {
+		t.Fatalf("stats = %+v, want %d received = malformed", st, want)
+	}
+}
