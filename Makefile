@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint lint-facts lint-baseline test test-short test-race test-faults cover fuzz-smoke bench bench-smoke bench-json bench-serve serve-smoke reproduce reproduce-fast examples fmt
+.PHONY: all check build vet lint lint-facts lint-baseline test test-short test-race test-faults cover fuzz-smoke bench bench-smoke bench-json bench-large bench-serve serve-smoke reproduce reproduce-fast examples fmt
 
 all: check
 
@@ -95,11 +95,13 @@ cover:
 		{ echo "coverage: total $$total% fell below committed baseline $$base% — add tests or (deliberately) update COVERAGE.baseline"; exit 1; }
 
 # fuzz-smoke is a short deterministic-budget fuzz pass (also part of check):
-# the simulator's message validation, then the divide-and-conquer
-# convolution kernels against the naive DP reference.
+# the simulator's message validation, the divide-and-conquer convolution
+# kernels against the naive DP reference, and the approximation ladder's
+# certified intervals against the exact DP answer.
 fuzz-smoke:
 	$(GO) test ./internal/localsim -run='^$$' -fuzz=FuzzMessageValidation -fuzztime=5s
 	$(GO) test ./internal/prob -run='^$$' -fuzz=FuzzConvolutionEquivalence -fuzztime=5s
+	$(GO) test ./internal/prob -run='^$$' -fuzz=FuzzLadderSoundness -fuzztime=5s
 	$(GO) test ./internal/server -run='^$$' -fuzz=FuzzDecodeEvaluateRequest -fuzztime=5s
 	$(GO) test ./internal/election -run='^$$' -fuzz=FuzzDeltaEquivalence -fuzztime=5s
 
@@ -136,13 +138,19 @@ bench:
 # the check gate. Timings from one iteration are meaningless; use
 # bench/bench-json for numbers.
 bench-smoke:
-	$(GO) test -run='^$$' -benchtime=1x -bench='^(BenchmarkPoissonBinomialPMF|BenchmarkWeightedMajorityDP|BenchmarkResolutionScoreCached|BenchmarkEvaluateMechanismSmall|BenchmarkEvaluateSweepSmall|BenchmarkDeltaSingleVoter2000|BenchmarkDeltaChurn2000)$$' .
+	$(GO) test -run='^$$' -benchtime=1x -bench='^(BenchmarkPoissonBinomialPMF|BenchmarkWeightedMajorityDP|BenchmarkResolutionScoreCached|BenchmarkEvaluateMechanismSmall|BenchmarkEvaluateSweepSmall|BenchmarkDeltaSingleVoter2000|BenchmarkDeltaChurn2000|BenchmarkLadderMajority100000)$$' .
 
 # bench-json runs the full benchmark suite and appends a schema-stable
 # snapshot BENCH_<n>.json (next free index) for trajectory tracking across
 # PRs; see cmd/benchjson and README "Benchmark trajectory".
 bench-json:
 	$(GO) run ./cmd/benchjson
+
+# bench-large snapshots the million-voter scale tier only: the streamed
+# certified ladder and the chunk-folded mechanism evaluation at n = 10^5
+# and 10^6 (see DESIGN.md §16 and README "Benchmark trajectory").
+bench-large:
+	$(GO) run ./cmd/benchjson -bench '^(BenchmarkLadderMajority|BenchmarkScaleEvaluateMajority)(100000|1000000)$$'
 
 # Regenerate every paper experiment at full scale (deterministic, seed 1).
 reproduce:

@@ -21,6 +21,7 @@ import (
 	"liquid/internal/prob"
 	"liquid/internal/recycle"
 	"liquid/internal/rng"
+	"liquid/internal/scale"
 )
 
 // benchExperiment runs one full experiment per iteration at reduced scale.
@@ -436,6 +437,55 @@ func BenchmarkDeltaScratchSweep2000(b *testing.B)  { benchDeltaScratchSweep(b, 2
 func BenchmarkDeltaScratchSweep20000(b *testing.B) { benchDeltaScratchSweep(b, 20000) }
 func BenchmarkDeltaChurn2000(b *testing.B)         { benchDeltaChurn(b, 2000) }
 func BenchmarkDeltaChurn20000(b *testing.B)        { benchDeltaChurn(b, 20000) }
+
+// benchLadderMajority measures the approximation ladder end to end on a
+// streamed n-voter electorate with a 1e-3 error budget: at these sizes the
+// normal tier certifies, so the cost is one O(n) moments pass over derived
+// chunks — the scale tier's headline number for BENCH_005 and beyond.
+func benchLadderMajority(b *testing.B, n int) {
+	b.Helper()
+	s, err := scale.New(scale.Spec{N: n, Seed: 2026, Low: 0.3, High: 0.6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ci, err := prob.LadderMajority(context.Background(), s, prob.LadderOptions{ErrorBudget: 1e-3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ci.HalfWidth > 1e-3 {
+			b.Fatalf("half-width %v over budget", ci.HalfWidth)
+		}
+	}
+}
+
+func BenchmarkLadderMajority100000(b *testing.B)  { benchLadderMajority(b, 100_000) }
+func BenchmarkLadderMajority1000000(b *testing.B) { benchLadderMajority(b, 1_000_000) }
+
+// benchScaleEvaluateMajority measures the full streamed mechanism
+// evaluation: chunk-local delegation resolution, counting-sort multiset
+// canonicalisation, and the certified fold, at a 4-worker budget.
+func benchScaleEvaluateMajority(b *testing.B, n int) {
+	b.Helper()
+	s, err := scale.New(scale.Spec{N: n, Seed: 2026, Low: 0.3, High: 0.6, DelegateFrac: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := scale.EvaluateMajority(context.Background(), s, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.WeightSum != int64(n) {
+			b.Fatal("weight not conserved")
+		}
+	}
+}
+
+func BenchmarkScaleEvaluateMajority100000(b *testing.B)  { benchScaleEvaluateMajority(b, 100_000) }
+func BenchmarkScaleEvaluateMajority1000000(b *testing.B) { benchScaleEvaluateMajority(b, 1_000_000) }
 
 func BenchmarkRecycleRealize(b *testing.B) {
 	in := benchInstance(b, 5000)

@@ -50,6 +50,7 @@ import (
 	"liquid/internal/election"
 	"liquid/internal/graph"
 	"liquid/internal/mechanism"
+	"liquid/internal/prob"
 	"liquid/internal/rng"
 	"liquid/internal/server"
 )
@@ -553,6 +554,7 @@ func offlineEvaluate(rq request, voters, reps int, scheduleSeed uint64) ([]byte,
 		MeanDelegators: res.MeanDelegators, MeanSinks: res.MeanSinks,
 		MeanMaxWeight: res.MeanMaxWeight, MaxMaxWeight: res.MaxMaxWeight,
 		MeanLongestChain: res.MeanLongestChain,
+		PDTier:           prob.ClassifyExactTier(res.N).String(),
 	}}}
 	data, err := json.Marshal(resp)
 	if err != nil {

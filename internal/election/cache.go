@@ -246,10 +246,13 @@ func directProbabilityCached(in *core.Instance) (float64, error) {
 
 // directProbabilityExactFresh computes the exact P^D with no memoization at
 // either level — the uncached reference the DisableResolutionCache contract
-// promises — running the majority tail on the fork-join D&C evaluator when
-// workers > 1 (bit-identical to the sequential kernel for every budget).
-// The canonical ascending sort matches directProbabilityCached, so fresh
-// and memoized values are the same bytes.
+// promises — running the majority tail on the fork-join D&C evaluator. The
+// fork budget is cost-model-chosen (prob.ParallelWorkerBudget capped at
+// workers): 1 when the D&C root stays a DP leaf, so small tables skip the
+// fork-join machinery, and roughly one worker per forkable subtree for large
+// n, so the tree is parallel by default. Bit-identical to the sequential
+// kernel for every budget. The canonical ascending sort matches
+// directProbabilityCached, so fresh and memoized values are the same bytes.
 func directProbabilityExactFresh(ctx context.Context, in *core.Instance, workers int) (float64, error) {
 	ws := wsPool.Get().(*prob.Workspace)
 	defer wsPool.Put(ws)
@@ -259,5 +262,5 @@ func directProbabilityExactFresh(ctx context.Context, in *core.Instance, workers
 	if err != nil {
 		return 0, fmt.Errorf("direct probability: %w", err)
 	}
-	return pb.ProbMajorityParallelWS(ctx, ws, workers)
+	return pb.ProbMajorityParallelWS(ctx, ws, prob.ParallelWorkerBudget(len(ps), workers))
 }

@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"context"
+	"math"
+	"runtime"
+
+	"liquid/internal/prob"
+	"liquid/internal/report"
+	"liquid/internal/rng"
+	"liquid/internal/scale"
+)
+
+// runS1 streams a million-voter electorate through the chunk fold and
+// measures the paper's variance-manipulation phenomenon at scale: as the
+// delegation fraction grows, votes concentrate on fewer sinks, the maximum
+// sink weight blows up, and the standard deviation of the correct-vote count
+// inflates — which in turn widens the certifiable majority interval. At
+// moderate delegation the certificate from the folded sufficient statistics
+// stays inside the error budget, and no worker ever holds the full
+// electorate.
+func runS1(ctx context.Context, cfg Config) (*Outcome, error) {
+	n := cfg.scaleInt(1_000_000, 20_000)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The certified-within-budget check uses the headline 1e-3 budget only
+	// once the electorate is large enough for the concentration bounds to
+	// bite; at heavily scaled-down sizes the honest certificate is wider.
+	budget := 0.25
+	if n >= 100_000 {
+		budget = 1e-3
+	}
+
+	fracs := []float64{0, 0.25, 0.5, 0.75, 0.95}
+	tab := report.NewTable("S1: streamed electorate, delegation fraction vs weight blowup (n = "+report.Itoa(n)+")",
+		"frac", "sinks", "delegators", "max w", "chain", "sigma", "P^M", "half-width", "tier")
+
+	seed := rng.Derive(cfg.Seed, "S1", "stream")
+	var first, last *scale.MajorityResult
+	delegators := make([]int, 0, len(fracs))
+	halfWidths := make([]float64, 0, len(fracs))
+	var firstInstance *scale.StreamInstance
+	for _, frac := range fracs {
+		s, err := scale.New(scale.Spec{N: n, Seed: seed, Low: 0.3, High: 0.6, DelegateFrac: frac})
+		if err != nil {
+			return nil, err
+		}
+		if firstInstance == nil {
+			firstInstance = s
+		}
+		res, err := scale.EvaluateMajority(ctx, s, workers)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(
+			report.F2(frac),
+			report.Itoa(int(res.Stats.Sinks)),
+			report.Itoa(int(res.Stats.Delegators)),
+			report.Itoa(int(res.Stats.MaxWeight)),
+			report.Itoa(int(res.Stats.LongestChain)),
+			report.F2(math.Sqrt(res.Sum.Variance())),
+			report.G(res.Interval.Point),
+			report.G(res.Interval.HalfWidth),
+			res.Interval.Tier.String(),
+		)
+		delegators = append(delegators, res.Stats.Delegators)
+		halfWidths = append(halfWidths, res.Interval.HalfWidth)
+		if first == nil {
+			first = res
+		}
+		last = res
+	}
+
+	// The direct vote over the same competency stream (frac-independent)
+	// through the approximation ladder: a budgeted million-voter query must
+	// resolve at the normal tier, certified within budget.
+	direct, err := prob.LadderMajority(ctx, firstInstance, prob.LadderOptions{ErrorBudget: 1e-3, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	dtab := report.NewTable("S1: direct vote via prob.Ladder (error budget 1e-3)",
+		"n", "tier", "P^D", "half-width")
+	dtab.AddRow(report.Itoa(n), direct.Tier.String(), report.G(direct.Point), report.G(direct.HalfWidth))
+
+	conserved, partitioned := true, true
+	for _, res := range []*scale.MajorityResult{first, last} {
+		if res.Stats.WeightSum != int64(n) {
+			conserved = false
+		}
+		if res.Stats.Sinks+res.Stats.Delegators != n {
+			partitioned = false
+		}
+	}
+	monotone := true
+	for i := 1; i < len(delegators); i++ {
+		if delegators[i] < delegators[i-1] {
+			monotone = false
+		}
+	}
+	// The certificate can only be tight while weights stay moderate: the
+	// half-width check covers the fractions up to 0.5. Past that the blowup
+	// itself widens the certifiable band — which is the point of the
+	// companion certificate-widens check below.
+	maxModerateHW := 0.0
+	for i, hw := range halfWidths {
+		if fracs[i] <= 0.5 && hw > maxModerateHW {
+			maxModerateHW = hw
+		}
+	}
+
+	return &Outcome{
+		Tables: []*report.Table{tab, dtab},
+		Checks: []Check{
+			check("weight-conserved", conserved, "WeightSum endpoints %d, %d (n = %d)", first.Stats.WeightSum, last.Stats.WeightSum, n),
+			check("sink-delegator-partition", partitioned, "sinks + delegators = %d, %d (n = %d)", first.Stats.Sinks+first.Stats.Delegators, last.Stats.Sinks+last.Stats.Delegators, n),
+			check("delegators-monotone", monotone, "delegator counts %v along nested fractions", delegators),
+			check("max-weight-blowup", last.Stats.MaxWeight > first.Stats.MaxWeight && last.Stats.MaxWeight >= 8,
+				"max weight %d at frac %.2f vs %d direct", last.Stats.MaxWeight, fracs[len(fracs)-1], first.Stats.MaxWeight),
+			check("variance-inflation", last.Sum.Variance() > first.Sum.Variance(),
+				"sigma %.2f at frac %.2f vs %.2f direct", math.Sqrt(last.Sum.Variance()), fracs[len(fracs)-1], math.Sqrt(first.Sum.Variance())),
+			check("certified-within-budget", maxModerateHW <= budget, "max half-width %g at frac <= 0.5 vs budget %g", maxModerateHW, budget),
+			check("certificate-widens-with-blowup", halfWidths[len(halfWidths)-1] > halfWidths[0],
+				"half-width %g at frac %.2f vs %g direct", halfWidths[len(halfWidths)-1], fracs[len(fracs)-1], halfWidths[0]),
+			check("direct-tier-normal", direct.Tier == prob.TierNormal, "ladder chose %v", direct.Tier),
+			check("direct-within-budget", direct.HalfWidth <= 1e-3, "half-width %g", direct.HalfWidth),
+		},
+	}, nil
+}
+
+// runS2 walks the approximation ladder up a single growing instance: for each
+// prefix size the auto tier must be the cheapest rung meeting the 1e-3
+// budget, escalating exact -> FFT -> normal as n grows, and every certified
+// interval must contain the exact tail mass wherever the quadratic reference
+// is still feasible.
+func runS2(ctx context.Context, cfg Config) (*Outcome, error) {
+	sizes := dedupeSizes([]int{
+		cfg.scaleInt(64, 16),
+		cfg.scaleInt(256, 32),
+		cfg.scaleInt(1024, 128),
+		cfg.scaleInt(4096, 512),
+		cfg.scaleInt(16384, 2048),
+		cfg.scaleInt(65536, 8192),
+	})
+	const budget = 1e-3
+	const exactRefMax = 4096
+
+	root := rng.New(cfg.Seed)
+	s := root.DeriveString("instance")
+	ps := make([]float64, sizes[len(sizes)-1])
+	for i := range ps {
+		ps[i] = 0.3 + 0.3*s.Float64()
+	}
+
+	tab := report.NewTable("S2: ladder tier selection vs n (error budget 1e-3)",
+		"n", "tier", "P(majority)", "half-width", "exact", "|delta|", "contained")
+
+	tiers := make([]prob.Tier, 0, len(sizes))
+	monotone, matchesCostModel, contained, withinBudget := true, true, true, true
+	for _, n := range sizes {
+		seq := prob.SliceSeq{PS: ps[:n]}
+		auto, err := prob.LadderMajority(ctx, seq, prob.LadderOptions{ErrorBudget: budget, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, auto.Tier)
+		if len(tiers) > 1 && auto.Tier < tiers[len(tiers)-2] {
+			monotone = false
+		}
+		if auto.Tier != prob.TierNormal && auto.Tier != prob.ClassifyExactTier(n) {
+			matchesCostModel = false
+		}
+		if auto.HalfWidth > budget {
+			withinBudget = false
+		}
+
+		exactCell, deltaCell, containedCell := "-", "-", "-"
+		if n <= exactRefMax {
+			exact, err := prob.LadderMajority(ctx, seq, prob.LadderOptions{Force: prob.TierExact, Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			if !auto.Contains(exact.Point) {
+				contained = false
+			}
+			exactCell = report.F(exact.Point)
+			deltaCell = report.G(math.Abs(auto.Point - exact.Point))
+			containedCell = "yes"
+			if !auto.Contains(exact.Point) {
+				containedCell = "NO"
+			}
+		}
+		tab.AddRow(report.Itoa(n), auto.Tier.String(), report.F(auto.Point), report.G(auto.HalfWidth),
+			exactCell, deltaCell, containedCell)
+	}
+
+	return &Outcome{
+		Tables: []*report.Table{tab},
+		Checks: []Check{
+			check("tier-monotone-escalation", monotone, "tiers %v along sizes %v", tiers, sizes),
+			check("smallest-is-exact", tiers[0] == prob.TierExact, "n = %d chose %v", sizes[0], tiers[0]),
+			check("largest-is-normal", tiers[len(tiers)-1] == prob.TierNormal, "n = %d chose %v", sizes[len(sizes)-1], tiers[len(tiers)-1]),
+			check("kernel-tier-matches-cost-model", matchesCostModel, "every kernel rung agrees with prob.ClassifyExactTier"),
+			check("containment", contained, "auto intervals contain the exact tail up to n = %d", exactRefMax),
+			check("halfwidth-within-budget", withinBudget, "all certified half-widths <= %g", budget),
+		},
+	}, nil
+}

@@ -16,8 +16,8 @@ func testConfig() Config {
 
 func TestRegistryLookup(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 35 {
-		t.Fatalf("expected 35 experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 37 {
+		t.Fatalf("expected 37 experiments, got %d: %v", len(ids), ids)
 	}
 	for _, id := range ids {
 		if _, err := Lookup(id); err != nil {
@@ -131,6 +131,15 @@ func TestA6PairedDuels(t *testing.T)               { runAndCheck(t, "A6") }
 func TestR2ProtocolFaults(t *testing.T)            { runAndCheck(t, "R2") }
 func TestR3DelegationChurn(t *testing.T)           { runAndCheck(t, "R3") }
 func TestR4EvolvingElectorates(t *testing.T)       { runAndCheck(t, "R4") }
+
+func TestS2LadderEscalation(t *testing.T) { runAndCheck(t, "S2") }
+
+func TestS1StreamedMillionVoters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "S1")
+}
 
 func TestR1AvailabilityFaults(t *testing.T) {
 	if testing.Short() {

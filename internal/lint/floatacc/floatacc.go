@@ -25,7 +25,7 @@ import (
 // Analyzer is the floatacc check.
 var Analyzer = &analysis.Analyzer{
 	Name: "floatacc",
-	Doc:  "flags naive float64 += accumulation loops in internal/prob and internal/recycle",
+	Doc:  "flags naive float64 += accumulation loops in internal/prob, internal/recycle, internal/election, and internal/scale",
 	Run:  run,
 }
 
@@ -33,6 +33,7 @@ var scope = map[string]bool{
 	"prob":     true,
 	"recycle":  true,
 	"election": true,
+	"scale":    true,
 }
 
 func inScope(path string) bool {

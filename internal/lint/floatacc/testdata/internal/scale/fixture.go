@@ -1,0 +1,21 @@
+// Package scale is inside floatacc's scope: the streamed fold's sufficient
+// statistics certify million-voter intervals, where naive accumulation error
+// grows with n and silently eats the certified half-width.
+package scale
+
+// chunkMoments mimics a chunk fold that bypasses prob.SumStats.
+func chunkMoments(ws []float64, ps []float64) (mean float64) {
+	for i, w := range ws {
+		mean += w * ps[i] // want `naive float accumulation`
+	}
+	return mean
+}
+
+// chunkWeights stay integer and unflagged.
+func chunkWeights(ws []int) int {
+	s := 0
+	for _, w := range ws {
+		s += w
+	}
+	return s
+}

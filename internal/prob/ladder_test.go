@@ -1,0 +1,373 @@
+package prob
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"liquid/internal/rng"
+)
+
+// ladderSeq builds a deterministic test sequence of n probabilities in
+// [lo, hi) from a derived seed, chunked at the given width.
+func ladderSeq(n int, lo, hi float64, seed uint64, chunk int) SliceSeq {
+	s := rng.New(seed)
+	return SliceSeq{PS: randomPs(n, lo, hi, s), Chunk: chunk}
+}
+
+// ladderRun forces one tier and fails the test on error.
+func ladderRun(t *testing.T, seq ChunkedSeq, opts LadderOptions) CertifiedInterval {
+	t.Helper()
+	ci, err := LadderMajority(context.Background(), seq, opts)
+	if err != nil {
+		t.Fatalf("LadderMajority(%+v): %v", opts, err)
+	}
+	return ci
+}
+
+// TestLadderMetamorphicContainment is the ladder's core soundness property,
+// metamorphic across tiers: for the same instance, every cheaper tier's
+// certified interval must contain the exact value computed by the tier above
+// it (TierExact is the zero-error reference, so "the exact value" is its
+// point). Table-driven over instance shapes; every case seeds via rng.Derive
+// so the table is stable and extensible without seed collisions.
+func TestLadderMetamorphicContainment(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		lo, hi float64
+	}{
+		{"tiny", 3, 0.2, 0.9},
+		{"smallBalanced", 40, 0.4, 0.6},
+		{"dpLeaf", 200, 0.3, 0.7},
+		{"atCrossover", 512, 0.25, 0.75},
+		{"fftRoot", 900, 0.1, 0.9},
+		{"skewedLow", 300, 0.05, 0.35},
+		{"skewedHigh", 300, 0.65, 0.95},
+		{"nearDeterministic", 150, 0.97, 0.999},
+		{"wide", 1200, 0.01, 0.99},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := ladderSeq(tc.n, tc.lo, tc.hi, rng.Derive(3, "ladder", "metamorphic", tc.name), 64)
+			exact := ladderRun(t, seq, LadderOptions{Force: TierExact})
+			if exact.HalfWidth != 0 || exact.Tier != TierExact {
+				t.Fatalf("exact tier: half-width %v tier %v", exact.HalfWidth, exact.Tier)
+			}
+			fft := ladderRun(t, seq, LadderOptions{Force: TierFFT})
+			if fft.Tier != TierFFT && fft.Tier != TierExact {
+				t.Fatalf("fft tier label %v", fft.Tier)
+			}
+			if !fft.Contains(exact.Point) {
+				t.Errorf("FFT interval [%v, %v] does not contain exact %v", fft.Lo(), fft.Hi(), exact.Point)
+			}
+			normal := ladderRun(t, seq, LadderOptions{Force: TierNormal})
+			if normal.Tier != TierNormal {
+				t.Fatalf("normal tier label %v", normal.Tier)
+			}
+			if !normal.Contains(exact.Point) {
+				t.Errorf("normal interval [%v, %v] (±%v) does not contain exact %v",
+					normal.Lo(), normal.Hi(), normal.HalfWidth, exact.Point)
+			}
+			// The next rung up must also land inside the cheaper certificate:
+			// the FFT point differs from exact by at most its own budget.
+			if !normal.Contains(fft.Point) && math.Abs(fft.Point-exact.Point) <= FFTTierErrorBudget {
+				t.Errorf("normal interval [%v, %v] does not contain FFT point %v", normal.Lo(), normal.Hi(), fft.Point)
+			}
+			if math.Abs(fft.Point-exact.Point) > FFTTierErrorBudget {
+				t.Errorf("FFT point %v differs from exact %v beyond the tier budget", fft.Point, exact.Point)
+			}
+		})
+	}
+}
+
+// TestLadderAutoSelection pins the tier-selection rule: generous budgets stay
+// on the streaming tier, tight budgets escalate to the kernels, and budgets
+// no kernel can certify within the cost constraints surface
+// ErrBudgetInfeasible alongside the tightest interval available.
+func TestLadderAutoSelection(t *testing.T) {
+	ctx := context.Background()
+	seq := ladderSeq(2000, 0.3, 0.6, rng.Derive(3, "ladder", "auto"), 0)
+
+	// Mean well below the threshold: Hoeffding certifies a tiny half-width,
+	// so a loose budget keeps the O(n) tier.
+	ci, err := LadderMajority(ctx, seq, LadderOptions{ErrorBudget: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Tier != TierNormal {
+		t.Fatalf("loose budget escalated to %v", ci.Tier)
+	}
+	if ci.HalfWidth > 1e-2 {
+		t.Fatalf("normal half-width %v over budget", ci.HalfWidth)
+	}
+
+	// A budget below what the normal tier certifies escalates to the kernel;
+	// at n=2000 the root splits, so the label is TierFFT.
+	ci, err = LadderMajority(ctx, seq, LadderOptions{ErrorBudget: 5e-13})
+	if err == nil || errors.Is(err, ErrBudgetInfeasible) {
+		// A sub-FFT-budget request is infeasible on the kernel tiers too —
+		// both outcomes must still hand back the kernel interval.
+	} else {
+		t.Fatal(err)
+	}
+	if ci.Tier != TierFFT {
+		t.Fatalf("tight budget ran %v, want fft", ci.Tier)
+	}
+
+	// No budget at all demands the most precise affordable tier.
+	ci, err = LadderMajority(ctx, seq, LadderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Tier != TierFFT {
+		t.Fatalf("no-budget selection ran %v, want fft", ci.Tier)
+	}
+
+	// Small n with no budget is the pure DP.
+	small := ladderSeq(100, 0.3, 0.6, rng.Derive(3, "ladder", "auto", "small"), 0)
+	ci, err = LadderMajority(ctx, small, LadderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Tier != TierExact || ci.HalfWidth != 0 {
+		t.Fatalf("small no-budget selection ran %v (±%v), want exact ±0", ci.Tier, ci.HalfWidth)
+	}
+
+	// Beyond MaxExactN the ladder must refuse to materialise: the streaming
+	// interval comes back with ErrBudgetInfeasible.
+	ci, err = LadderMajority(ctx, seq, LadderOptions{ErrorBudget: 1e-15, MaxExactN: 1000})
+	if !errors.Is(err, ErrBudgetInfeasible) {
+		t.Fatalf("err = %v, want ErrBudgetInfeasible", err)
+	}
+	if ci.Tier != TierNormal || ci.HalfWidth <= 0 {
+		t.Fatalf("degraded interval %+v, want normal tier with positive half-width", ci)
+	}
+
+	// A kernel cost budget below the exact tier's price pins the ladder to
+	// the streaming tier the same way.
+	ci, err = LadderMajority(ctx, seq, LadderOptions{ErrorBudget: 1e-15, CostBudget: 10})
+	if !errors.Is(err, ErrBudgetInfeasible) {
+		t.Fatalf("err = %v, want ErrBudgetInfeasible", err)
+	}
+	if ci.Tier != TierNormal {
+		t.Fatalf("cost-capped tier %v, want normal", ci.Tier)
+	}
+}
+
+// TestLadderBitIdentityAcrossWorkersAndChunks pins the two determinism
+// contracts: the kernel tiers are bit-identical for every worker budget
+// (fork-join determinism), and every tier is bit-identical across chunk
+// layouts (the streaming fold visits values in index order; the kernel tiers
+// canonicalise by sorting).
+func TestLadderBitIdentityAcrossWorkersAndChunks(t *testing.T) {
+	base := ladderSeq(2500, 0.2, 0.8, rng.Derive(3, "ladder", "bitident"), 0)
+	for _, force := range []Tier{TierExact, TierFFT, TierNormal} {
+		var ref CertifiedInterval
+		for i, workers := range []int{1, 4, 16} {
+			for _, chunk := range []int{0, 64, 999} {
+				seq := SliceSeq{PS: base.PS, Chunk: chunk}
+				ci := ladderRun(t, seq, LadderOptions{Force: force, Workers: workers})
+				if i == 0 && chunk == 0 {
+					ref = ci
+					continue
+				}
+				if math.Float64bits(ci.Point) != math.Float64bits(ref.Point) || ci.HalfWidth != ref.HalfWidth {
+					t.Fatalf("tier %v workers=%d chunk=%d: %+v != reference %+v", force, workers, chunk, ci, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestCertifyMajorityDeterministic checks the degenerate rung: an electorate
+// of certainties has zero variance and certifies exactly with half-width 0.
+func TestCertifyMajorityDeterministic(t *testing.T) {
+	var st SumStats
+	for i := 0; i < 9; i++ {
+		st.Add(1, float64(i%2)) // 4 certain ones: S = 4 always
+	}
+	ci := CertifyMajority(&st, 4)
+	if ci.HalfWidth != 0 {
+		t.Fatalf("half-width %v, want 0", ci.HalfWidth)
+	}
+	if ci.Point != 0 { // S = 4 always, P[S > 4] = 0
+		t.Fatalf("point %v, want 0", ci.Point)
+	}
+	st = SumStats{}
+	for i := 0; i < 9; i++ {
+		st.Add(1, 1)
+	}
+	ci = CertifyMajority(&st, 4)
+	if ci.HalfWidth != 0 || ci.Point != 1 {
+		t.Fatalf("got %+v, want point 1 half-width 0", ci)
+	}
+}
+
+// TestCertifyMajorityWeighted holds the weighted certificate to the exact
+// weighted-majority DP: resolved sink multisets are what the scale tier
+// feeds through SumStats, so the interval must contain the exact weighted
+// tail mass, not just the unit-weight one.
+func TestCertifyMajorityWeighted(t *testing.T) {
+	s := rng.New(rng.Derive(3, "ladder", "weighted"))
+	for trial := 0; trial < 30; trial++ {
+		nv := 5 + s.IntN(60)
+		voters := make([]WeightedVoter, nv)
+		total := 0
+		var st SumStats
+		for i := range voters {
+			v := WeightedVoter{Weight: 1 + s.IntN(9), P: s.Float64()}
+			voters[i] = v
+			total += v.Weight
+			st.Add(float64(v.Weight), v.P)
+		}
+		wm, err := NewWeightedMajority(voters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := wm.PMFNaive()
+		exact := Sum(f[total/2+1:])
+		ci := CertifyMajority(&st, float64(total/2))
+		if !ci.Contains(exact) {
+			t.Fatalf("trial %d: interval [%v, %v] does not contain exact %v", trial, ci.Lo(), ci.Hi(), exact)
+		}
+	}
+}
+
+// TestSumStatsMergeOrdered pins the parallel-fold determinism rule: merging
+// per-chunk partials in chunk index order reproduces itself bit-for-bit, and
+// stays within float tolerance of the single-pass fold (compensated sums are
+// not associative, which is exactly why the merge order is part of the
+// contract).
+func TestSumStatsMergeOrdered(t *testing.T) {
+	s := rng.New(rng.Derive(3, "ladder", "merge"))
+	const n, chunk = 1000, 64
+	ws := make([]float64, n)
+	ps := make([]float64, n)
+	var seq SumStats
+	for i := range ps {
+		ws[i] = float64(1 + s.IntN(20))
+		ps[i] = s.Float64()
+		seq.Add(ws[i], ps[i])
+	}
+	merged := func() SumStats {
+		var out SumStats
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			var part SumStats
+			for i := lo; i < hi; i++ {
+				part.Add(ws[i], ps[i])
+			}
+			out.Merge(&part)
+		}
+		return out
+	}
+	a, b := merged(), merged()
+	if math.Float64bits(a.Mean()) != math.Float64bits(b.Mean()) ||
+		math.Float64bits(a.Variance()) != math.Float64bits(b.Variance()) ||
+		math.Float64bits(a.BerryEsseen()) != math.Float64bits(b.BerryEsseen()) {
+		t.Fatal("ordered merge is not deterministic")
+	}
+	if a.N() != seq.N() {
+		t.Fatalf("N %d != %d", a.N(), seq.N())
+	}
+	if math.Abs(a.Mean()-seq.Mean()) > 1e-9 || math.Abs(a.Variance()-seq.Variance()) > 1e-9 {
+		t.Fatalf("merged moments (%v, %v) diverge from sequential (%v, %v)",
+			a.Mean(), a.Variance(), seq.Mean(), seq.Variance())
+	}
+}
+
+// TestParallelWorkerBudget pins the cost-model worker rule.
+func TestParallelWorkerBudget(t *testing.T) {
+	cases := []struct {
+		n, max, want int
+	}{
+		{10, 8, 1},    // below dcMinLeaf: DP leaf, nothing to fork
+		{256, 8, 1},   // DP-leaf root at the crossover's near side
+		{2048, 8, 2},  // two forkable subtrees
+		{20000, 8, 8}, // capped at max
+		{20000, 0, 1}, // max < 1 clamps to 1
+		{100000, 64, 64},
+	}
+	for _, tc := range cases {
+		if got := ParallelWorkerBudget(tc.n, tc.max); got != tc.want {
+			t.Errorf("ParallelWorkerBudget(%d, %d) = %d, want %d", tc.n, tc.max, got, tc.want)
+		}
+	}
+}
+
+// TestLadderCostEstimate pins the admission pricing shape: free for empty
+// queries, O(n) when a realistic budget keeps a large query on the streaming
+// tier, kernel-priced when the size or a zero budget forces escalation.
+func TestLadderCostEstimate(t *testing.T) {
+	if got := LadderCostEstimate(0, 1e-3); got != 0 {
+		t.Fatalf("empty query costs %d", got)
+	}
+	large := LadderCostEstimate(1_000_000, 1e-3)
+	if large != 1_000_000 {
+		t.Fatalf("budgeted large query costs %d, want the streaming pass", large)
+	}
+	if exact := LadderCostEstimate(1_000_000, 0); exact <= large {
+		t.Fatalf("no-budget large query costs %d, want kernel-priced > %d", exact, large)
+	}
+	small := LadderCostEstimate(2000, 1e-3)
+	if small <= 2000 {
+		t.Fatalf("small query costs %d, want kernel tier included", small)
+	}
+}
+
+// FuzzLadderSoundness drives random instances, thresholds shifted by random
+// competency skews, and random error budgets through every ladder path and
+// requires the one inviolable property: whatever tier auto-selection lands
+// on, the certified interval contains the exact DP answer. Wired into the
+// `make check` fuzz-smoke stage.
+func FuzzLadderSoundness(f *testing.F) {
+	f.Add(uint64(1), uint16(50), uint8(128), uint8(0))
+	f.Add(uint64(7), uint16(600), uint8(30), uint8(3))
+	f.Add(uint64(42), uint16(3), uint8(250), uint8(40))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, alphaRaw, budgetRaw uint8) {
+		nv := int(n)%700 + 1
+		// alpha skews the competency band across [0, 1): low alpha is an
+		// incompetent electorate, high alpha a near-deterministic one.
+		alpha := float64(alphaRaw) / 256
+		lo := 0.9 * alpha
+		hi := lo + (1-lo)*0.8 + 0.1
+		if hi > 1 {
+			hi = 1
+		}
+		// budget spans {none} ∪ [1e-12, ~1): 0 demands the exact tiers.
+		var budget float64
+		if budgetRaw > 0 {
+			budget = math.Pow(10, -float64(budgetRaw%13))
+		}
+		s := rng.New(seed)
+		seq := SliceSeq{PS: randomPs(nv, lo, hi, s), Chunk: nv/3 + 1}
+		ctx := context.Background()
+
+		exact, err := LadderMajority(ctx, seq, LadderOptions{Force: TierExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []LadderOptions{
+			{ErrorBudget: budget},
+			{Force: TierFFT},
+			{Force: TierNormal},
+		} {
+			ci, err := LadderMajority(ctx, seq, opts)
+			if err != nil && !errors.Is(err, ErrBudgetInfeasible) {
+				t.Fatal(err)
+			}
+			if !ci.Contains(exact.Point) {
+				t.Fatalf("seed=%d n=%d alpha=%v budget=%v opts=%+v: interval [%v, %v] (tier %v) does not contain exact %v",
+					seed, nv, alpha, budget, opts, ci.Lo(), ci.Hi(), ci.Tier, exact.Point)
+			}
+			if err == nil && opts.ErrorBudget > 0 && ci.HalfWidth > opts.ErrorBudget {
+				t.Fatalf("accepted interval half-width %v over budget %v", ci.HalfWidth, opts.ErrorBudget)
+			}
+		}
+	})
+}

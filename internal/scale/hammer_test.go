@@ -1,0 +1,66 @@
+package scale
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHammerStreamConcurrent is the race hammer for the streamed instance:
+// one shared StreamInstance iterated and evaluated from many goroutines at
+// once, with every result held to the single-threaded reference bit for bit.
+// Run under `go test -race` (the `make check` race stage) this proves the
+// instance really is immutable shared state and the parallel fold really
+// does confine mutation to per-worker scratch.
+func TestHammerStreamConcurrent(t *testing.T) {
+	s := mustNew(t, Spec{N: 60_000, ChunkSize: 1024, Seed: 17, DelegateFrac: 0.55})
+	ref, err := EvaluateMajority(context.Background(), s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStream := make([]float64, 0, s.Len())
+	for c := 0; c < s.NumChunks(); c++ {
+		refStream = s.AppendChunk(refStream, c)
+	}
+
+	workerCounts := []int{1, 4, 16}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Half the goroutines run the parallel fold at rotating worker
+			// counts; half stream every chunk through a private buffer.
+			if g%2 == 0 {
+				res, err := EvaluateMajority(context.Background(), s, workerCounts[(g/2)%len(workerCounts)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if math.Float64bits(res.Interval.Point) != math.Float64bits(ref.Interval.Point) ||
+					math.Float64bits(res.Interval.HalfWidth) != math.Float64bits(ref.Interval.HalfWidth) ||
+					res.Stats != ref.Stats {
+					t.Errorf("goroutine %d: fold diverged from reference", g)
+				}
+				return
+			}
+			var buf []float64
+			for c := 0; c < s.NumChunks(); c++ {
+				buf = s.AppendChunk(buf[:0], c)
+				lo, hi := s.ChunkBounds(c)
+				for i := range buf {
+					if math.Float64bits(buf[i]) != math.Float64bits(refStream[lo+i]) {
+						t.Errorf("goroutine %d: chunk %d value %d diverged", g, c, i)
+						return
+					}
+				}
+				if len(buf) != hi-lo {
+					t.Errorf("goroutine %d: chunk %d yielded %d values, want %d", g, c, len(buf), hi-lo)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

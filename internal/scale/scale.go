@@ -1,0 +1,167 @@
+// Package scale is the million-voter tier: electorates described by a small
+// generator spec and streamed in fixed-size chunks, so a 10^6–10^7-voter
+// instance is evaluated end to end without any worker ever holding the full
+// graph. A StreamInstance derives every voter's draws as a pure function of
+// (seed, voter index) — SplitMix64 lanes, the same derivation primitive as
+// internal/rng — which makes chunk generation stateless: any chunk can be
+// produced independently, in any order, by any worker, with the competency
+// stream invariant to how the index range is chunked.
+//
+// Delegation is chunk-local by construction: a voter either votes directly
+// or delegates to an earlier voter in its own chunk. That is the modeling
+// choice that makes resolution exactly chunk-decomposable — each chunk folds
+// to a canonical (weight, p) sink multiset independently (fold.go), and the
+// folds merge associatively — while still exhibiting the max-weight blowup
+// pathology the scale experiments measure (Gölz et al., "The Fluid Mechanics
+// of Liquid Democracy"): as the delegation fraction grows, chains pile
+// weight onto few sinks.
+//
+// StreamInstance implements prob.ChunkedSeq, so the direct-vote distribution
+// feeds prob.LadderMajority without materialising; the resolved weighted
+// majority goes through the fold in fold.go and prob.CertifyMajority.
+package scale
+
+import (
+	"fmt"
+
+	"liquid/internal/rng"
+)
+
+// defaultChunkSize is the chunk width when Spec.ChunkSize is zero: large
+// enough that per-chunk overheads vanish, small enough that a worker's
+// resident state stays in cache (~128 KiB of competencies).
+const defaultChunkSize = 1 << 14
+
+// Per-voter derivation lanes: each voter's base word is split into
+// independent draws by XORing a lane salt before the final SplitMix64 round.
+// Arbitrary odd 64-bit constants; changing them reseeds every streamed
+// electorate (TestStreamGolden pins the derivation). The instance root
+// itself comes from rng.Derive(seed, "scale/stream"), so streamed
+// electorates live in their own label namespace alongside every other
+// seed-derived stream.
+const (
+	laneCompetency = 0xA076D05E9F1B3C47
+	laneDelegate   = 0xC2B2AE3D27D4EB4F
+	laneTarget     = 0x165667B19E3779F9
+)
+
+// Spec describes a streamed electorate. The zero values of ChunkSize, Low,
+// and High select the defaults documented per field.
+type Spec struct {
+	// N is the electorate size (required, >= 1).
+	N int
+	// ChunkSize is the streaming chunk width (default 1<<14). It is part of
+	// the instance definition: the chunk-local delegation topology depends
+	// on it (competencies do not).
+	ChunkSize int
+	// Seed roots every voter's derived draws; equal specs generate
+	// identical electorates.
+	Seed uint64
+	// Low and High bound the uniform competency range [Low, High). Both
+	// zero selects [0.25, 0.75).
+	Low, High float64
+	// DelegateFrac is the probability that a voter (other than the first of
+	// its chunk) delegates to an earlier voter in its chunk, in [0, 1].
+	DelegateFrac float64
+}
+
+func (sp Spec) withDefaults() Spec {
+	if sp.ChunkSize <= 0 {
+		sp.ChunkSize = defaultChunkSize
+	}
+	if sp.Low == 0 && sp.High == 0 {
+		sp.Low, sp.High = 0.25, 0.75
+	}
+	return sp
+}
+
+// StreamInstance is a streamed electorate: a validated Spec plus its derived
+// root word. It is immutable and safe for concurrent use from any number of
+// goroutines — chunk generation reads only the spec.
+type StreamInstance struct {
+	spec Spec
+	base uint64
+}
+
+// New validates spec and returns the streamed instance.
+func New(spec Spec) (*StreamInstance, error) {
+	spec = spec.withDefaults()
+	if spec.N < 1 {
+		return nil, fmt.Errorf("scale: spec.N = %d, want >= 1", spec.N)
+	}
+	if !(spec.Low >= 0 && spec.High <= 1 && spec.Low <= spec.High) {
+		return nil, fmt.Errorf("scale: competency range [%v, %v) not within [0,1]", spec.Low, spec.High)
+	}
+	if !(spec.DelegateFrac >= 0 && spec.DelegateFrac <= 1) {
+		return nil, fmt.Errorf("scale: DelegateFrac = %v not in [0,1]", spec.DelegateFrac)
+	}
+	return &StreamInstance{spec: spec, base: rng.Derive(spec.Seed, "scale/stream")}, nil
+}
+
+// Spec returns the (defaulted) spec the instance was built from.
+func (s *StreamInstance) Spec() Spec { return s.spec }
+
+// Len returns the electorate size. Part of prob.ChunkedSeq.
+func (s *StreamInstance) Len() int { return s.spec.N }
+
+// NumChunks returns the number of chunks covering [0, Len). Part of
+// prob.ChunkedSeq.
+func (s *StreamInstance) NumChunks() int {
+	return (s.spec.N + s.spec.ChunkSize - 1) / s.spec.ChunkSize
+}
+
+// ChunkBounds returns chunk c's half-open voter index range [lo, hi).
+func (s *StreamInstance) ChunkBounds(c int) (lo, hi int) {
+	lo = c * s.spec.ChunkSize
+	hi = lo + s.spec.ChunkSize
+	if hi > s.spec.N {
+		hi = s.spec.N
+	}
+	return lo, hi
+}
+
+// AppendChunk appends chunk c's competencies to dst. Part of
+// prob.ChunkedSeq: this is the direct-vote distribution's streamed form.
+func (s *StreamInstance) AppendChunk(dst []float64, c int) []float64 {
+	lo, hi := s.ChunkBounds(c)
+	for i := lo; i < hi; i++ {
+		dst = append(dst, s.Competency(i))
+	}
+	return dst
+}
+
+// word derives voter i's draw for a lane: a pure function of (seed, i, lane),
+// so any worker can generate any voter without shared state, and the value
+// is invariant to chunk layout.
+func (s *StreamInstance) word(i int, lane uint64) uint64 {
+	return rng.SplitMix64(rng.SplitMix64(s.base+uint64(i)*0x9E3779B97F4A7C15) ^ lane)
+}
+
+// unit maps a 64-bit word to [0, 1) with the same 53-bit conversion as
+// rng.Stream.Float64.
+func unit(w uint64) float64 {
+	return float64(w<<11>>11) / (1 << 53)
+}
+
+// Competency returns voter i's competency: uniform in [Low, High), derived
+// from (Seed, i) alone.
+func (s *StreamInstance) Competency(i int) float64 {
+	return s.spec.Low + (s.spec.High-s.spec.Low)*unit(s.word(i, laneCompetency))
+}
+
+// delegates reports whether voter i (at position pos within its chunk)
+// delegates. The first voter of a chunk never does, so every chunk has at
+// least one sink.
+func (s *StreamInstance) delegates(i, pos int) bool {
+	if pos == 0 || s.spec.DelegateFrac <= 0 {
+		return false
+	}
+	return unit(s.word(i, laneDelegate)) < s.spec.DelegateFrac
+}
+
+// targetPos returns the chunk-local position voter i delegates to: uniform
+// over the pos earlier voters of its chunk. Delegating strictly backwards
+// makes every chain acyclic and resolvable in one forward pass.
+func (s *StreamInstance) targetPos(i, pos int) int {
+	return int(s.word(i, laneTarget) % uint64(pos))
+}

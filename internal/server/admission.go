@@ -43,6 +43,16 @@ func EstimateWhatIfDeltaCost(n, deltas int, exactLimit int64) int64 {
 	return cost
 }
 
+// EstimateLadderCost prices a what-if scored through the certified
+// approximation ladder: resolving the profile is O(n), and the ladder itself
+// costs prob.LadderCostEstimate — O(n) for a budgeted large query the normal
+// tier can certify, plus the kernel-tier cost where escalation is plausible.
+// This is what lets the daemon admit million-voter budgeted queries that the
+// exact-DP price would shed.
+func EstimateLadderCost(n int, errorBudget float64) int64 {
+	return int64(n) + prob.LadderCostEstimate(n, errorBudget)
+}
+
 // admission is the bounded-queue, bounded-cost gate in front of the worker
 // shards.
 type admission struct {

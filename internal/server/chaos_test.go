@@ -219,6 +219,7 @@ func offlineEvaluate(t *testing.T, in *core.Instance, seed int) []byte {
 		MeanDelegators: res.MeanDelegators, MeanSinks: res.MeanSinks,
 		MeanMaxWeight: res.MeanMaxWeight, MaxMaxWeight: res.MaxMaxWeight,
 		MeanLongestChain: res.MeanLongestChain,
+		PDTier:           "exact",
 	}}})
 }
 

@@ -138,6 +138,12 @@ type WhatIfRequest struct {
 	Delegations []int        `json:"delegations"`
 	Deltas      []DeltaSpec  `json:"deltas,omitempty"`
 	DeadlineMS  int64        `json:"deadline_ms,omitempty"`
+	// ErrorBudget, when positive, routes scoring through the certified
+	// approximation ladder (prob.LadderMajority): the response carries the
+	// selected tier and certified half-width per probability, and admission
+	// prices the request at the ladder's cost estimate instead of the exact
+	// DP's. Zero keeps the classic exact-or-normal degradation rungs.
+	ErrorBudget float64 `json:"error_budget,omitempty"`
 }
 
 // DeltaSpec is the wire form of one incremental edit. Kind names an
@@ -396,6 +402,9 @@ func ParseWhatIfRequest(body []byte) (*ParsedWhatIf, *Error) {
 	}
 	if req.DeadlineMS < 0 {
 		return nil, badRequest(CodeBadRequest, "deadline_ms = %d, want >= 0", req.DeadlineMS)
+	}
+	if math.IsNaN(req.ErrorBudget) || req.ErrorBudget < 0 || req.ErrorBudget > 1 {
+		return nil, badRequest(CodeBadRequest, "error_budget = %v not in [0,1]", req.ErrorBudget)
 	}
 	n := in.N()
 	if len(req.Delegations) != n {

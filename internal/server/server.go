@@ -220,6 +220,12 @@ type PointResult struct {
 	// ErrorBound is the certified Berry–Esseen bound on |reported − exact|
 	// for approximate results (see election.ApproxResult).
 	ErrorBound float64 `json:"error_bound,omitempty"`
+
+	// PDTier names the approximation-ladder tier that produced PD: the cost
+	// model's kernel tier ("exact" or "fft") on the exact rung, "normal" on
+	// the approximate rung. Empty for fault evaluations, whose PD comes from
+	// the fault engine's own replication loop.
+	PDTier string `json:"pd_tier,omitempty"`
 }
 
 // EvaluateResponse is the /v1/evaluate reply: one result per alpha point,
@@ -245,6 +251,14 @@ type WhatIfResponse struct {
 	DeltasApplied int     `json:"deltas_applied,omitempty"`
 	Approximate   bool    `json:"approximate,omitempty"`
 	ErrorBound    float64 `json:"error_bound,omitempty"`
+
+	// Ladder fields (requests with an error_budget): the approximation-ladder
+	// tier that produced each probability and its certified half-width, so a
+	// client can machine-check |reported − exact| <= half-width.
+	PDTier      string  `json:"pd_tier,omitempty"`
+	PDHalfWidth float64 `json:"pd_half_width,omitempty"`
+	PMTier      string  `json:"pm_tier,omitempty"`
+	PMHalfWidth float64 `json:"pm_half_width,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -336,6 +350,12 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	if len(parsed.Deltas) > 0 {
 		s.cWhatIfDeltas.Inc()
 		cost = EstimateWhatIfDeltaCost(parsed.FinalInstance.N(), len(parsed.Deltas), s.cfg.ExactCostLimit)
+	}
+	if parsed.Req.ErrorBudget > 0 {
+		// Budgeted requests are scored through the approximation ladder, and
+		// admission prices them at the ladder's cost — the admission-visible
+		// form of the scale tier's win.
+		cost = EstimateLadderCost(parsed.FinalInstance.N(), parsed.Req.ErrorBudget)
 	}
 	var resp *WhatIfResponse
 	s.dispatch(ctx, w, cost, func(ctx context.Context) error {
@@ -499,6 +519,7 @@ func (s *Server) evaluate(ctx context.Context, parsed *ParsedEvaluate, reps int,
 		}
 		pt := exactPoint(&res.Result, parsed.Alphas[i])
 		pt.ErrorBound = res.ErrorBound
+		pt.PDTier = prob.TierNormal.String()
 		resp.Results = append(resp.Results, pt)
 	}
 	return resp, nil
@@ -563,6 +584,13 @@ func (s *Server) whatIf(ctx context.Context, parsed *ParsedWhatIf, res *core.Res
 	}
 	exactOK := in.N() <= 4096 && s.affords(cost, budget)
 	switch {
+	case parsed.Req.ErrorBudget > 0:
+		// Budgeted rung: score through the certified approximation ladder.
+		// This takes priority over the retained-scenario path — the ladder
+		// works from the post-delta election directly.
+		if err := s.whatIfLadder(ctx, parsed, res, resp, budget, exactOK); err != nil {
+			return nil, err
+		}
 	case exactOK && len(parsed.Deltas) > 0:
 		pm, pd, err := s.scenarios.score(parsed, s.cfg.ExactCostLimit)
 		if err != nil {
@@ -589,6 +617,44 @@ func (s *Server) whatIf(ctx context.Context, parsed *ParsedWhatIf, res *core.Res
 	}
 	resp.Gain = resp.PM - resp.PD
 	return resp, nil
+}
+
+// whatIfLadder is the budgeted what-if rung: P^D through prob.LadderMajority
+// with a cost budget derived from the remaining deadline at the calibrated
+// rate, P^M certified from the resolved sink statistics and escalated to the
+// exact weighted DP only when the analytic certificate misses the budget and
+// the deadline affords exact. The response carries each probability's tier
+// and certified half-width; a half-width above the requested budget means
+// the budget was infeasible within the deadline, reported honestly rather
+// than rejected — the interval is still rigorous.
+func (s *Server) whatIfLadder(ctx context.Context, parsed *ParsedWhatIf, res *core.Resolution, resp *WhatIfResponse, budget time.Duration, exactOK bool) error {
+	in := parsed.FinalInstance
+	eb := parsed.Req.ErrorBudget
+	pd, err := prob.LadderMajority(ctx, prob.SliceSeq{PS: in.Competencies()}, prob.LadderOptions{
+		ErrorBudget: eb,
+		CostBudget:  int64(0.8 * budget.Seconds() * s.cfg.CostRate),
+		Workers:     s.cfg.Workers,
+	})
+	if err != nil && !errors.Is(err, prob.ErrBudgetInfeasible) {
+		return err
+	}
+	var st prob.SumStats
+	for _, sk := range res.Sinks {
+		st.Add(float64(res.Weight[sk]), in.Competency(sk))
+	}
+	pm := prob.CertifyMajority(&st, float64(res.TotalWeight/2))
+	if pm.HalfWidth > eb && exactOK {
+		point, err := election.ResolutionProbabilityExact(in, res)
+		if err != nil {
+			return err
+		}
+		pm = prob.CertifiedInterval{Point: point, HalfWidth: 0, Tier: prob.TierExact}
+	}
+	resp.PM, resp.PD = pm.Point, pd.Point
+	resp.PMTier, resp.PMHalfWidth = pm.Tier.String(), pm.HalfWidth
+	resp.PDTier, resp.PDHalfWidth = pd.Tier.String(), pd.HalfWidth
+	resp.Approximate = pm.Tier != prob.TierExact || pd.Tier != prob.TierExact
+	return nil
 }
 
 // budget is the wall-clock time remaining before ctx's deadline.
@@ -625,6 +691,7 @@ func exactPoint(res *election.Result, alpha float64) PointResult {
 		MeanMaxWeight:    res.MeanMaxWeight,
 		MaxMaxWeight:     res.MaxMaxWeight,
 		MeanLongestChain: res.MeanLongestChain,
+		PDTier:           prob.ClassifyExactTier(res.N).String(),
 	}
 }
 

@@ -103,6 +103,7 @@ func TestEvaluateBitIdenticalToOffline(t *testing.T) {
 			MeanDelegators: res.MeanDelegators, MeanSinks: res.MeanSinks,
 			MeanMaxWeight: res.MeanMaxWeight, MaxMaxWeight: res.MaxMaxWeight,
 			MeanLongestChain: res.MeanLongestChain,
+			PDTier:           "exact",
 		})
 	}
 	want, err := json.Marshal(expected)
@@ -339,6 +340,120 @@ func TestWhatIfExact(t *testing.T) {
 	}
 	if got.Sinks != 5 || got.MaxWeight != 5 || got.TotalWeight != 9 || got.Delegators != 4 {
 		t.Fatalf("structure = %+v", got)
+	}
+}
+
+// TestWhatIfLadderExactEscalation posts a budgeted what-if whose tiny error
+// budget forces the ladder off the normal tier: both probabilities must come
+// back exact (tier "exact", half-width 0), with P^M bit-identical to the
+// offline exact kernel on the same resolution.
+func TestWhatIfLadderExactEscalation(t *testing.T) {
+	in, instJSON := testInstance(t, 64)
+	_, ts := newTestServer(t, server.Config{})
+
+	delegations := make([]string, 64)
+	for i := range delegations {
+		delegations[i] = "-1"
+		if i < 10 {
+			delegations[i] = "63"
+		}
+	}
+	body := fmt.Sprintf(`{"instance": %s, "delegations": [%s], "error_budget": 1e-9}`,
+		instJSON, strings.Join(delegations, ","))
+	resp, data := post(t, ts.URL, "/v1/whatif", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var got server.WhatIfResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.PDTier != "exact" || got.PDHalfWidth != 0 || got.PMTier != "exact" || got.PMHalfWidth != 0 {
+		t.Fatalf("tiers = %+v, want exact/exact with zero half-widths", got)
+	}
+	if got.Approximate {
+		t.Fatal("exact-tier budgeted what-if flagged approximate")
+	}
+
+	d := core.NewDelegationGraph(64)
+	for v := 0; v < 10; v++ {
+		if err := d.SetDelegate(v, 63); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := election.ResolutionProbabilityExact(in, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PM != pm {
+		t.Fatalf("pm = %v, offline exact %v", got.PM, pm)
+	}
+	pd, err := election.DirectProbabilityExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ladder's exact DP folds competencies in sorted order, so the last
+	// few ulps may differ from the unsorted offline DP; the values must
+	// still agree to certified-exact precision.
+	if diff := got.PD - pd; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("pd = %v, offline exact %v", got.PD, pd)
+	}
+	if got.Gain != got.PM-got.PD {
+		t.Fatalf("gain = %v, want pm-pd", got.Gain)
+	}
+}
+
+// TestWhatIfLadderNormalTier posts a budgeted what-if big enough that the
+// normal tier certifies within budget: the daemon must answer with tier
+// "normal" and a half-width inside the requested budget, flagged
+// approximate, without ever paying for a kernel evaluation.
+func TestWhatIfLadderNormalTier(t *testing.T) {
+	_, instJSON := testInstance(t, 8192)
+	_, ts := newTestServer(t, server.Config{})
+
+	delegations := make([]string, 8192)
+	for i := range delegations {
+		delegations[i] = "-1"
+	}
+	body := fmt.Sprintf(`{"instance": %s, "delegations": [%s], "error_budget": 1e-3}`,
+		instJSON, strings.Join(delegations, ","))
+	resp, data := post(t, ts.URL, "/v1/whatif", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var got server.WhatIfResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.PDTier != "normal" || got.PMTier != "normal" {
+		t.Fatalf("tiers = %s/%s, want normal/normal", got.PDTier, got.PMTier)
+	}
+	if got.PDHalfWidth > 1e-3 || got.PMHalfWidth > 1e-3 {
+		t.Fatalf("half-widths %v/%v over the 1e-3 budget", got.PDHalfWidth, got.PMHalfWidth)
+	}
+	if !got.Approximate {
+		t.Fatal("normal-tier response not flagged approximate")
+	}
+	if got.PM != got.PD {
+		// All-direct profile: the two sums are the same distribution.
+		t.Fatalf("pm = %v, pd = %v on an all-direct profile", got.PM, got.PD)
+	}
+}
+
+// TestWhatIfBadErrorBudget asserts malformed budgets are typed 400s.
+func TestWhatIfBadErrorBudget(t *testing.T) {
+	_, instJSON := testInstance(t, 5)
+	_, ts := newTestServer(t, server.Config{})
+	for _, budget := range []string{"-0.5", "1.5", "NaN"} {
+		body := fmt.Sprintf(`{"instance": %s, "delegations": [-1, -1, -1, -1, -1], "error_budget": %s}`, instJSON, budget)
+		resp, data := post(t, ts.URL, "/v1/whatif", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("error_budget %s: status = %d: %s", budget, resp.StatusCode, data)
+		}
 	}
 }
 
